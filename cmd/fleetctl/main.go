@@ -1,0 +1,134 @@
+// Command fleetctl inspects a fleet CSV (as produced by fleetgen) and
+// serves the deployed-system workflow from the command line: categorize
+// vehicles, show maintenance cycles, and forecast the next maintenance
+// date for every vehicle.
+//
+// Usage:
+//
+//	fleetctl -data fleet.csv status            # categories + cycles
+//	fleetctl -data fleet.csv cycles -vehicle v01
+//	fleetctl -data fleet.csv predict [-w 6]    # train + forecast fleet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/telematics"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetctl: ")
+
+	var (
+		data    = flag.String("data", "", "fleet CSV file (required)")
+		vehicle = flag.String("vehicle", "", "vehicle ID filter (cycles)")
+		window  = flag.Int("w", 6, "feature window W for predict")
+	)
+	flag.Parse()
+	if *data == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fleetctl -data fleet.csv [flags] status|cycles|predict")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := telematics.ReadCSV(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prepared := make([]*dataprep.PreparedVehicle, 0, len(fleet.Vehicles))
+	for _, v := range fleet.Vehicles {
+		p, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, timeseries.DefaultAllowance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prepared = append(prepared, p)
+	}
+
+	switch flag.Arg(0) {
+	case "status":
+		status(prepared)
+	case "cycles":
+		cycles(prepared, *vehicle)
+	case "predict":
+		predict(prepared, *window)
+	default:
+		log.Fatalf("unknown subcommand %q (want status, cycles or predict)", flag.Arg(0))
+	}
+}
+
+func status(prepared []*dataprep.PreparedVehicle) {
+	fmt.Printf("%-6s %-10s %8s %10s %12s %9s\n", "veh", "category", "days", "cycles", "total-usage", "repaired")
+	for _, p := range prepared {
+		cat := core.Categorize(p.Series)
+		fmt.Printf("%-6s %-10s %8d %10d %12.0f %9d\n",
+			p.ID, cat, len(p.Series.U), len(p.Series.CompleteCycles()), p.Series.CumulativeUsage(), p.Clean.Total())
+	}
+}
+
+func cycles(prepared []*dataprep.PreparedVehicle, vehicle string) {
+	for _, p := range prepared {
+		if vehicle != "" && p.ID != vehicle {
+			continue
+		}
+		fmt.Printf("vehicle %s (%d cycles):\n", p.ID, len(p.Series.Cycles))
+		for _, c := range p.Series.Cycles {
+			state := "complete"
+			if !c.Complete {
+				state = "in progress"
+			}
+			fmt.Printf("  cycle %2d: days [%4d, %4d) = %3d days, usage %9.0f s, %s\n",
+				c.Index, c.Start, c.End, c.Days(), c.Usage, state)
+		}
+	}
+}
+
+func predict(prepared []*dataprep.PreparedVehicle, window int) {
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = window
+	fp, err := core.NewFleetPredictor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range prepared {
+		if err := fp.AddVehicle(p.Series, p.Start); err != nil {
+			log.Fatal(err)
+		}
+	}
+	statuses, err := fp.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	byID := make(map[string]core.VehicleStatus, len(statuses))
+	for _, st := range statuses {
+		byID[st.ID] = st
+	}
+	forecasts, err := fp.PredictAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-10s %-12s %-5s %10s %12s %10s\n", "veh", "category", "strategy", "alg", "days-left", "due-date", "val-MRE")
+	for _, fc := range forecasts {
+		st := byID[fc.VehicleID]
+		val := "-"
+		if !math.IsNaN(st.ValidationMRE) {
+			val = fmt.Sprintf("%.2f", st.ValidationMRE)
+		}
+		fmt.Printf("%-6s %-10s %-12s %-5s %10.1f %12s %10s\n",
+			fc.VehicleID, fc.Category, fc.Strategy, st.Algorithm, fc.DaysLeft, fc.DueDate.Format("2006-01-02"), val)
+	}
+}

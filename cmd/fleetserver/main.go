@@ -1,0 +1,80 @@
+// Command fleetserver trains the fleet predictor on a fleet CSV (as
+// produced by fleetgen) and serves next-maintenance forecasts and
+// workshop plans over HTTP (see internal/serve for the endpoints).
+//
+// Usage:
+//
+//	fleetserver -data fleet.csv [-addr :8080] [-w 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/serve"
+	"repro/internal/telematics"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetserver: ")
+
+	var (
+		data   = flag.String("data", "", "fleet CSV file (required)")
+		addr   = flag.String("addr", ":8080", "listen address")
+		window = flag.Int("w", 6, "feature window W")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := telematics.ReadCSV(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = *window
+	fp, err := core.NewFleetPredictor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range fleet.Vehicles {
+		prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, timeseries.DefaultAllowance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fp.AddVehicle(prep.Series, prep.Start); err != nil {
+			log.Fatal(err)
+		}
+	}
+	t0 := time.Now()
+	statuses, err := fp.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained %d vehicles in %.1fs", len(statuses), time.Since(t0).Seconds())
+
+	srv, err := serve.New(fp, statuses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,105 @@
+// Fleetplanner: the dispatcher workflow the paper's introduction
+// motivates. Forecast the next maintenance of every old vehicle with the
+// per-vehicle models of §4.3, then pack the forecasts into a workshop
+// schedule under daily capacity constraints (the §6 scheduling
+// extension).
+//
+// Run with: go run ./examples/fleetplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/sched"
+	"repro/internal/telematics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := telematics.DefaultFleetConfig()
+	cfg.Vehicles = 18
+	cfg.Days = 1400
+	fleet, err := telematics.GenerateFleet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pcfg := core.DefaultPredictorConfig()
+	pcfg.Window = 6
+	predictor, err := core.NewFleetPredictor(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lastStart = fleet.Vehicles[0].Start
+	for _, v := range fleet.Vehicles {
+		prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, cfg.Allowance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := predictor.AddVehicle(prep.Series, prep.Start); err != nil {
+			log.Fatal(err)
+		}
+	}
+	statuses, err := predictor.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-vehicle model selection (validation EMRE on the last 29 days):")
+	for _, st := range statuses {
+		val := "-"
+		if !math.IsNaN(st.ValidationMRE) {
+			val = fmt.Sprintf("%.2f d", st.ValidationMRE)
+		}
+		fmt.Printf("  %s: %-4s (%s)\n", st.ID, st.Algorithm, val)
+	}
+
+	forecasts, err := predictor.PredictAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Turn forecasts into maintenance requests. Forecast uncertainty is
+	// taken from each vehicle's validation error: vehicles with noisier
+	// models get wider anticipation windows.
+	horizonStart := lastStart.AddDate(0, 0, cfg.Days)
+	var requests []sched.Request
+	for _, fc := range forecasts {
+		var unc int
+		for _, st := range statuses {
+			if st.ID == fc.VehicleID && !math.IsNaN(st.ValidationMRE) {
+				unc = int(math.Ceil(st.ValidationMRE))
+			}
+		}
+		requests = append(requests, sched.Request{
+			VehicleID:   fc.VehicleID,
+			Due:         fc.DueDate,
+			Uncertainty: unc,
+		})
+	}
+
+	plan, err := sched.Schedule(requests, sched.Config{
+		Capacity: 2, // two workshop bays
+		Start:    horizonStart,
+		Horizon:  240,
+		MaxLead:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nworkshop plan (2 bays/day):")
+	for _, a := range plan.Assignments {
+		fmt.Printf("  %s  %s  (%d days early)\n", a.Day.Format("2006-01-02"), a.VehicleID, a.LeadDays)
+	}
+	for _, id := range plan.Unschedulable {
+		fmt.Printf("  UNSCHEDULABLE: %s (outside horizon or no capacity)\n", id)
+	}
+	n, lead, peak := plan.Utilization()
+	fmt.Printf("\nscheduled %d/%d vehicles, mean anticipation %.1f days, peak daily load %d\n",
+		n, len(requests), lead, peak)
+}

@@ -1,0 +1,204 @@
+// Package anomaly implements component-malfunction detection over the
+// controller's summary reports — the paper's introduction lists
+// "identify[ing] malfunctioning of specific vehicle components" as the
+// third CAN-data analysis the platform supports (refs [6, 15]).
+//
+// Two detectors are provided: a hard physical-limit detector for
+// out-of-range signal excursions (oil pressure, coolant temperature),
+// and a robust rolling z-score detector for drifts that stay within
+// physical limits but depart from the vehicle's own recent behaviour.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/telematics"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+// Detector finding kinds.
+const (
+	// OilPressureLow flags minimum oil pressure under the hard limit.
+	OilPressureLow Kind = "oil-pressure-low"
+	// CoolantOverheat flags maximum coolant temperature over the limit.
+	CoolantOverheat Kind = "coolant-overheat"
+	// SignalDrift flags a robust z-score excursion of a signal.
+	SignalDrift Kind = "signal-drift"
+)
+
+// Finding is one detected anomaly.
+type Finding struct {
+	VehicleID string
+	Kind      Kind
+	At        time.Time
+	// Signal names the offending signal for drift findings.
+	Signal string
+	// Value is the observed value, Threshold the violated bound.
+	Value, Threshold float64
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s at %s: %s=%.1f (threshold %.1f)",
+		f.VehicleID, f.Kind, f.At.Format("2006-01-02 15:04"), f.Signal, f.Value, f.Threshold)
+}
+
+// Limits are the hard physical bounds of the limit detector.
+type Limits struct {
+	// MinOilPressure is the lowest acceptable working oil pressure
+	// (kPa); reports below it are flagged.
+	MinOilPressure float64
+	// MaxCoolantTemp is the highest acceptable coolant temperature
+	// (°C); reports above it are flagged.
+	MaxCoolantTemp float64
+}
+
+// DefaultLimits returns plausible diesel-engine bounds matching the
+// telematics frame generator's nominal operating points.
+func DefaultLimits() Limits {
+	return Limits{MinOilPressure: 150, MaxCoolantTemp: 105}
+}
+
+// CheckLimits scans reports against hard limits. Reports with no
+// working frames (zero counts) are skipped: an idle engine legitimately
+// shows low oil pressure.
+func CheckLimits(reports []telematics.SummaryReport, lim Limits) []Finding {
+	var out []Finding
+	for _, r := range reports {
+		if r.WorkSeconds <= 0 {
+			continue
+		}
+		if r.MinOilPressure < lim.MinOilPressure {
+			out = append(out, Finding{
+				VehicleID: r.VehicleID, Kind: OilPressureLow, At: r.PeriodStart,
+				Signal: "oil_pressure_min", Value: r.MinOilPressure, Threshold: lim.MinOilPressure,
+			})
+		}
+		if r.MaxCoolantTemp > lim.MaxCoolantTemp {
+			out = append(out, Finding{
+				VehicleID: r.VehicleID, Kind: CoolantOverheat, At: r.PeriodStart,
+				Signal: "coolant_temp_max", Value: r.MaxCoolantTemp, Threshold: lim.MaxCoolantTemp,
+			})
+		}
+	}
+	return out
+}
+
+// DriftConfig controls the robust z-score detector.
+type DriftConfig struct {
+	// Window is the number of trailing reports forming the reference
+	// distribution (default 48).
+	Window int
+	// Threshold is the |robust z| limit (default 4).
+	Threshold float64
+	// MinSamples is the minimum reference size before scoring starts
+	// (default Window/2).
+	MinSamples int
+	// MinWorkFraction skips reports whose working share of the period
+	// is below this bound (default 0.9): partially-working periods
+	// (session start/end) legitimately mix idle-state signal levels in
+	// and would pollute both the reference and the findings.
+	MinWorkFraction float64
+}
+
+// DefaultDriftConfig returns the detector defaults.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{Window: 48, Threshold: 4, MinWorkFraction: 0.9}
+}
+
+// ErrNoReports is returned when drift detection runs on empty input.
+var ErrNoReports = errors.New("anomaly: no reports")
+
+// DetectDrift scores each report's working-state signals against a
+// rolling median/MAD estimate of the vehicle's recent behaviour and
+// flags |z| above the threshold. MAD-based z-scores keep a single
+// faulty report from inflating the reference spread.
+func DetectDrift(reports []telematics.SummaryReport, cfg DriftConfig) ([]Finding, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	if cfg.Window <= 2 {
+		cfg.Window = DefaultDriftConfig().Window
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultDriftConfig().Threshold
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = cfg.Window / 2
+	}
+	if cfg.MinWorkFraction <= 0 || cfg.MinWorkFraction > 1 {
+		cfg.MinWorkFraction = DefaultDriftConfig().MinWorkFraction
+	}
+
+	type signal struct {
+		name string
+		get  func(telematics.SummaryReport) float64
+	}
+	signals := []signal{
+		{"avg_engine_speed", func(r telematics.SummaryReport) float64 { return r.AvgEngineSpeed }},
+		{"min_oil_pressure", func(r telematics.SummaryReport) float64 { return r.MinOilPressure }},
+		{"max_coolant_temp", func(r telematics.SummaryReport) float64 { return r.MaxCoolantTemp }},
+	}
+
+	var out []Finding
+	history := make(map[string][]float64, len(signals))
+	for _, r := range reports {
+		period := r.PeriodEnd.Sub(r.PeriodStart).Seconds()
+		if period <= 0 || r.WorkSeconds < cfg.MinWorkFraction*period {
+			continue
+		}
+		for _, sg := range signals {
+			v := sg.get(r)
+			h := history[sg.name]
+			if len(h) >= cfg.MinSamples {
+				med, mad := medianMAD(h)
+				if mad > 0 {
+					z := 0.6745 * (v - med) / mad // 0.6745: MAD→σ for normals
+					if math.Abs(z) > cfg.Threshold {
+						out = append(out, Finding{
+							VehicleID: r.VehicleID, Kind: SignalDrift, At: r.PeriodStart,
+							Signal: sg.name, Value: v, Threshold: cfg.Threshold,
+						})
+						continue // do not poison the reference with the outlier
+					}
+				}
+			}
+			h = append(h, v)
+			if len(h) > cfg.Window {
+				h = h[1:]
+			}
+			history[sg.name] = h
+		}
+	}
+	return out, nil
+}
+
+// medianMAD returns the median and the median absolute deviation.
+func medianMAD(values []float64) (med, mad float64) {
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	med = quantile(sorted)
+	devs := make([]float64, len(sorted))
+	for i, v := range sorted {
+		devs[i] = math.Abs(v - med)
+	}
+	sort.Float64s(devs)
+	return med, quantile(devs)
+}
+
+func quantile(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

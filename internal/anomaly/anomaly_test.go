@@ -1,0 +1,188 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/telematics"
+)
+
+func healthyReport(at time.Time, work float64) telematics.SummaryReport {
+	return telematics.SummaryReport{
+		VehicleID:      "v1",
+		PeriodStart:    at,
+		PeriodEnd:      at.Add(10 * time.Minute),
+		WorkSeconds:    work,
+		AvgEngineSpeed: 1900,
+		MinOilPressure: 350,
+		MaxCoolantTemp: 92,
+	}
+}
+
+var t0 = time.Date(2019, 6, 3, 8, 0, 0, 0, time.UTC)
+
+func TestCheckLimitsFlagsViolations(t *testing.T) {
+	low := healthyReport(t0, 500)
+	low.MinOilPressure = 90
+	hot := healthyReport(t0.Add(10*time.Minute), 500)
+	hot.MaxCoolantTemp = 118
+	ok := healthyReport(t0.Add(20*time.Minute), 500)
+
+	findings := CheckLimits([]telematics.SummaryReport{low, hot, ok}, DefaultLimits())
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if findings[0].Kind != OilPressureLow || findings[1].Kind != CoolantOverheat {
+		t.Fatalf("kinds wrong: %v", findings)
+	}
+	if findings[0].String() == "" {
+		t.Fatal("empty finding string")
+	}
+}
+
+func TestCheckLimitsSkipsIdleReports(t *testing.T) {
+	idle := healthyReport(t0, 0)
+	idle.MinOilPressure = 10 // engine off: low pressure is normal
+	if findings := CheckLimits([]telematics.SummaryReport{idle}, DefaultLimits()); len(findings) != 0 {
+		t.Fatalf("idle report flagged: %v", findings)
+	}
+}
+
+func TestDetectDriftFindsInjectedFault(t *testing.T) {
+	rnd := rng.New(1)
+	var reports []telematics.SummaryReport
+	for i := 0; i < 120; i++ {
+		r := healthyReport(t0.Add(time.Duration(i)*10*time.Minute), 550)
+		r.AvgEngineSpeed += rnd.NormFloat64() * 20
+		r.MinOilPressure += rnd.NormFloat64() * 8
+		r.MaxCoolantTemp += rnd.NormFloat64() * 1.5
+		if i >= 100 {
+			// Slipping oil pressure: still above the hard limit but far
+			// outside the vehicle's own distribution.
+			r.MinOilPressure -= 120
+		}
+		reports = append(reports, r)
+	}
+	if hard := CheckLimits(reports, DefaultLimits()); len(hard) != 0 {
+		t.Fatalf("fault should stay above hard limits, got %v", hard)
+	}
+	findings, err := DetectDrift(reports, DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oil := 0
+	for _, f := range findings {
+		if f.Signal == "min_oil_pressure" {
+			oil++
+			if f.At.Before(t0.Add(100 * 10 * time.Minute)) {
+				t.Fatalf("drift flagged before the fault was injected: %v", f)
+			}
+		}
+	}
+	if oil < 10 {
+		t.Fatalf("only %d oil-pressure drift findings for a 20-report fault", oil)
+	}
+}
+
+func TestDetectDriftQuietOnHealthyData(t *testing.T) {
+	rnd := rng.New(2)
+	var reports []telematics.SummaryReport
+	for i := 0; i < 200; i++ {
+		r := healthyReport(t0.Add(time.Duration(i)*10*time.Minute), 550)
+		r.AvgEngineSpeed += rnd.NormFloat64() * 20
+		r.MinOilPressure += rnd.NormFloat64() * 8
+		r.MaxCoolantTemp += rnd.NormFloat64() * 1.5
+		reports = append(reports, r)
+	}
+	findings, err := DetectDrift(reports, DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaussian noise at threshold 4 robust-z: false positives must be
+	// rare (< 2 % of reports × signals).
+	if len(findings) > 10 {
+		t.Fatalf("%d false positives on healthy data", len(findings))
+	}
+}
+
+func TestDetectDriftOutlierDoesNotPoisonReference(t *testing.T) {
+	rnd := rng.New(3)
+	var reports []telematics.SummaryReport
+	for i := 0; i < 80; i++ {
+		r := healthyReport(t0.Add(time.Duration(i)*10*time.Minute), 550)
+		r.MaxCoolantTemp += rnd.NormFloat64()
+		if i == 40 {
+			r.MaxCoolantTemp = 104.9 // single spike below the hard limit
+		}
+		reports = append(reports, r)
+	}
+	findings, err := DetectDrift(reports, DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spike itself is flagged; subsequent healthy reports are not
+	// (median/MAD absorbs a single excluded outlier).
+	after := 0
+	for _, f := range findings {
+		if f.Signal == "max_coolant_temp" && f.At.After(t0.Add(41*10*time.Minute)) {
+			after++
+		}
+	}
+	if after > 0 {
+		t.Fatalf("%d healthy reports flagged after the spike", after)
+	}
+}
+
+func TestDetectDriftValidation(t *testing.T) {
+	if _, err := DetectDrift(nil, DefaultDriftConfig()); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMedianMAD(t *testing.T) {
+	med, mad := medianMAD([]float64{1, 2, 3, 4, 100})
+	if med != 3 {
+		t.Fatalf("median = %v, want 3", med)
+	}
+	// Deviations: {2, 1, 0, 1, 97} → sorted {0,1,1,2,97} → MAD 1.
+	if mad != 1 {
+		t.Fatalf("MAD = %v, want 1", mad)
+	}
+	med, mad = medianMAD([]float64{1, 3})
+	if med != 2 || mad != 1 {
+		t.Fatalf("even-length median/MAD = %v/%v", med, mad)
+	}
+	if q := quantile(nil); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	if !math.IsNaN(math.NaN()) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestEndToEndWithFrameGenerator(t *testing.T) {
+	// Full acquisition path: generated frames → controller → detector.
+	gen, err := telematics.NewFrameGen("v9", telematics.DefaultFrameGenConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := telematics.NewController("v9", 5*time.Minute, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Session(t0, 30*time.Minute, func(f telematics.Frame) bool {
+		if err := ctrl.Ingest(f); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	reports := ctrl.Flush()
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	if findings := CheckLimits(reports, DefaultLimits()); len(findings) != 0 {
+		t.Fatalf("healthy generated session flagged: %v", findings)
+	}
+}

@@ -1,0 +1,301 @@
+// Package cluster implements vehicle-usage clustering — the paper's
+// introduction lists "aggregat[ing] vehicles with similar
+// characteristics using clustering techniques" as one of the three
+// CAN-data analyses the platform supports (refs [1, 4]). The deployed
+// system uses it to group vehicles into usage archetypes: cluster
+// centroids summarize the fleet, and cluster membership is an
+// alternative donor-selection rule for the §4.4 similarity models.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// ErrNoData is returned when clustering is asked for zero points.
+var ErrNoData = errors.New("cluster: no data points")
+
+// Result is a fitted k-means clustering.
+type Result struct {
+	// Centroids holds K centroid vectors.
+	Centroids [][]float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the summed squared distance of points to their
+	// centroids (the k-means objective).
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Config controls the k-means run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds the Lloyd iterations (default 100).
+	MaxIter int
+	// Restarts runs k-means++ this many times and keeps the best
+	// inertia (default 4).
+	Restarts int
+	// Seed makes initialization deterministic.
+	Seed uint64
+}
+
+// KMeans clusters points (all of equal width) with k-means++
+// initialization and Lloyd iterations.
+func KMeans(points [][]float64, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.K <= 0 || cfg.K > len(points) {
+		return nil, fmt.Errorf("cluster: K=%d outside [1, %d]", cfg.K, len(points))
+	}
+	width := len(points[0])
+	for i, p := range points {
+		if len(p) != width {
+			return nil, fmt.Errorf("cluster: point %d has width %d, want %d", i, len(p), width)
+		}
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+
+	root := rng.New(cfg.Seed ^ 0xa0761d6478bd642f)
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(points, cfg.K, cfg.MaxIter, root.Split())
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd is one k-means run: k-means++ seeding then Lloyd iterations
+// until assignments stabilize.
+func lloyd(points [][]float64, k, maxIter int, rnd *rng.Source) *Result {
+	n, width := len(points), len(points[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := points[rnd.Intn(n)]
+	centroids = append(centroids, clone(first))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			d2[i] = sqDist(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			sum += d2[i]
+		}
+		if sum == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, clone(points[rnd.Intn(n)]))
+			continue
+		}
+		target := rnd.Float64() * sum
+		idx := 0
+		for i := range d2 {
+			target -= d2[i]
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[idx]))
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					bestD = d
+					bestC = c
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; empty clusters grab the farthest point.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, width)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for j, v := range p {
+				sums[assign[i]][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				centroids[c] = clone(points[farthestPoint(points, centroids, assign)])
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return &Result{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iters}
+}
+
+func farthestPoint(points, centroids [][]float64, assign []int) int {
+	worst, worstD := 0, -1.0
+	for i, p := range points {
+		d := sqDist(p, centroids[assign[i]])
+		if d > worstD {
+			worstD = d
+			worst = i
+		}
+	}
+	return worst
+}
+
+func clone(p []float64) []float64 {
+	c := make([]float64, len(p))
+	copy(c, p)
+	return c
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [−1, 1]; higher is better separated. Singleton clusters contribute 0.
+func Silhouette(points [][]float64, assign []int, k int) (float64, error) {
+	if len(points) == 0 || len(points) != len(assign) {
+		return 0, fmt.Errorf("cluster: silhouette over %d points with %d assignments", len(points), len(assign))
+	}
+	if k < 2 {
+		return 0, errors.New("cluster: silhouette requires k >= 2")
+	}
+	var total float64
+	for i, p := range points {
+		// Mean distance to own cluster (a) and nearest other (b).
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(sqDist(p, q))
+			counts[assign[j]]++
+		}
+		own := assign[i]
+		if counts[own] == 0 {
+			continue // singleton: silhouette 0
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(points)), nil
+}
+
+// UsageFeatures reduces a vehicle's utilization series to the profile
+// vector the fleet clustering runs on: mean and std of daily usage,
+// zero-day share, mean active-day usage, weekly concentration (share of
+// usage on the top-2 weekdays), and longest zero run (normalized).
+func UsageFeatures(u timeseries.Series) ([]float64, error) {
+	if len(u) == 0 {
+		return nil, ErrNoData
+	}
+	mean := u.Mean()
+	std := u.Std()
+	zeros, activeSum, activeN := 0, 0.0, 0
+	var weekday [7]float64
+	for t, v := range u {
+		if v == 0 {
+			zeros++
+		} else {
+			activeSum += v
+			activeN++
+		}
+		weekday[t%7] += v
+	}
+	zeroShare := float64(zeros) / float64(len(u))
+	activeMean := 0.0
+	if activeN > 0 {
+		activeMean = activeSum / float64(activeN)
+	}
+	top2 := topTwoShare(weekday[:])
+	longestZero := 0
+	for _, r := range u.ZeroRuns() {
+		if r > longestZero {
+			longestZero = r
+		}
+	}
+	return []float64{
+		mean / 86400,
+		std / 86400,
+		zeroShare,
+		activeMean / 86400,
+		top2,
+		float64(longestZero) / float64(len(u)),
+	}, nil
+}
+
+func topTwoShare(w []float64) float64 {
+	var total, first, second float64
+	for _, v := range w {
+		total += v
+		if v > first {
+			first, second = v, first
+		} else if v > second {
+			second = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return (first + second) / total
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// threeBlobs generates three well-separated Gaussian clusters.
+func threeBlobs(seed uint64, perCluster int) (points [][]float64, truth []int) {
+	rnd := rng.New(seed)
+	centers := [][]float64{{0, 0}, {10, 0}, {5, 12}}
+	for c, center := range centers {
+		for i := 0; i < perCluster; i++ {
+			points = append(points, []float64{
+				center[0] + rnd.NormFloat64()*0.5,
+				center[1] + rnd.NormFloat64()*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	points, truth := threeBlobs(1, 40)
+	res, err := KMeans(points, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster labels are arbitrary; check purity: every true cluster
+	// maps to exactly one predicted label.
+	for c := 0; c < 3; c++ {
+		counts := map[int]int{}
+		for i, tc := range truth {
+			if tc == c {
+				counts[res.Assign[i]]++
+			}
+		}
+		if len(counts) != 1 {
+			t.Fatalf("true cluster %d split across labels %v", c, counts)
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := threeBlobs(2, 30)
+	a, err := KMeans(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different clustering")
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, Config{K: 2}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	points, _ := threeBlobs(3, 5)
+	if _, err := KMeans(points, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := KMeans(points, Config{K: 999}); err == nil {
+		t.Fatal("K > n accepted")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, Config{K: 1}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	points, _ := threeBlobs(4, 10)
+	res, err := KMeans(points, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("K=1 assigned multiple labels")
+		}
+	}
+	// Centroid is the global mean.
+	var mx, my float64
+	for _, p := range points {
+		mx += p[0]
+		my += p[1]
+	}
+	mx /= float64(len(points))
+	my /= float64(len(points))
+	if math.Abs(res.Centroids[0][0]-mx) > 1e-9 || math.Abs(res.Centroids[0][1]-my) > 1e-9 {
+		t.Fatalf("centroid %v, want [%v %v]", res.Centroids[0], mx, my)
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	// More clusters than distinct points: must not loop forever.
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	res, err := KMeans(points, Config{K: 3, Seed: 1, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestInertiaNonIncreasingInK(t *testing.T) {
+	points, _ := threeBlobs(5, 25)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 3, 5} {
+		res, err := KMeans(points, Config{K: k, Seed: 3, Restarts: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.01 {
+			t.Fatalf("inertia rose from %v to %v at K=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	points, truth := threeBlobs(6, 25)
+	good, err := Silhouette(points, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.7 {
+		t.Fatalf("well-separated blobs scored %v", good)
+	}
+	// Random labels score near zero.
+	rnd := rng.New(7)
+	random := make([]int, len(points))
+	for i := range random {
+		random[i] = rnd.Intn(3)
+	}
+	bad, err := Silhouette(points, random, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= good {
+		t.Fatalf("random labels (%v) scored >= true labels (%v)", bad, good)
+	}
+}
+
+func TestSilhouetteValidation(t *testing.T) {
+	if _, err := Silhouette(nil, nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Silhouette([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestUsageFeatures(t *testing.T) {
+	u := timeseries.Series{20000, 20000, 20000, 20000, 20000, 0, 0} // one work week
+	f, err := UsageFeatures(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 6 {
+		t.Fatalf("got %d features", len(f))
+	}
+	if math.Abs(f[2]-2.0/7) > 1e-9 {
+		t.Fatalf("zero share = %v, want 2/7", f[2])
+	}
+	if math.Abs(f[3]-20000.0/86400) > 1e-9 {
+		t.Fatalf("active mean = %v", f[3])
+	}
+	if _, err := UsageFeatures(nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestUsageFeaturesBoundedProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		u := make(timeseries.Series, 30+rnd.Intn(200))
+		for i := range u {
+			if rnd.Bernoulli(0.3) {
+				u[i] = 0
+			} else {
+				u[i] = rnd.Range(0, 86400)
+			}
+		}
+		f, err := UsageFeatures(u)
+		if err != nil {
+			return false
+		}
+		for _, v := range f {
+			if v < 0 || v > 1.0001 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetClusteringPipeline(t *testing.T) {
+	// End-to-end: usage profiles of heavy vs intermittent vehicles
+	// must cluster apart.
+	var points [][]float64
+	rnd := rng.New(11)
+	for i := 0; i < 8; i++ { // busy vehicles
+		u := make(timeseries.Series, 140)
+		for d := range u {
+			if d%7 >= 5 {
+				u[d] = 0
+			} else {
+				u[d] = 30000 + rnd.Range(-2000, 2000)
+			}
+		}
+		f, err := UsageFeatures(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, f)
+	}
+	for i := 0; i < 8; i++ { // idle-heavy vehicles
+		u := make(timeseries.Series, 140)
+		for d := range u {
+			if d%30 < 20 {
+				u[d] = 0
+			} else {
+				u[d] = 15000 + rnd.Range(-2000, 2000)
+			}
+		}
+		f, err := UsageFeatures(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, f)
+	}
+	res, err := KMeans(points, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if res.Assign[i] != res.Assign[0] {
+			t.Fatal("busy vehicles split across clusters")
+		}
+	}
+	for i := 9; i < 16; i++ {
+		if res.Assign[i] != res.Assign[8] {
+			t.Fatal("idle vehicles split across clusters")
+		}
+	}
+	if res.Assign[0] == res.Assign[8] {
+		t.Fatal("busy and idle vehicles merged")
+	}
+}

@@ -1,0 +1,73 @@
+// Package core implements the paper's contribution: the data-driven
+// next-maintenance prediction methodology. It covers the vehicle
+// categorization of §2 (old / semi-new / new), the relational windowed
+// feature representation of §4, the time-reference augmentation, the
+// error functions of §2.1, the baseline of §4.1.1, the per-vehicle
+// methodology for old vehicles (§4.3), and the Unified / Similarity-based
+// strategies for semi-new and new vehicles (§4.4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// Category is the §2 vehicle categorization by available history.
+type Category int
+
+const (
+	// New vehicles have used less than T_v/2 seconds since acquisition
+	// started: not enough data for any per-vehicle statistic.
+	New Category = iota
+	// SemiNew vehicles are still inside their first maintenance cycle
+	// but have completed at least half of it (cumulative usage ≥ T_v/2).
+	SemiNew
+	// Old vehicles have completed at least one full maintenance cycle.
+	Old
+)
+
+// String names the category as in the paper.
+func (c Category) String() string {
+	switch c {
+	case New:
+		return "new"
+	case SemiNew:
+		return "semi-new"
+	case Old:
+		return "old"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categorize classifies a vehicle per §2: old if at least one cycle has
+// completed, semi-new if at least T_v/2 seconds of the first cycle have
+// been used, new otherwise.
+func Categorize(vs *timeseries.VehicleSeries) Category {
+	for _, c := range vs.Cycles {
+		if c.Complete {
+			return Old
+		}
+	}
+	if vs.CumulativeUsage() >= vs.Allowance/2 {
+		return SemiNew
+	}
+	return New
+}
+
+// CategorizeAt classifies the vehicle using only the first `days` days of
+// history, supporting what-if evaluation of the cold-start strategies.
+func CategorizeAt(vs *timeseries.VehicleSeries, days int) (Category, error) {
+	if days < 0 || days > len(vs.U) {
+		return New, fmt.Errorf("core: CategorizeAt day %d outside [0,%d]", days, len(vs.U))
+	}
+	truncated, err := timeseries.Derive(vs.ID, vs.U.Slice(0, days), vs.Allowance)
+	if err != nil {
+		if err == timeseries.ErrEmptySeries {
+			return New, nil
+		}
+		return New, err
+	}
+	return Categorize(truncated), nil
+}

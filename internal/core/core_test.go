@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// syntheticVehicle builds a deterministic vehicle with the given number
+// of days: weekday usage `rate`, weekends off, allowance chosen so a
+// cycle lasts ~cycleDays.
+func syntheticVehicle(t *testing.T, id string, days int, rate float64, cycleDays int) *timeseries.VehicleSeries {
+	t.Helper()
+	u := make(timeseries.Series, days)
+	for i := range u {
+		if i%7 >= 5 { // two days off per week
+			u[i] = 0
+		} else {
+			u[i] = rate
+		}
+	}
+	allowance := rate * 5 / 7 * float64(cycleDays)
+	vs, err := timeseries.Derive(id, u, allowance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestCategorize(t *testing.T) {
+	old := syntheticVehicle(t, "old", 400, 20000, 80)
+	if got := Categorize(old); got != Old {
+		t.Fatalf("old vehicle categorized as %s", got)
+	}
+	// Semi-new: more than half the allowance, no complete cycle.
+	semi := syntheticVehicle(t, "semi", 50, 20000, 80)
+	if got := Categorize(semi); got != SemiNew {
+		t.Fatalf("semi-new vehicle categorized as %s", got)
+	}
+	// New: less than half the allowance used.
+	fresh := syntheticVehicle(t, "new", 20, 20000, 80)
+	if got := Categorize(fresh); got != New {
+		t.Fatalf("new vehicle categorized as %s", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if New.String() != "new" || SemiNew.String() != "semi-new" || Old.String() != "old" {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() == "" {
+		t.Fatal("unknown category has empty name")
+	}
+}
+
+func TestCategorizeAt(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 400, 20000, 80)
+	cat, err := CategorizeAt(vs, 20)
+	if err != nil || cat != New {
+		t.Fatalf("at day 20: %s err=%v", cat, err)
+	}
+	cat, err = CategorizeAt(vs, 60)
+	if err != nil || cat != SemiNew {
+		t.Fatalf("at day 60: %s err=%v", cat, err)
+	}
+	cat, err = CategorizeAt(vs, 200)
+	if err != nil || cat != Old {
+		t.Fatalf("at day 200: %s err=%v", cat, err)
+	}
+	if _, err := CategorizeAt(vs, -1); err == nil {
+		t.Fatal("negative day accepted")
+	}
+	cat, err = CategorizeAt(vs, 0)
+	if err != nil || cat != New {
+		t.Fatalf("zero-history vehicle: %s err=%v", cat, err)
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	names := FeatureNames(2)
+	if len(names) != 3 || names[0] != "L(t)" || names[1] != "U(t-1)" || names[2] != "U(t-2)" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestBuildRecordsLayout(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 200, 20000, 40)
+	recs, err := BuildRecords(vs, FeatureConfig{Window: 3, Normalize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	for _, r := range recs {
+		if r.Day < 3 {
+			t.Fatalf("record at day %d lacks full window", r.Day)
+		}
+		if len(r.X) != 4 {
+			t.Fatalf("feature width %d, want 4", len(r.X))
+		}
+		if r.X[0] != vs.L[r.Day] {
+			t.Fatalf("L feature mismatch at day %d", r.Day)
+		}
+		for k := 1; k <= 3; k++ {
+			if r.X[k] != vs.U[r.Day-k] {
+				t.Fatalf("U(t-%d) mismatch at day %d", k, r.Day)
+			}
+		}
+		if r.Y != vs.D[r.Day] || r.Y < 0 {
+			t.Fatalf("target mismatch at day %d", r.Day)
+		}
+	}
+}
+
+func TestBuildRecordsNormalization(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 100, 20000, 30)
+	recs, err := BuildRecords(vs, FeatureConfig{Window: 1, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.X[0] < 0 || r.X[0] > 1 {
+			t.Fatalf("normalized L = %v outside [0,1]", r.X[0])
+		}
+	}
+}
+
+func TestBuildRecordsRestrict(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 300, 20000, 50)
+	d := DTildeRange(1, 5)
+	recs, err := BuildRecords(vs, FeatureConfig{Window: 0, Restrict: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("restriction removed everything")
+	}
+	for _, r := range recs {
+		if !d[r.Y] {
+			t.Fatalf("record with D=%d escaped restriction", r.Y)
+		}
+	}
+}
+
+func TestBuildRecordsSkipsUnknownTargets(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 100, 20000, 300) // never completes a cycle
+	recs, err := BuildRecords(vs, FeatureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records built from an incomplete cycle", len(recs))
+	}
+}
+
+func TestBuildRecordsRangeValidation(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 100, 20000, 30)
+	if _, err := BuildRecordsRange(vs, -1, 50, FeatureConfig{}); err == nil {
+		t.Fatal("negative from accepted")
+	}
+	if _, err := BuildRecordsRange(vs, 0, 101, FeatureConfig{}); err == nil {
+		t.Fatal("overlong range accepted")
+	}
+	if _, err := BuildRecords(vs, FeatureConfig{Window: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestRecordsToXY(t *testing.T) {
+	recs := []Record{{X: []float64{1, 2}, Y: 3}, {X: []float64{4, 5}, Y: 6}}
+	x, y := RecordsToXY(recs)
+	if len(x) != 2 || y[0] != 3 || y[1] != 6 || x[1][0] != 4 {
+		t.Fatalf("x=%v y=%v", x, y)
+	}
+}
+
+func TestAugmentTimeShift(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 400, 20000, 60)
+	cfg := FeatureConfig{Window: 2}
+	base, err := BuildRecordsRange(vs, 0, 300, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := AugmentTimeShift(vs, 0, 300, cfg, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aug) == 0 {
+		t.Fatal("augmentation produced nothing")
+	}
+	// Shifted cycle boundaries must produce records that differ from
+	// the originals at the same (re-anchored) day.
+	baseline := map[int]int{}
+	for _, r := range base {
+		baseline[r.Day] = r.Y
+	}
+	diff := 0
+	for _, r := range aug {
+		if want, ok := baseline[r.Day]; ok && want != r.Y {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("augmented records identical to originals: time shift had no effect")
+	}
+}
+
+func TestAugmentValidation(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 100, 20000, 30)
+	if _, err := AugmentTimeShift(vs, 0, 100, FeatureConfig{}, -1, rng.New(1)); err == nil {
+		t.Fatal("negative shifts accepted")
+	}
+	if _, err := AugmentTimeShift(vs, 50, 10, FeatureConfig{}, 1, rng.New(1)); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := AugmentTimeShift(vs, 0, 3, FeatureConfig{Window: 5}, 1, rng.New(1)); err == nil {
+		t.Fatal("region shorter than window accepted")
+	}
+}
+
+func TestBaselineEquation(t *testing.T) {
+	bl, err := NewBaseline(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 6: D = L / AVG.
+	if got := bl.Predict([]float64{50000}); got != 5 {
+		t.Fatalf("D_BL = %v, want 5", got)
+	}
+	// With normalized features, the scale restores L in seconds.
+	bl2, _ := NewBaseline(10000, 2_000_000)
+	if got := bl2.Predict([]float64{0.025}); got != 5 {
+		t.Fatalf("scaled D_BL = %v, want 5", got)
+	}
+	if err := bl.Fit(nil, nil); err != nil {
+		t.Fatalf("Fit must be a no-op, got %v", err)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	if _, err := NewBaseline(0, 1); err == nil {
+		t.Fatal("zero average accepted")
+	}
+	if _, err := NewBaseline(1, 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestBaselineFromSeries(t *testing.T) {
+	vs := syntheticVehicle(t, "v", 70, 14000, 30)
+	bl, err := BaselineFromSeries(vs, 0, 70, FeatureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weekday rate 14000 with 2/7 days off → mean 10000.
+	if math.Abs(bl.Average()-10000) > 1 {
+		t.Fatalf("AVG = %v, want 10000", bl.Average())
+	}
+}
+
+func TestErrorReportMetrics(t *testing.T) {
+	r := &ErrorReport{Predictions: []Prediction{
+		{Actual: 10, Predicted: 8},  // error +2
+		{Actual: 5, Predicted: 9},   // error −4
+		{Actual: 29, Predicted: 29}, // error 0
+		{Actual: 100, Predicted: 90},
+	}}
+	if got := r.Global(); got != (2.0+4+0+10)/4 {
+		t.Fatalf("Global = %v", got)
+	}
+	if got := r.GlobalSigned(); got != (2.0-4+0+10)/4 {
+		t.Fatalf("GlobalSigned = %v", got)
+	}
+	d := DefaultDTilde()
+	if got := r.MRE(d); got != (2.0+4+0)/3 {
+		t.Fatalf("MRE = %v", got)
+	}
+	if got := r.MRECount(d); got != 3 {
+		t.Fatalf("MRECount = %d", got)
+	}
+	if !math.IsNaN(r.MRE(DTilde{500: true})) {
+		t.Fatal("MRE over absent days not NaN")
+	}
+	empty := &ErrorReport{}
+	if !math.IsNaN(empty.Global()) || !math.IsNaN(empty.GlobalSigned()) {
+		t.Fatal("empty report aggregates not NaN")
+	}
+}
+
+func TestDTildeRange(t *testing.T) {
+	d := DTildeRange(1, 29)
+	if len(d) != 29 || !d[1] || !d[29] || d[0] || d[30] {
+		t.Fatalf("DTildeRange wrong: %v", d)
+	}
+}
+
+func TestMeanAggregations(t *testing.T) {
+	r1 := &ErrorReport{Predictions: []Prediction{{Actual: 5, Predicted: 3}}}  // MRE 2
+	r2 := &ErrorReport{Predictions: []Prediction{{Actual: 10, Predicted: 6}}} // MRE 4
+	rEmpty := &ErrorReport{}
+	d := DefaultDTilde()
+	if got := MeanMRE([]*ErrorReport{r1, r2, rEmpty}, d); got != 3 {
+		t.Fatalf("MeanMRE = %v, want 3 (empty report skipped)", got)
+	}
+	if got := MeanGlobal([]*ErrorReport{r1, r2}); got != 3 {
+		t.Fatalf("MeanGlobal = %v", got)
+	}
+	if !math.IsNaN(MeanMRE(nil, d)) {
+		t.Fatal("MeanMRE over nothing not NaN")
+	}
+}
+
+func TestPredictionErrorSign(t *testing.T) {
+	// Eq. 2: E = D − D̂; overestimating D̂ gives a negative error.
+	p := Prediction{Actual: 10, Predicted: 15}
+	if p.Error() != -5 {
+		t.Fatalf("Error = %v, want -5", p.Error())
+	}
+}
+
+func TestMREInvariantUnderPredictionNoise(t *testing.T) {
+	// Property: MRE only aggregates |error| over D̃ days; predictions on
+	// other days are irrelevant.
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		d := DTildeRange(1, 5)
+		base := &ErrorReport{}
+		noisy := &ErrorReport{}
+		for i := 0; i < 50; i++ {
+			actual := rnd.Intn(40)
+			pred := float64(actual) + rnd.Range(-3, 3)
+			base.Predictions = append(base.Predictions, Prediction{Actual: actual, Predicted: pred})
+			p2 := pred
+			if !d[actual] {
+				p2 += rnd.Range(-100, 100) // perturb outside D̃ only
+			}
+			noisy.Predictions = append(noisy.Predictions, Prediction{Actual: actual, Predicted: p2})
+		}
+		a, b := base.MRE(d), noisy.MRE(d)
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-12
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

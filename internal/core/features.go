@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// FeatureConfig controls the §4 relational representation: "each record
+// corresponds to a different day t and consists of ... the values U_v(x)
+// [t−W ≤ x ≤ t−1] ... the current time left until the next maintenance
+// L_v(t), and the target variable D_v(t)".
+type FeatureConfig struct {
+	// Window is W, the number of past daily-utilization values included
+	// as features. W = 0 is the univariate model of §4.1.2 (only L(t));
+	// W > 0 is the multivariate model of §4.1.3.
+	Window int
+	// Normalize divides L and U features by the allowance T_v, mapping
+	// them into a uniform [0, ~1] range (paper §3, step ii). The target
+	// stays in days.
+	Normalize bool
+	// Restrict, when non-nil, keeps only records whose target lies in
+	// the given D̃ set. Table 1 uses this to train "in the last 29 days
+	// before maintenance".
+	Restrict DTilde
+}
+
+// Record is one training/evaluation row of the relational dataset.
+type Record struct {
+	// Day is the absolute day index t the record was built from. For
+	// augmented (time-shifted) records this is the day in the shifted
+	// frame's original coordinates.
+	Day int
+	// X is the feature vector: [L(t), U(t−1), …, U(t−W)].
+	X []float64
+	// Y is the target D_v(t) in days.
+	Y int
+}
+
+// FeatureNames labels the columns produced for a window of size w.
+func FeatureNames(w int) []string {
+	names := make([]string, 0, w+1)
+	names = append(names, "L(t)")
+	for k := 1; k <= w; k++ {
+		names = append(names, fmt.Sprintf("U(t-%d)", k))
+	}
+	return names
+}
+
+// BuildRecords materializes the relational dataset for the whole series.
+func BuildRecords(vs *timeseries.VehicleSeries, cfg FeatureConfig) ([]Record, error) {
+	return BuildRecordsRange(vs, 0, len(vs.U), cfg)
+}
+
+// BuildRecordsRange materializes records for days t in [from, to). Days
+// are skipped when the target is unknown (trailing incomplete cycle),
+// when fewer than W past days exist, or when Restrict excludes them.
+func BuildRecordsRange(vs *timeseries.VehicleSeries, from, to int, cfg FeatureConfig) ([]Record, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("core: negative window %d", cfg.Window)
+	}
+	if from < 0 || to > len(vs.U) || from > to {
+		return nil, fmt.Errorf("core: record range [%d,%d) outside series of %d days", from, to, len(vs.U))
+	}
+	scale := 1.0
+	if cfg.Normalize {
+		scale = vs.Allowance
+	}
+	var out []Record
+	for t := from; t < to; t++ {
+		if t < cfg.Window {
+			continue
+		}
+		d := vs.D[t]
+		if d < 0 {
+			continue
+		}
+		if cfg.Restrict != nil && !cfg.Restrict[d] {
+			continue
+		}
+		x := make([]float64, cfg.Window+1)
+		x[0] = vs.L[t] / scale
+		for k := 1; k <= cfg.Window; k++ {
+			x[k] = vs.U[t-k] / scale
+		}
+		out = append(out, Record{Day: t, X: x, Y: d})
+	}
+	return out, nil
+}
+
+// RecordsToXY converts records into the design-matrix form consumed by
+// ml.Regressor implementations.
+func RecordsToXY(recs []Record) (x [][]float64, y []float64) {
+	x = make([][]float64, len(recs))
+	y = make([]float64, len(recs))
+	for i, r := range recs {
+		x[i] = r.X
+		y[i] = float64(r.Y)
+	}
+	return x, y
+}

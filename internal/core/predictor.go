@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/timeseries"
+)
+
+// PredictorConfig configures the deployed-system facade.
+type PredictorConfig struct {
+	// Window is W for the windowed features.
+	Window int
+	// Normalize scales features by T_v.
+	Normalize bool
+	// Candidates are the algorithms competed per old vehicle; the one
+	// minimizing validation E_MRE(D̃) wins (§4.3: "Among the trained
+	// models, we select those that minimizes the mean residual error").
+	Candidates []Algorithm
+	// ColdStartAlgorithm is used for unified/similarity models.
+	ColdStartAlgorithm Algorithm
+	// ValidationFraction is the tail share of each old vehicle's history
+	// held out for model selection.
+	ValidationFraction float64
+	// Eval is D̃ for selection (nil → {1..29}).
+	Eval DTilde
+	// Seed drives model randomness.
+	Seed uint64
+}
+
+// DefaultPredictorConfig mirrors the paper's deployed setup: all trained
+// algorithms competed, RF-style defaults, W = 6.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		Window:             6,
+		Normalize:          true,
+		Candidates:         TrainedAlgorithms(),
+		ColdStartAlgorithm: XGB,
+		ValidationFraction: 0.3,
+		Seed:               1,
+	}
+}
+
+// VehicleStatus is the per-vehicle outcome of FleetPredictor.Train.
+type VehicleStatus struct {
+	ID       string
+	Category Category
+	// Strategy is "per-vehicle", "similarity" or "unified".
+	Strategy string
+	// Algorithm is the winning/selected algorithm.
+	Algorithm Algorithm
+	// ValidationMRE is the selection score for old vehicles (NaN for
+	// cold-start strategies).
+	ValidationMRE float64
+	// Donor is the similarity donor vehicle (similarity strategy only).
+	Donor string
+}
+
+// FleetPredictor is the deployed-system facade: it ingests prepared
+// vehicles, categorizes them, trains the category-appropriate model
+// (§4.3/§4.4), and serves next-maintenance predictions.
+type FleetPredictor struct {
+	cfg      PredictorConfig
+	vehicles map[string]*timeseries.VehicleSeries
+	starts   map[string]time.Time
+	models   map[string]ml.Regressor
+	status   map[string]VehicleStatus
+	trained  bool
+}
+
+// NewFleetPredictor returns an empty predictor.
+func NewFleetPredictor(cfg PredictorConfig) (*FleetPredictor, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("core: negative window %d", cfg.Window)
+	}
+	if len(cfg.Candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate algorithms configured")
+	}
+	if cfg.ValidationFraction <= 0 || cfg.ValidationFraction >= 1 {
+		return nil, fmt.Errorf("core: validation fraction %.3f outside (0,1)", cfg.ValidationFraction)
+	}
+	if cfg.Eval == nil {
+		cfg.Eval = DefaultDTilde()
+	}
+	return &FleetPredictor{
+		cfg:      cfg,
+		vehicles: make(map[string]*timeseries.VehicleSeries),
+		starts:   make(map[string]time.Time),
+		models:   make(map[string]ml.Regressor),
+		status:   make(map[string]VehicleStatus),
+	}, nil
+}
+
+// AddVehicle registers a vehicle's derived series and acquisition start.
+func (fp *FleetPredictor) AddVehicle(vs *timeseries.VehicleSeries, start time.Time) error {
+	if vs == nil || vs.ID == "" {
+		return fmt.Errorf("core: AddVehicle with nil or unidentified series")
+	}
+	if _, dup := fp.vehicles[vs.ID]; dup {
+		return fmt.Errorf("core: vehicle %s already registered", vs.ID)
+	}
+	fp.vehicles[vs.ID] = vs
+	fp.starts[vs.ID] = start
+	fp.trained = false
+	return nil
+}
+
+// VehicleIDs lists registered vehicles, sorted.
+func (fp *FleetPredictor) VehicleIDs() []string {
+	ids := make([]string, 0, len(fp.vehicles))
+	for id := range fp.vehicles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Train fits one model per vehicle according to its category and returns
+// the per-vehicle statuses in ID order.
+func (fp *FleetPredictor) Train() ([]VehicleStatus, error) {
+	if len(fp.vehicles) == 0 {
+		return nil, fmt.Errorf("core: Train with no vehicles registered")
+	}
+	olds := fp.oldVehicles()
+
+	var out []VehicleStatus
+	for _, id := range fp.VehicleIDs() {
+		vs := fp.vehicles[id]
+		cat := Categorize(vs)
+		var st VehicleStatus
+		var err error
+		switch cat {
+		case Old:
+			st, err = fp.trainOld(vs)
+		case SemiNew:
+			st, err = fp.trainSemiNew(vs, olds)
+		case New:
+			st, err = fp.trainNew(vs, olds)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: training vehicle %s (%s): %w", id, cat, err)
+		}
+		st.ID = id
+		st.Category = cat
+		fp.status[id] = st
+		out = append(out, st)
+	}
+	fp.trained = true
+	return out, nil
+}
+
+func (fp *FleetPredictor) oldVehicles() []*timeseries.VehicleSeries {
+	var olds []*timeseries.VehicleSeries
+	for _, id := range fp.VehicleIDs() {
+		vs := fp.vehicles[id]
+		if Categorize(vs) == Old {
+			olds = append(olds, vs)
+		}
+	}
+	return olds
+}
+
+// trainOld competes the candidate algorithms on a validation tail and
+// refits the winner on the vehicle's full history.
+func (fp *FleetPredictor) trainOld(vs *timeseries.VehicleSeries) (VehicleStatus, error) {
+	cfg := NewOldConfig()
+	cfg.Window = fp.cfg.Window
+	cfg.Normalize = fp.cfg.Normalize
+	cfg.TrainFraction = 1 - fp.cfg.ValidationFraction
+	cfg.Eval = fp.cfg.Eval
+	cfg.RestrictTrain = true // Table 1: restriction is strictly better
+	cfg.Seed = fp.cfg.Seed
+
+	bestScore := math.Inf(1)
+	var bestAlg Algorithm
+	for _, alg := range fp.cfg.Candidates {
+		res, err := EvaluateOld(vs, alg, cfg)
+		if err != nil {
+			return VehicleStatus{}, err
+		}
+		score := res.Report.MRE(fp.cfg.Eval)
+		if math.IsNaN(score) {
+			score = res.Report.Global()
+		}
+		if score < bestScore {
+			bestScore = score
+			bestAlg = alg
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return VehicleStatus{}, fmt.Errorf("no candidate algorithm produced a score")
+	}
+
+	// Refit the winner on all available records (restricted region).
+	fcfg := FeatureConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Restrict: fp.cfg.Eval}
+	recs, err := BuildRecords(vs, fcfg)
+	if err != nil {
+		return VehicleStatus{}, err
+	}
+	if len(recs) == 0 {
+		// Degenerate restriction; fall back to all known-target rows.
+		fcfg.Restrict = nil
+		if recs, err = BuildRecords(vs, fcfg); err != nil {
+			return VehicleStatus{}, err
+		}
+	}
+	model, err := Build(bestAlg, DefaultParams(bestAlg), fp.cfg.Seed)
+	if err != nil {
+		return VehicleStatus{}, err
+	}
+	x, y := RecordsToXY(recs)
+	if err := model.Fit(x, y); err != nil {
+		return VehicleStatus{}, err
+	}
+	fp.models[vs.ID] = model
+	return VehicleStatus{Strategy: "per-vehicle", Algorithm: bestAlg, ValidationMRE: bestScore}, nil
+}
+
+func (fp *FleetPredictor) trainSemiNew(vs *timeseries.VehicleSeries, olds []*timeseries.VehicleSeries) (VehicleStatus, error) {
+	cs := ColdStartConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Seed: fp.cfg.Seed}
+	if len(olds) > 0 {
+		model, donor, err := TrainSimilarityForLive(vs, olds, fp.cfg.ColdStartAlgorithm, cs)
+		if err == nil {
+			fp.models[vs.ID] = model
+			return VehicleStatus{Strategy: "similarity", Algorithm: fp.cfg.ColdStartAlgorithm, ValidationMRE: math.NaN(), Donor: donor}, nil
+		}
+		// Fall through to unified on similarity failure.
+	}
+	return fp.trainNew(vs, olds)
+}
+
+func (fp *FleetPredictor) trainNew(vs *timeseries.VehicleSeries, olds []*timeseries.VehicleSeries) (VehicleStatus, error) {
+	if len(olds) == 0 {
+		return VehicleStatus{}, fmt.Errorf("no old vehicles available to train a unified model")
+	}
+	cs := ColdStartConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Seed: fp.cfg.Seed}
+	model, err := TrainUnified(olds, fp.cfg.ColdStartAlgorithm, cs)
+	if err != nil {
+		return VehicleStatus{}, err
+	}
+	fp.models[vs.ID] = model
+	return VehicleStatus{Strategy: "unified", Algorithm: fp.cfg.ColdStartAlgorithm, ValidationMRE: math.NaN()}, nil
+}
+
+// TrainSimilarityForLive is TrainSimilarity for a *live* semi-new vehicle
+// (one still inside its incomplete first cycle): similarity is computed
+// on the vehicle's available history instead of the first half of a
+// completed cycle.
+func TrainSimilarityForLive(test *timeseries.VehicleSeries, train []*timeseries.VehicleSeries, alg Algorithm, cfg ColdStartConfig) (ml.Regressor, string, error) {
+	if len(train) == 0 {
+		return nil, "", fmt.Errorf("core: no candidate donors")
+	}
+	var best *timeseries.VehicleSeries
+	bestDist := math.Inf(1)
+	for _, cand := range train {
+		candHalf, err := halfCycleDay(cand)
+		if err != nil {
+			continue
+		}
+		d, err := timeseries.AvgDistance(test.U, cand.U.Slice(0, candHalf))
+		if err != nil {
+			continue
+		}
+		if d < bestDist {
+			bestDist = d
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("core: no donor with a usable first cycle")
+	}
+	recs, err := FirstCycleRecords(best, cfg.featureConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	params := cfg.Params
+	if params == nil {
+		params = DefaultParams(alg)
+	}
+	model, err := Build(alg, params, cfg.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	x, y := RecordsToXY(recs)
+	if err := model.Fit(x, y); err != nil {
+		return nil, "", err
+	}
+	return model, best.ID, nil
+}
+
+// Forecast is a next-maintenance prediction for one vehicle.
+type Forecast struct {
+	VehicleID string
+	// AsOfDay is the last day of available history the forecast uses.
+	AsOfDay int
+	// DaysLeft is the predicted number of days until maintenance is due.
+	DaysLeft float64
+	// DueDate is the calendar date the prediction maps to.
+	DueDate time.Time
+	// Category and Strategy echo how the vehicle was modeled.
+	Category Category
+	Strategy string
+}
+
+// Predict forecasts the next maintenance for one vehicle from the end of
+// its registered history.
+func (fp *FleetPredictor) Predict(vehicleID string) (Forecast, error) {
+	if !fp.trained {
+		return Forecast{}, fmt.Errorf("core: Predict before Train")
+	}
+	vs, ok := fp.vehicles[vehicleID]
+	if !ok {
+		return Forecast{}, fmt.Errorf("core: unknown vehicle %q", vehicleID)
+	}
+	model := fp.models[vehicleID]
+	t := len(vs.U) - 1
+	if t < fp.cfg.Window {
+		return Forecast{}, fmt.Errorf("core: vehicle %s has %d days of history, need > window %d", vehicleID, t+1, fp.cfg.Window)
+	}
+	scale := 1.0
+	if fp.cfg.Normalize {
+		scale = vs.Allowance
+	}
+	x := make([]float64, fp.cfg.Window+1)
+	// L at the *end* of day t (usage through t consumed) so the forecast
+	// starts from tomorrow.
+	lEnd := vs.L[t] - vs.U[t]
+	if lEnd < 0 {
+		lEnd = 0
+	}
+	x[0] = lEnd / scale
+	for k := 1; k <= fp.cfg.Window; k++ {
+		x[k] = vs.U[t+1-k] / scale
+	}
+	days := model.Predict(x)
+	if days < 0 {
+		days = 0
+	}
+	st := fp.status[vehicleID]
+	start := fp.starts[vehicleID]
+	return Forecast{
+		VehicleID: vehicleID,
+		AsOfDay:   t,
+		DaysLeft:  days,
+		DueDate:   start.AddDate(0, 0, t+int(math.Round(days))),
+		Category:  st.Category,
+		Strategy:  st.Strategy,
+	}, nil
+}
+
+// PredictAll forecasts every registered vehicle, in ID order.
+func (fp *FleetPredictor) PredictAll() ([]Forecast, error) {
+	out := make([]Forecast, 0, len(fp.vehicles))
+	for _, id := range fp.VehicleIDs() {
+		f, err := fp.Predict(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

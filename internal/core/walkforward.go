@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// WalkForwardConfig controls rolling-origin evaluation: instead of one
+// 70/30 split, the model is refit at every fold origin and evaluated on
+// the following block — the deployment-faithful protocol for the
+// production system, where models are retrained as new maintenance
+// cycles complete.
+type WalkForwardConfig struct {
+	// Window, RestrictTrain, Eval, Normalize, Seed mirror OldConfig.
+	Window        int
+	RestrictTrain bool
+	Eval          DTilde
+	Normalize     bool
+	Seed          uint64
+	// InitialTrainDays is the minimum history before the first fold.
+	InitialTrainDays int
+	// StepDays advances the origin between folds (also the evaluation
+	// block length).
+	StepDays int
+}
+
+// NewWalkForwardConfig returns deployment-style defaults: one year of
+// warm-up, quarterly refits.
+func NewWalkForwardConfig() WalkForwardConfig {
+	return WalkForwardConfig{
+		Window:           6,
+		RestrictTrain:    true,
+		Eval:             DefaultDTilde(),
+		Normalize:        true,
+		Seed:             1,
+		InitialTrainDays: 365,
+		StepDays:         90,
+	}
+}
+
+// WalkForwardResult aggregates all folds of one vehicle.
+type WalkForwardResult struct {
+	// Report pools every fold's test predictions.
+	Report *ErrorReport
+	// Folds is the number of refits performed.
+	Folds int
+}
+
+// EvaluateWalkForward runs rolling-origin evaluation of one algorithm
+// on one old vehicle: for each origin o = initial, initial+step, …, fit
+// on days [0, o) and score days [o, o+step).
+func EvaluateWalkForward(vs *timeseries.VehicleSeries, alg Algorithm, cfg WalkForwardConfig) (*WalkForwardResult, error) {
+	if cfg.InitialTrainDays <= cfg.Window {
+		return nil, fmt.Errorf("core: initial train window %d must exceed feature window %d", cfg.InitialTrainDays, cfg.Window)
+	}
+	if cfg.StepDays <= 0 {
+		return nil, fmt.Errorf("core: non-positive step %d", cfg.StepDays)
+	}
+	if got := Categorize(vs); got != Old {
+		return nil, fmt.Errorf("core: vehicle %s is %s, not old", vs.ID, got)
+	}
+	eval := cfg.Eval
+	if eval == nil {
+		eval = DefaultDTilde()
+	}
+	n := len(vs.U)
+	if cfg.InitialTrainDays >= n {
+		return nil, fmt.Errorf("core: vehicle %s has %d days, need more than %d", vs.ID, n, cfg.InitialTrainDays)
+	}
+
+	fcfg := FeatureConfig{Window: cfg.Window, Normalize: cfg.Normalize}
+	trainCfg := fcfg
+	if cfg.RestrictTrain {
+		trainCfg.Restrict = eval
+	}
+
+	result := &WalkForwardResult{Report: &ErrorReport{VehicleID: vs.ID, Model: string(alg) + "_wf"}}
+	for origin := cfg.InitialTrainDays; origin < n; origin += cfg.StepDays {
+		trainRecs, err := BuildRecordsRange(vs, 0, origin, trainCfg)
+		if err != nil {
+			return nil, err
+		}
+		end := origin + cfg.StepDays
+		if end > n {
+			end = n
+		}
+		testRecs, err := BuildRecordsRange(vs, origin, end, fcfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(trainRecs) == 0 || len(testRecs) == 0 {
+			continue // fold without usable data (e.g. all targets unknown)
+		}
+
+		var model interface{ Predict([]float64) float64 }
+		switch alg {
+		case BL:
+			bl, err := BaselineFromSeries(vs, 0, origin, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			model = bl
+		default:
+			m, err := Build(alg, DefaultParams(alg), cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			x, y := RecordsToXY(trainRecs)
+			if err := m.Fit(x, y); err != nil {
+				return nil, fmt.Errorf("core: walk-forward fold at day %d: %w", origin, err)
+			}
+			model = m
+		}
+		for _, r := range testRecs {
+			result.Report.Predictions = append(result.Report.Predictions, Prediction{
+				Day:       r.Day,
+				Actual:    r.Y,
+				Predicted: model.Predict(r.X),
+			})
+		}
+		result.Folds++
+	}
+	if result.Folds == 0 {
+		return nil, fmt.Errorf("core: vehicle %s produced no walk-forward fold", vs.ID)
+	}
+	return result, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWalkForwardEndToEnd(t *testing.T) {
+	vs := noisyVehicle(t, "v", 900, 21)
+	cfg := NewWalkForwardConfig()
+	cfg.Window = 2
+	cfg.InitialTrainDays = 300
+	cfg.StepDays = 120
+	for _, alg := range []Algorithm{BL, RF} {
+		res, err := EvaluateWalkForward(vs, alg, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// 900 days, origin 300, step 120 → folds at 300..780 = 5 folds.
+		if res.Folds != 5 {
+			t.Fatalf("%s: %d folds, want 5", alg, res.Folds)
+		}
+		if len(res.Report.Predictions) == 0 {
+			t.Fatalf("%s: no predictions", alg)
+		}
+		// Every prediction must postdate the first origin (no
+		// training-period leakage into evaluation).
+		for _, p := range res.Report.Predictions {
+			if p.Day < cfg.InitialTrainDays {
+				t.Fatalf("%s: prediction at pre-origin day %d", alg, p.Day)
+			}
+		}
+		if mre := res.Report.MRE(DefaultDTilde()); math.IsNaN(mre) || mre > 60 {
+			t.Fatalf("%s: implausible walk-forward MRE %v", alg, mre)
+		}
+	}
+}
+
+func TestWalkForwardComparableToHoldout(t *testing.T) {
+	// Walk-forward evaluation, which always trains on strictly more
+	// recent data, must be in the same error regime as the single
+	// 70/30 holdout (sanity: no leakage, no gross bug).
+	vs := noisyVehicle(t, "v", 900, 22)
+	wf, err := EvaluateWalkForward(vs, RF, NewWalkForwardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := NewOldConfig()
+	oc.Window = 6
+	oc.RestrictTrain = true
+	ho, err := EvaluateOld(vs, RF, oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultDTilde()
+	a, b := wf.Report.MRE(d), ho.Report.MRE(d)
+	if math.IsNaN(a) || math.IsNaN(b) {
+		t.Skip("no qualifying days on this synthetic vehicle")
+	}
+	if a > 4*b+5 || b > 4*a+5 {
+		t.Fatalf("walk-forward MRE %v and holdout MRE %v wildly inconsistent", a, b)
+	}
+}
+
+func TestWalkForwardValidation(t *testing.T) {
+	vs := noisyVehicle(t, "v", 500, 23)
+	cfg := NewWalkForwardConfig()
+	cfg.InitialTrainDays = 3
+	cfg.Window = 6
+	if _, err := EvaluateWalkForward(vs, RF, cfg); err == nil {
+		t.Fatal("initial window below feature window accepted")
+	}
+	cfg = NewWalkForwardConfig()
+	cfg.StepDays = 0
+	if _, err := EvaluateWalkForward(vs, RF, cfg); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	cfg = NewWalkForwardConfig()
+	cfg.InitialTrainDays = 10_000
+	if _, err := EvaluateWalkForward(vs, RF, cfg); err == nil {
+		t.Fatal("origin beyond series accepted")
+	}
+	short := syntheticVehicle(t, "s", 30, 20000, 300)
+	if _, err := EvaluateWalkForward(short, RF, NewWalkForwardConfig()); err == nil {
+		t.Fatal("non-old vehicle accepted")
+	}
+}

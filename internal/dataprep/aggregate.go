@@ -1,0 +1,81 @@
+package dataprep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Observation is one timestamped utilization measurement, the granularity
+// at which the cloud collector stores controller reports.
+type Observation struct {
+	At      time.Time
+	Seconds float64
+}
+
+// AggregateDaily reduces timestamped observations to the contiguous daily
+// series between the first and last observed calendar days (UTC); days
+// without observations are zero. This is paper §3, step iii: aggregation
+// "at the desired time granularity", which for this study is daily.
+func AggregateDaily(obs []Observation) (start time.Time, u timeseries.Series, err error) {
+	if len(obs) == 0 {
+		return time.Time{}, nil, fmt.Errorf("dataprep: AggregateDaily on empty input")
+	}
+	sorted := make([]Observation, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+
+	day := func(t time.Time) time.Time {
+		t = t.UTC()
+		return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	}
+	first := day(sorted[0].At)
+	last := day(sorted[len(sorted)-1].At)
+	n := int(last.Sub(first).Hours()/24) + 1
+	u = make(timeseries.Series, n)
+	for _, o := range sorted {
+		idx := int(day(o.At).Sub(first).Hours() / 24)
+		u[idx] += o.Seconds
+	}
+	return first, u, nil
+}
+
+// AggregateWeekly rolls a daily series up to ISO-week sums. It is used by
+// exploration tooling, not by the core prediction path (the paper works
+// at daily granularity).
+func AggregateWeekly(u timeseries.Series) timeseries.Series {
+	if len(u) == 0 {
+		return timeseries.Series{}
+	}
+	weeks := (len(u) + 6) / 7
+	out := make(timeseries.Series, weeks)
+	for t, v := range u {
+		out[t/7] += v
+	}
+	return out
+}
+
+// RollingMean returns the trailing mean over the previous `window` days
+// (inclusive of day t). The first window-1 entries average over the
+// shorter available prefix.
+func RollingMean(u timeseries.Series, window int) (timeseries.Series, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dataprep: RollingMean window %d must be positive", window)
+	}
+	out := make(timeseries.Series, len(u))
+	var sum float64
+	for t, v := range u {
+		sum += v
+		if t >= window {
+			sum -= u[t-window]
+		}
+		n := window
+		if t+1 < window {
+			n = t + 1
+		}
+		out[t] = sum / float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package dataprep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// CalendarFeatures are per-day derived attributes (paper §3, step iv:
+// enrichment). The core reproduction uses the utilization window plus
+// L(t) exactly as the paper does; calendar features are the enrichment
+// hook the deployed system exposes for the §6 extension ("contextual
+// information").
+type CalendarFeatures struct {
+	// DayOfWeek is Monday-indexed (0 = Monday ... 6 = Sunday).
+	DayOfWeek int
+	// Month is 1–12.
+	Month int
+	// IsWeekend reports Saturday or Sunday.
+	IsWeekend bool
+	// DayOfYearFrac is the position within the year in [0, 1).
+	DayOfYearFrac float64
+}
+
+// Enrich computes calendar features for each day of a series starting at
+// start.
+func Enrich(start time.Time, days int) ([]CalendarFeatures, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("dataprep: Enrich with non-positive horizon %d", days)
+	}
+	out := make([]CalendarFeatures, days)
+	for t := 0; t < days; t++ {
+		d := start.AddDate(0, 0, t)
+		dow := (int(d.Weekday()) + 6) % 7
+		out[t] = CalendarFeatures{
+			DayOfWeek:     dow,
+			Month:         int(d.Month()),
+			IsWeekend:     dow >= 5,
+			DayOfYearFrac: float64(d.YearDay()-1) / 365.25,
+		}
+	}
+	return out, nil
+}
+
+// PreparedVehicle is the output of the full preparation pipeline for one
+// vehicle: cleaned daily utilization, the derived §2 series, and the
+// enrichment attributes.
+type PreparedVehicle struct {
+	ID       string
+	Start    time.Time
+	Series   *timeseries.VehicleSeries
+	Calendar []CalendarFeatures
+	Clean    CleanReport
+}
+
+// Prepare runs the §3 pipeline — clean, validate, derive (aggregation to
+// daily granularity already happened upstream in the collector), enrich —
+// for a single vehicle's raw daily series.
+func Prepare(id string, start time.Time, raw timeseries.Series, allowance float64) (*PreparedVehicle, error) {
+	clean, rep := Clean(raw)
+	if err := ValidateClean(clean); err != nil {
+		return nil, fmt.Errorf("dataprep: vehicle %s failed post-clean validation: %w", id, err)
+	}
+	vs, err := timeseries.Derive(id, clean, allowance)
+	if err != nil {
+		return nil, fmt.Errorf("dataprep: vehicle %s: %w", id, err)
+	}
+	cal, err := Enrich(start, len(clean))
+	if err != nil {
+		return nil, fmt.Errorf("dataprep: vehicle %s: %w", id, err)
+	}
+	return &PreparedVehicle{ID: id, Start: start, Series: vs, Calendar: cal, Clean: rep}, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/timeseries"
+)
+
+// SeriesXY is one named line of a figure: paired X and Y values.
+type SeriesXY struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// pickSampleVehicles returns the IDs of two contrasting vehicles for the
+// exploration figures: the busiest (highest mean daily utilization — the
+// paper's v1) and the most intermittent (largest zero-day share — the
+// paper's v2).
+func (e *Env) pickSampleVehicles() (busy, intermittent string, err error) {
+	if len(e.Olds) < 2 {
+		return "", "", fmt.Errorf("experiments: need at least two old vehicles, have %d", len(e.Olds))
+	}
+	bestMean, bestZero := -1.0, -1.0
+	for _, vs := range e.Olds {
+		mean := vs.U.Mean()
+		zeros := 0
+		for _, v := range vs.U {
+			if v == 0 {
+				zeros++
+			}
+		}
+		zeroShare := float64(zeros) / float64(len(vs.U))
+		if mean > bestMean {
+			bestMean = mean
+			busy = vs.ID
+		}
+		if zeroShare > bestZero {
+			bestZero = zeroShare
+			intermittent = vs.ID
+		}
+	}
+	if busy == intermittent {
+		// Degenerate small fleets: pick any other vehicle as contrast.
+		for _, vs := range e.Olds {
+			if vs.ID != busy {
+				intermittent = vs.ID
+				break
+			}
+		}
+	}
+	return busy, intermittent, nil
+}
+
+// Figure1 reproduces Figure 1: the daily utilization U_v(t) of two
+// contrasting sample vehicles over a ~90-day window.
+func (e *Env) Figure1() ([]SeriesXY, error) {
+	v1, v2, err := e.pickSampleVehicles()
+	if err != nil {
+		return nil, err
+	}
+	const days = 90
+	var out []SeriesXY
+	for _, id := range []string{v1, v2} {
+		vs := e.vehicle(id)
+		// Show a window that starts after the commissioning idle so the
+		// contrast in active usage patterns is visible, as in the paper.
+		from := firstActiveDay(vs.U)
+		to := from + days
+		if to > len(vs.U) {
+			to = len(vs.U)
+		}
+		s := SeriesXY{Name: id}
+		for t := from; t < to; t++ {
+			s.X = append(s.X, float64(t-from))
+			s.Y = append(s.Y, vs.U[t])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func firstActiveDay(u []float64) int {
+	for t, v := range u {
+		if v > 0 {
+			return t
+		}
+	}
+	return 0
+}
+
+// Figure2 reproduces Figure 2: the target sawtooth D_v(t) across all
+// completed cycles of the two sample vehicles.
+func (e *Env) Figure2() ([]SeriesXY, error) {
+	v1, v2, err := e.pickSampleVehicles()
+	if err != nil {
+		return nil, err
+	}
+	var out []SeriesXY
+	for _, id := range []string{v1, v2} {
+		vs := e.vehicle(id)
+		s := SeriesXY{Name: id}
+		for t, d := range vs.D {
+			if d < 0 {
+				continue
+			}
+			s.X = append(s.X, float64(t))
+			s.Y = append(s.Y, float64(d))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CycleStats summarizes cycle lengths for the Figure-2 narrative (the
+// paper: v1's first cycle 221 days, later cycles 65–105 days).
+type CycleStats struct {
+	VehicleID   string
+	FirstCycle  int
+	LaterMin    int
+	LaterMax    int
+	CycleCount  int
+	LaterMedian int
+}
+
+// CycleStatistics computes per-vehicle cycle-length statistics across
+// the old fleet.
+func (e *Env) CycleStatistics() []CycleStats {
+	var out []CycleStats
+	for _, vs := range e.Olds {
+		cycles := vs.CompleteCycles()
+		if len(cycles) == 0 {
+			continue
+		}
+		st := CycleStats{VehicleID: vs.ID, CycleCount: len(cycles), FirstCycle: cycles[0].Days()}
+		var later []int
+		for _, c := range cycles[1:] {
+			later = append(later, c.Days())
+		}
+		if len(later) > 0 {
+			sort.Ints(later)
+			st.LaterMin = later[0]
+			st.LaterMax = later[len(later)-1]
+			st.LaterMedian = later[len(later)/2]
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Figure3 reproduces Figure 3: D_v(t) against L_v(t) for one complete
+// cycle of each sample vehicle; the vertical steps correspond to runs of
+// zero-utilization days.
+func (e *Env) Figure3() ([]SeriesXY, error) {
+	v1, v2, err := e.pickSampleVehicles()
+	if err != nil {
+		return nil, err
+	}
+	var out []SeriesXY
+	for _, id := range []string{v1, v2} {
+		vs := e.vehicle(id)
+		cycles := vs.CompleteCycles()
+		if len(cycles) == 0 {
+			return nil, fmt.Errorf("experiments: vehicle %s has no complete cycle for Figure 3", id)
+		}
+		// Use the second cycle when available: the first one is skewed
+		// by the commissioning ramp, as in the paper's narrative.
+		c := cycles[0]
+		if len(cycles) > 1 {
+			c = cycles[1]
+		}
+		s := SeriesXY{Name: id}
+		for t := c.Start; t < c.End; t++ {
+			s.X = append(s.X, vs.L[t])
+			s.Y = append(s.Y, float64(vs.D[t]))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (e *Env) vehicle(id string) *timeseries.VehicleSeries {
+	for _, vs := range e.Olds {
+		if vs.ID == id {
+			return vs
+		}
+	}
+	for _, p := range e.Prepared {
+		if p.ID == id {
+			return p.Series
+		}
+	}
+	return nil
+}

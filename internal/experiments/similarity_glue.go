@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/similarity"
+	"repro/internal/timeseries"
+)
+
+// SimilarityMeasure names the donor-selection measure for the Table-3
+// similarity ablation.
+type SimilarityMeasure string
+
+// Supported measures.
+const (
+	// MeasureAvg is the paper's point-wise average distance.
+	MeasureAvg SimilarityMeasure = "avg"
+	// MeasureDTW is path-normalized dynamic time warping (paper's cited
+	// extension [9]).
+	MeasureDTW SimilarityMeasure = "dtw"
+)
+
+func (m SimilarityMeasure) impl() (similarity.Measure, error) {
+	switch m {
+	case MeasureAvg:
+		return similarity.AvgDistance{}, nil
+	case MeasureDTW:
+		return similarity.BandedDTW{Band: 14}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown similarity measure %q", m)
+	}
+}
+
+// trainSimilarityWith is core.TrainSimilarity with a pluggable donor-
+// selection measure: it compares the first half of the test vehicle's
+// first cycle against each candidate's same period.
+func trainSimilarityWith(test *timeseries.VehicleSeries, train []*timeseries.VehicleSeries, alg core.Algorithm, cfg core.ColdStartConfig, measureName SimilarityMeasure) (ml.Regressor, string, error) {
+	measure, err := measureName.impl()
+	if err != nil {
+		return nil, "", err
+	}
+	testHalf, err := firstHalfSeries(test)
+	if err != nil {
+		return nil, "", err
+	}
+	var donor *timeseries.VehicleSeries
+	best := math.Inf(1)
+	for _, cand := range train {
+		candHalf, err := firstHalfSeries(cand)
+		if err != nil {
+			continue
+		}
+		d, err := measure.Distance(testHalf, candHalf)
+		if err != nil {
+			continue
+		}
+		if d < best {
+			best = d
+			donor = cand
+		}
+	}
+	if donor == nil {
+		return nil, "", fmt.Errorf("experiments: no usable donor among %d candidates", len(train))
+	}
+	fcfg := core.FeatureConfig{Window: cfg.Window, Normalize: cfg.Normalize, Restrict: cfg.RestrictTrain}
+	recs, err := core.FirstCycleRecords(donor, fcfg)
+	if err != nil {
+		return nil, "", err
+	}
+	params := cfg.Params
+	if params == nil {
+		params = core.DefaultParams(alg)
+	}
+	model, err := core.Build(alg, params, cfg.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	x, y := core.RecordsToXY(recs)
+	if err := model.Fit(x, y); err != nil {
+		return nil, "", err
+	}
+	return model, donor.ID, nil
+}
+
+// firstHalfSeries extracts the utilization of the first half (by
+// allowance consumption) of a vehicle's first complete cycle.
+func firstHalfSeries(vs *timeseries.VehicleSeries) (timeseries.Series, error) {
+	c, ok := vs.FirstCycle()
+	if !ok || !c.Complete {
+		return nil, fmt.Errorf("experiments: vehicle %s lacks a complete first cycle", vs.ID)
+	}
+	var cum float64
+	for t := c.Start; t < c.End; t++ {
+		cum += vs.U[t]
+		if cum >= vs.Allowance/2 {
+			return vs.U.Slice(c.Start, t+1), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: vehicle %s never reaches half allowance", vs.ID)
+}

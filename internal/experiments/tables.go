@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Table1Row is one row of Table 1: the fleet-mean E_MRE({1..29}) for an
+// algorithm trained on all data vs trained only on the last-29-day
+// region.
+type Table1Row struct {
+	Algorithm core.Algorithm
+	// AllData is E_MRE when training uses every known-target day.
+	AllData float64
+	// Restricted is E_MRE when training uses only days with
+	// D(t) ∈ {1..29}.
+	Restricted float64
+	// ReductionPct is the relative error reduction from restricting.
+	ReductionPct float64
+	// VehiclesAll / VehiclesRestricted count evaluable vehicles.
+	VehiclesAll        int
+	VehiclesRestricted int
+}
+
+// Table1 reproduces Table 1 at the given window (the paper uses W = 0
+// here; Table 2/Figure 4 sweep W separately).
+func (e *Env) Table1(window int) ([]Table1Row, error) {
+	d := core.DefaultDTilde()
+	var out []Table1Row
+	for _, alg := range core.Algorithms() {
+		all, err := e.evaluateFleet(alg, window, false)
+		if err != nil {
+			return nil, err
+		}
+		restricted, err := e.evaluateFleet(alg, window, true)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Algorithm:          alg,
+			AllData:            core.MeanMRE(all.Reports, d),
+			Restricted:         core.MeanMRE(restricted.Reports, d),
+			VehiclesAll:        len(all.Reports),
+			VehiclesRestricted: len(restricted.Reports),
+		}
+		if row.AllData > 0 {
+			row.ReductionPct = 100 * (row.AllData - row.Restricted) / row.AllData
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig4Series is one algorithm's line in Figure 4: the percentage
+// improvement over its W = 0 error as the window grows.
+type Fig4Series struct {
+	Algorithm core.Algorithm
+	Windows   []int
+	// EMRE is the absolute fleet-mean error per window.
+	EMRE []float64
+	// ImprovementPct is positive when the error decreased vs W = 0.
+	ImprovementPct []float64
+}
+
+// DefaultWindows is the Figure-4 sweep (the paper plots W = 0…18).
+func DefaultWindows() []int { return []int{0, 3, 6, 9, 12, 15, 18} }
+
+// Figure4 sweeps the window size for every algorithm with restricted
+// training (the paper's best training regime from Table 1).
+func (e *Env) Figure4(windows []int) ([]Fig4Series, error) {
+	if len(windows) == 0 || windows[0] != 0 {
+		return nil, fmt.Errorf("experiments: Figure 4 sweep must start at W=0, got %v", windows)
+	}
+	d := core.DefaultDTilde()
+	var out []Fig4Series
+	for _, alg := range core.Algorithms() {
+		s := Fig4Series{Algorithm: alg, Windows: windows}
+		for _, w := range windows {
+			useW := w
+			if alg == core.BL {
+				// BL ignores past usage ("BL is obviously constant").
+				useW = 0
+			}
+			res, err := e.evaluateFleet(alg, useW, true)
+			if err != nil {
+				return nil, err
+			}
+			s.EMRE = append(s.EMRE, core.MeanMRE(res.Reports, d))
+		}
+		base := s.EMRE[0]
+		for _, v := range s.EMRE {
+			imp := 0.0
+			if base > 0 {
+				imp = 100 * (base - v) / base
+			}
+			s.ImprovementPct = append(s.ImprovementPct, imp)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table2Row is one row of Table 2: the best window and the error it
+// achieves.
+type Table2Row struct {
+	Algorithm core.Algorithm
+	BestW     int
+	EMRE      float64
+}
+
+// Table2 derives Table 2 from a Figure-4 sweep: per algorithm, the
+// window minimizing the fleet-mean error.
+func Table2(fig4 []Fig4Series) ([]Table2Row, error) {
+	if len(fig4) == 0 {
+		return nil, fmt.Errorf("experiments: Table 2 from empty Figure-4 sweep")
+	}
+	var out []Table2Row
+	for _, s := range fig4 {
+		if len(s.EMRE) != len(s.Windows) {
+			return nil, fmt.Errorf("experiments: malformed sweep for %s", s.Algorithm)
+		}
+		best := 0
+		for i := range s.EMRE {
+			if s.EMRE[i] < s.EMRE[best] {
+				best = i
+			}
+		}
+		out = append(out, Table2Row{Algorithm: s.Algorithm, BestW: s.Windows[best], EMRE: s.EMRE[best]})
+	}
+	return out, nil
+}
+
+// Fig5Series is one algorithm's Figure-5 line: E_MRE({d}) for each
+// single day-to-deadline d, at the algorithm's best window from Table 2.
+type Fig5Series struct {
+	Algorithm core.Algorithm
+	BestW     int
+	Days      []int
+	EMRE      []float64
+}
+
+// Figure5 computes the per-day residual errors with each algorithm's
+// best configuration. One fleet evaluation per algorithm suffices: the
+// per-day errors are slices of the same reports.
+func (e *Env) Figure5(table2 []Table2Row) ([]Fig5Series, error) {
+	var out []Fig5Series
+	for _, row := range table2 {
+		res, err := e.evaluateFleet(row.Algorithm, row.BestW, true)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig5Series{Algorithm: row.Algorithm, BestW: row.BestW}
+		for day := 1; day <= 29; day++ {
+			v := core.MeanMRE(res.Reports, core.DTilde{day: true})
+			if math.IsNaN(v) {
+				continue // no test sample exactly d days from deadline
+			}
+			s.Days = append(s.Days, day)
+			s.EMRE = append(s.EMRE, v)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

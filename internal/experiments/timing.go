@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TimingRow reports the mean per-vehicle wall-clock cost of one
+// algorithm, reproducing the §5.1 timing study ("The average training
+// time on a single vehicle is 30.4 s for XGB and 8.1 s for RF, while BL,
+// LR, and LSVR are faster ...").
+type TimingRow struct {
+	Algorithm core.Algorithm
+	// MeanTrainSeconds is the mean per-vehicle duration of the full
+	// train step (data preparation for the model, fitting).
+	MeanTrainSeconds float64
+	// MeanPredictSeconds is the mean per-vehicle duration of scoring
+	// the test records.
+	MeanPredictSeconds float64
+	Vehicles           int
+}
+
+// Timing measures per-algorithm training and prediction cost on the old
+// fleet at the given window. Absolute numbers are hardware-bound
+// (substitution S4); the ordering and the growth with W are the
+// reproducible quantities.
+func (e *Env) Timing(window int) ([]TimingRow, error) {
+	var out []TimingRow
+	for _, alg := range core.Algorithms() {
+		cfg := e.oldConfig(window, true)
+		var trainTotal, predTotal time.Duration
+		n := 0
+		for _, vs := range e.Olds {
+			t0 := time.Now()
+			res, err := core.EvaluateOld(vs, alg, cfg)
+			if err != nil {
+				continue
+			}
+			// EvaluateOld covers record building + fit + test scoring;
+			// re-score separately to split predict cost out.
+			trainTotal += time.Since(t0)
+			fcfg := core.FeatureConfig{Window: cfg.Window, Normalize: cfg.Normalize}
+			cut := int(float64(len(vs.U)) * cfg.TrainFraction)
+			recs, err := core.BuildRecordsRange(vs, cut, len(vs.U), fcfg)
+			if err != nil {
+				return nil, err
+			}
+			t1 := time.Now()
+			for _, r := range recs {
+				_ = res.Model.Predict(r.X)
+			}
+			predTotal += time.Since(t1)
+			n++
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("experiments: timing: %s evaluable on no vehicle", alg)
+		}
+		out = append(out, TimingRow{
+			Algorithm:          alg,
+			MeanTrainSeconds:   trainTotal.Seconds() / float64(n),
+			MeanPredictSeconds: predTotal.Seconds() / float64(n),
+			Vehicles:           n,
+		})
+	}
+	return out, nil
+}

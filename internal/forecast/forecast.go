@@ -1,0 +1,168 @@
+// Package forecast predicts *future daily utilization* — the first of
+// the three CAN-data analyses the paper's introduction lists ("predict
+// the future vehicle usage by means of classification and regression
+// techniques", refs [7, 10], the authors' own prior EDBT workshop
+// work). The deployed maintenance planner uses it to extend a
+// vehicle's L(t) trajectory beyond the last observed day and to answer
+// what-if questions ("if usage keeps this pace, when does the
+// allowance run out?").
+package forecast
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/ml/gbm"
+	"repro/internal/timeseries"
+)
+
+// ErrTooShort is returned when a series is shorter than the model
+// needs.
+var ErrTooShort = errors.New("forecast: series too short for the configured window")
+
+// Config controls the usage forecaster.
+type Config struct {
+	// Window is the autoregressive lag count (default 14: two weeks
+	// captures the weekly structure).
+	Window int
+	// Estimators / MaxDepth / LearningRate configure the underlying
+	// gradient-boosted model.
+	Estimators   int
+	MaxDepth     int
+	LearningRate float64
+	// Seed drives model randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the defaults used by the planner.
+func DefaultConfig() Config {
+	return Config{Window: 14, Estimators: 150, MaxDepth: 4, LearningRate: 0.1, Seed: 1}
+}
+
+// Forecaster predicts next-day utilization from the recent window and
+// rolls forward for multi-day horizons.
+type Forecaster struct {
+	cfg    Config
+	model  ml.Regressor
+	scale  float64
+	fitted bool
+}
+
+// New returns an unfitted forecaster.
+func New(cfg Config) *Forecaster {
+	d := DefaultConfig()
+	if cfg.Window <= 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.Estimators <= 0 {
+		cfg.Estimators = d.Estimators
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = d.MaxDepth
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = d.LearningRate
+	}
+	return &Forecaster{cfg: cfg}
+}
+
+// Fit trains on a daily utilization series. Features per day t:
+// the Window previous utilizations plus the day-of-week phase (t mod 7
+// one-hot folded into two cyclic features would need trig; a plain
+// index feature suffices for tree models).
+func (f *Forecaster) Fit(u timeseries.Series) error {
+	w := f.cfg.Window
+	if len(u) <= w+1 {
+		return fmt.Errorf("%w: %d days for window %d", ErrTooShort, len(u), w)
+	}
+	f.scale = u.Max()
+	if f.scale <= 0 {
+		f.scale = 1
+	}
+	var x [][]float64
+	var y []float64
+	for t := w; t < len(u); t++ {
+		x = append(x, f.features(u, t))
+		y = append(y, u[t]/f.scale)
+	}
+	m := gbm.New(gbm.Config{
+		NEstimators:  f.cfg.Estimators,
+		MaxDepth:     f.cfg.MaxDepth,
+		LearningRate: f.cfg.LearningRate,
+		Seed:         f.cfg.Seed,
+	})
+	if err := m.Fit(x, y); err != nil {
+		return fmt.Errorf("forecast: fitting usage model: %w", err)
+	}
+	f.model = m
+	f.fitted = true
+	return nil
+}
+
+// features builds the row predicting u[t]: lags u[t-1..t-w] (scaled)
+// plus the weekday phase of day t.
+func (f *Forecaster) features(u timeseries.Series, t int) []float64 {
+	w := f.cfg.Window
+	row := make([]float64, w+1)
+	for k := 1; k <= w; k++ {
+		row[k-1] = u[t-k] / f.scale
+	}
+	row[w] = float64(t % 7)
+	return row
+}
+
+// Horizon rolls the model forward `days` steps beyond the end of the
+// series, feeding each prediction back as the next lag. Predictions
+// are clamped to the physical [0, 86400] range.
+func (f *Forecaster) Horizon(u timeseries.Series, days int) (timeseries.Series, error) {
+	if !f.fitted {
+		return nil, errors.New("forecast: Horizon before Fit")
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", days)
+	}
+	if len(u) < f.cfg.Window {
+		return nil, fmt.Errorf("%w: %d days for window %d", ErrTooShort, len(u), f.cfg.Window)
+	}
+	ext := u.Clone()
+	out := make(timeseries.Series, 0, days)
+	for step := 0; step < days; step++ {
+		t := len(ext)
+		v := f.model.Predict(f.features(ext, t)) * f.scale
+		if v < 0 {
+			v = 0
+		}
+		if v > 86400 {
+			v = 86400
+		}
+		ext = append(ext, v)
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DaysToExhaust rolls the forecast forward until the remaining
+// allowance `left` is consumed and returns the predicted day count. It
+// gives the planner an independent, usage-model-based estimate of
+// D_v(t) to cross-check the core regressors. maxDays bounds the search.
+func (f *Forecaster) DaysToExhaust(u timeseries.Series, left float64, maxDays int) (int, error) {
+	if left <= 0 {
+		return 0, nil
+	}
+	if maxDays <= 0 {
+		return 0, fmt.Errorf("forecast: non-positive maxDays %d", maxDays)
+	}
+	future, err := f.Horizon(u, maxDays)
+	if err != nil {
+		return 0, err
+	}
+	var cum float64
+	for i, v := range future {
+		cum += v
+		if cum >= left {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("forecast: allowance not exhausted within %d days (%.0f of %.0f consumed)", maxDays, cum, left)
+}

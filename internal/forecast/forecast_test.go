@@ -1,0 +1,151 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// weeklySeries builds a deterministic weekday/weekend usage pattern
+// with mild noise.
+func weeklySeries(seed uint64, days int, rate float64) timeseries.Series {
+	rnd := rng.New(seed)
+	u := make(timeseries.Series, days)
+	for i := range u {
+		if i%7 >= 5 {
+			u[i] = 0
+		} else {
+			u[i] = rate * (1 + 0.05*rnd.NormFloat64())
+		}
+	}
+	return u
+}
+
+func TestFitAndHorizonTracksWeeklyPattern(t *testing.T) {
+	u := weeklySeries(1, 400, 20000)
+	f := New(DefaultConfig())
+	if err := f.Fit(u); err != nil {
+		t.Fatal(err)
+	}
+	future, err := f.Horizon(u, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(future) != 14 {
+		t.Fatalf("horizon returned %d days", len(future))
+	}
+	// day 400 is a weekday index 400%7=1 ... check weekday/weekend
+	// separation in the forecast.
+	var weekdaySum, weekendSum float64
+	var weekdayN, weekendN int
+	for i, v := range future {
+		day := (400 + i) % 7
+		if day >= 5 {
+			weekendSum += v
+			weekendN++
+		} else {
+			weekdaySum += v
+			weekdayN++
+		}
+	}
+	weekday := weekdaySum / float64(weekdayN)
+	weekend := weekendSum / float64(weekendN)
+	if weekday < 15000 || weekday > 25000 {
+		t.Fatalf("weekday forecast %v outside plausible band", weekday)
+	}
+	if weekend > weekday/3 {
+		t.Fatalf("weekend forecast %v not clearly below weekday %v", weekend, weekday)
+	}
+}
+
+func TestHorizonBounds(t *testing.T) {
+	u := weeklySeries(2, 200, 40000)
+	f := New(DefaultConfig())
+	if err := f.Fit(u); err != nil {
+		t.Fatal(err)
+	}
+	future, err := f.Horizon(u, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range future {
+		if v < 0 || v > 86400 || math.IsNaN(v) {
+			t.Fatalf("forecast day %d outside physical range: %v", i, v)
+		}
+	}
+}
+
+func TestDaysToExhaust(t *testing.T) {
+	u := weeklySeries(3, 300, 20000)
+	f := New(DefaultConfig())
+	if err := f.Fit(u); err != nil {
+		t.Fatal(err)
+	}
+	// ~100k seconds left at ~20k/day on weekdays → roughly 5-8 days.
+	days, err := f.DaysToExhaust(u, 100_000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days < 4 || days > 10 {
+		t.Fatalf("DaysToExhaust = %d, want 4..10", days)
+	}
+	// Zero allowance left: due now.
+	days, err = f.DaysToExhaust(u, 0, 60)
+	if err != nil || days != 0 {
+		t.Fatalf("zero-left = %d err=%v", days, err)
+	}
+	// Allowance too large for the horizon: explicit error.
+	if _, err := f.DaysToExhaust(u, 1e12, 10); err == nil {
+		t.Fatal("unreachable allowance accepted")
+	}
+	if _, err := f.DaysToExhaust(u, 100, 0); err == nil {
+		t.Fatal("non-positive maxDays accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	f := New(DefaultConfig())
+	if err := f.Fit(weeklySeries(4, 5, 20000)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short series error = %v", err)
+	}
+	if _, err := f.Horizon(weeklySeries(5, 100, 20000), 5); err == nil {
+		t.Fatal("Horizon before Fit accepted")
+	}
+	if err := f.Fit(weeklySeries(6, 200, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Horizon(weeklySeries(7, 200, 20000), 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := f.Horizon(timeseries.Series{1, 2}, 5); err == nil {
+		t.Fatal("series shorter than window accepted")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	f := New(Config{})
+	d := DefaultConfig()
+	if f.cfg.Window != d.Window || f.cfg.Estimators != d.Estimators {
+		t.Fatalf("defaults not applied: %+v", f.cfg)
+	}
+}
+
+func TestAllZeroSeries(t *testing.T) {
+	u := make(timeseries.Series, 100)
+	f := New(DefaultConfig())
+	if err := f.Fit(u); err != nil {
+		t.Fatal(err)
+	}
+	future, err := f.Horizon(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range future {
+		if v != 0 {
+			t.Fatalf("all-zero history forecast %v, want 0", v)
+		}
+	}
+}

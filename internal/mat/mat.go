@@ -1,0 +1,272 @@
+// Package mat implements the small amount of dense linear algebra the
+// machine-learning substrate needs: a row-major dense matrix, basic
+// vector/matrix products, and Cholesky / QR based solvers used by the
+// linear models (ordinary least squares and ridge regression).
+//
+// The package is deliberately minimal: it is not a general BLAS
+// replacement, it is the exact foundation required to reproduce the
+// paper's linear models from scratch with the standard library only.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by solvers when the system matrix is singular
+// or numerically too ill-conditioned to factorize.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates a rows×cols zero matrix. It panics on non-positive
+// dimensions, as a dimensioning bug is unrecoverable programmer error.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a Dense from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("mat: FromRows requires a non-empty row set")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("mat: ragged input, row %d has %d columns, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = M·x. It panics on dimension mismatch.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.cols))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// TMulVec computes y = Mᵀ·x (x has len rows, y has len cols).
+func (m *Dense) TMulVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("mat: TMulVec dimension mismatch %d vs %d", len(x), m.rows))
+	}
+	y := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			y[j] += v * xi
+		}
+	}
+	return y
+}
+
+// Gram computes G = MᵀM (cols×cols), optionally adding ridge*I to the
+// diagonal. Passing ridge = 0 yields the plain Gram matrix.
+func (m *Dense) Gram(ridge float64) *Dense {
+	g := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.cols; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			ga := g.Row(a)
+			for b := a; b < m.cols; b++ {
+				ga[b] += va * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge term.
+	for a := 0; a < m.cols; a++ {
+		g.data[a*m.cols+a] += ridge
+		for b := a + 1; b < m.cols; b++ {
+			g.data[b*m.cols+a] = g.data[a*m.cols+b]
+		}
+	}
+	return g
+}
+
+// Cholesky factorizes a symmetric positive-definite matrix A = L·Lᵀ in
+// place over a copy and returns L (lower triangular). Returns ErrSingular
+// when a non-positive pivot is met.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Cholesky requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Dense, b []float64) []float64 {
+	n := l.rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A via
+// Cholesky. If A is singular it retries with escalating diagonal jitter
+// before giving up, which makes OLS on collinear feature sets behave like
+// a minimally-regularized ridge instead of failing.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("mat: SolveSPD dimension mismatch %d vs %d", len(b), a.rows)
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		work := a
+		if jitter > 0 {
+			work = a.Clone()
+			for i := 0; i < work.rows; i++ {
+				work.data[i*work.cols+i] += jitter
+			}
+		}
+		l, err := Cholesky(work)
+		if err == nil {
+			return SolveCholesky(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * (1 + maxDiag(a))
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrSingular
+}
+
+func maxDiag(a *Dense) float64 {
+	m := 0.0
+	for i := 0; i < a.rows && i < a.cols; i++ {
+		if v := math.Abs(a.At(i, i)); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LeastSquares solves min‖X·w − y‖² (+ ridge‖w‖²) through the normal
+// equations. X is n×p with n ≥ 1, y has length n.
+func LeastSquares(x *Dense, y []float64, ridge float64) ([]float64, error) {
+	if len(y) != x.rows {
+		return nil, fmt.Errorf("mat: LeastSquares dimension mismatch %d vs %d", len(y), x.rows)
+	}
+	g := x.Gram(ridge)
+	xty := x.TMulVec(y)
+	return SolveSPD(g, xty)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AddScaled performs dst += alpha·src in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}

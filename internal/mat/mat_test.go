@@ -1,0 +1,219 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0, 3) did not panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d, want 3x2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+}
+
+func TestTMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := m.TMulVec([]float64{1, 2, 3})
+	// Mᵀx = [1+6+15, 2+8+18] = [22, 28]
+	if y[0] != 22 || y[1] != 28 {
+		t.Fatalf("TMulVec = %v, want [22 28]", y)
+	}
+}
+
+func TestGramSymmetryAndRidge(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	g := m.Gram(0.5)
+	if g.Rows() != 2 || g.Cols() != 2 {
+		t.Fatalf("Gram is %dx%d, want 2x2", g.Rows(), g.Cols())
+	}
+	if g.At(0, 1) != g.At(1, 0) {
+		t.Fatal("Gram not symmetric")
+	}
+	// G[0][0] = 1+9+25 + ridge = 35.5
+	if !almostEq(g.At(0, 0), 35.5, 1e-12) {
+		t.Fatalf("G[0][0] = %v, want 35.5", g.At(0, 0))
+	}
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.At(0, 0), 2, 1e-12) || !almostEq(l.At(1, 0), 1, 1e-12) || !almostEq(l.At(1, 1), math.Sqrt2, 1e-12) {
+		t.Fatalf("wrong factor: %v %v %v", l.At(0, 0), l.At(1, 0), l.At(1, 1))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix factorized")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestSolveSPDExact(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b := a.MulVec(x)
+	if !almostEq(b[0], 10, 1e-9) || !almostEq(b[1], 9, 1e-9) {
+		t.Fatalf("A·x = %v, want [10 9]", b)
+	}
+}
+
+func TestSolveSPDSingularFallback(t *testing.T) {
+	// Rank-deficient Gram of perfectly collinear columns: the jitter
+	// fallback must still return a finite solution.
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	x, err := SolveSPD(a.Gram(0), a.TMulVec([]float64{1, 2}))
+	if err != nil {
+		t.Fatalf("jitter fallback failed: %v", err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite solution %v", x)
+		}
+	}
+}
+
+func TestSolveSPDPropertyRoundTrip(t *testing.T) {
+	rnd := rng.New(17)
+	if err := quick.Check(func(seed uint64) bool {
+		n := 1 + int(seed%5)
+		// Build a random SPD matrix A = BᵀB + I.
+		b := NewDense(n+2, n)
+		for i := 0; i < n+2; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, rnd.NormFloat64())
+			}
+		}
+		a := b.Gram(1)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rnd.Range(-5, 5)
+		}
+		rhs := a.MulVec(want)
+		got, err := SolveSPD(a, rhs)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-6*(1+math.Abs(want[i]))) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresRecoversPlane(t *testing.T) {
+	// y = 3x1 − 2x2 exactly; OLS must recover the coefficients.
+	rows := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 3}}
+	x, _ := FromRows(rows)
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		y[i] = 3*r[0] - 2*r[1]
+	}
+	w, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(w[0], 3, 1e-9) || !almostEq(w[1], -2, 1e-9) {
+		t.Fatalf("w = %v, want [3 -2]", w)
+	}
+}
+
+func TestLeastSquaresDimensionMismatch(t *testing.T) {
+	x, _ := FromRows([][]float64{{1}, {2}})
+	if _, err := LeastSquares(x, []float64{1}, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 2}
+	AddScaled(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Fatalf("AddScaled = %v, want [21 42]", dst)
+	}
+}

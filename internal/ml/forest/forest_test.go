@@ -1,0 +1,149 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/tree"
+	"repro/internal/rng"
+)
+
+func noisyStep(seed uint64, n int) (x [][]float64, y []float64) {
+	rnd := rng.New(seed)
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		v := rnd.Range(0, 10)
+		x[i] = []float64{v}
+		base := 0.0
+		if v > 5 {
+			base = 10
+		}
+		y[i] = base + rnd.NormFloat64()*2
+	}
+	return x, y
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	x, y := noisyStep(1, 400)
+	m := New(Config{NEstimators: 60, MaxDepth: 6, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2}); math.Abs(got-0) > 1.5 {
+		t.Fatalf("left plateau = %v, want ≈0", got)
+	}
+	if got := m.Predict([]float64{8}); math.Abs(got-10) > 1.5 {
+		t.Fatalf("right plateau = %v, want ≈10", got)
+	}
+	if m.TreeCount() != 60 {
+		t.Fatalf("TreeCount = %d", m.TreeCount())
+	}
+}
+
+func TestVarianceReductionVsSingleTree(t *testing.T) {
+	// Measure test MSE of one deep tree vs the forest on noisy data:
+	// bagging must not be worse (and typically is clearly better).
+	xTrain, yTrain := noisyStep(2, 300)
+	xTest, yTest := noisyStep(3, 300)
+
+	single := tree.New(tree.Config{Seed: 1})
+	if err := single.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	forest := New(Config{NEstimators: 80, Seed: 1})
+	if err := forest.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	mse := func(pred func([]float64) float64) float64 {
+		var s float64
+		for i := range xTest {
+			d := pred(xTest[i]) - yTest[i]
+			s += d * d
+		}
+		return s / float64(len(xTest))
+	}
+	mseSingle := mse(single.Predict)
+	mseForest := mse(forest.Predict)
+	if mseForest > mseSingle*1.05 {
+		t.Fatalf("forest MSE %.3f worse than single tree %.3f", mseForest, mseSingle)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	x, y := noisyStep(4, 200)
+	a := New(Config{NEstimators: 30, Seed: 9})
+	b := New(Config{NEstimators: 30, Seed: 9})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	rnd := rng.New(10)
+	for k := 0; k < 25; k++ {
+		probe := []float64{rnd.Range(0, 10)}
+		if a.Predict(probe) != b.Predict(probe) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+	c := New(Config{NEstimators: 30, Seed: 10})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for k := 0; k < 25; k++ {
+		probe := []float64{rnd.Range(0, 10)}
+		if a.Predict(probe) != c.Predict(probe) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical forests")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := New(Config{})
+	if m.NEstimators != 100 || m.MinSamplesLeaf != 1 {
+		t.Fatalf("defaults not applied: %+v", m.Config)
+	}
+}
+
+func TestMaxFeaturesValidation(t *testing.T) {
+	x, y := noisyStep(5, 50)
+	m := New(Config{NEstimators: 5, MaxFeatures: 99})
+	if err := m.Fit(x, y); err == nil {
+		t.Fatal("MaxFeatures > p accepted")
+	}
+}
+
+func TestEmptyFitRejected(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{}).Predict([]float64{1})
+}
+
+func TestPredictWidthMismatchPanics(t *testing.T) {
+	x, y := noisyStep(6, 60)
+	m := New(Config{NEstimators: 5})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}

@@ -1,0 +1,79 @@
+package forest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOOBEstimatesGeneralizationError(t *testing.T) {
+	xTrain, yTrain := noisyStep(10, 400)
+	xTest, yTest := noisyStep(11, 400)
+	m := New(Config{NEstimators: 80, MaxDepth: 6, Seed: 1, ComputeOOB: true})
+	if err := m.Fit(xTrain, yTrain); err != nil {
+		t.Fatal(err)
+	}
+	oob, covered, err := m.OOBMAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered < 350 {
+		t.Fatalf("OOB covered only %d of 400 samples", covered)
+	}
+	// Independent holdout MAE for comparison.
+	var s float64
+	for i := range xTest {
+		s += math.Abs(m.Predict(xTest[i]) - yTest[i])
+	}
+	holdout := s / float64(len(xTest))
+	// OOB must estimate the holdout error within a factor, not match
+	// the (optimistic) training error. Noise sigma is 2, so MAE ≈ 1.6.
+	if oob < holdout*0.6 || oob > holdout*1.6 {
+		t.Fatalf("OOB %v too far from holdout %v", oob, holdout)
+	}
+}
+
+func TestOOBDisabledByDefault(t *testing.T) {
+	x, y := noisyStep(12, 100)
+	m := New(Config{NEstimators: 10, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.OOBMAE(); err == nil {
+		t.Fatal("OOB available without ComputeOOB")
+	}
+}
+
+func TestForestImportances(t *testing.T) {
+	// Feature 0 carries the signal.
+	x, y := noisyStep(13, 300)
+	for i := range x {
+		x[i] = append(x[i], float64(i%10)) // noise feature
+	}
+	m := New(Config{NEstimators: 40, MaxDepth: 5, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := m.Importances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("got %d importances", len(imp))
+	}
+	if imp[0] < 0.8 {
+		t.Fatalf("signal feature importance %v, want > 0.8", imp[0])
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum %v", sum)
+	}
+}
+
+func TestForestImportancesBeforeFit(t *testing.T) {
+	if _, err := New(Config{}).Importances(); err == nil {
+		t.Fatal("Importances before Fit accepted")
+	}
+}

@@ -1,0 +1,463 @@
+// Package gbm implements histogram-based gradient-boosted regression
+// trees — the paper's XGB model ("histogram-based gradient boosting ...
+// minimizes the prediction loss by combining many decision tree
+// regressors").
+//
+// Training follows the standard second-order boosting recipe for squared
+// loss: each round fits a depth-limited regression tree to the current
+// residual gradients over quantile-binned features (at most MaxBins bins
+// per feature), with L2 leaf regularization, shrinkage, and optional row
+// subsampling. Histogram binning makes split search O(bins) per feature
+// per node instead of O(n log n).
+package gbm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// Config controls the boosted ensemble.
+type Config struct {
+	// NEstimators is the number of boosting rounds (paper grid: 10…1000).
+	NEstimators int
+	// LearningRate is the shrinkage applied to each tree.
+	LearningRate float64
+	// MaxDepth bounds each tree (paper grid: 3…50).
+	MaxDepth int
+	// MinChildSamples is the minimum samples per leaf.
+	MinChildSamples int
+	// Lambda is the L2 penalty on leaf values.
+	Lambda float64
+	// MaxBins is the histogram resolution per feature (≤ 256).
+	MaxBins int
+	// Subsample is the per-round row sampling fraction in (0, 1].
+	Subsample float64
+	// ValidationFraction holds out this share of rows (chosen at
+	// random) to monitor generalization when early stopping is active.
+	ValidationFraction float64
+	// EarlyStoppingRounds stops boosting when the validation loss has
+	// not improved for this many consecutive rounds, keeping the best
+	// round count; 0 disables early stopping.
+	EarlyStoppingRounds int
+	// Seed makes subsampling deterministic.
+	Seed uint64
+}
+
+// DefaultConfig mirrors common histogram-GBM defaults.
+func DefaultConfig() Config {
+	return Config{
+		NEstimators:     100,
+		LearningRate:    0.1,
+		MaxDepth:        6,
+		MinChildSamples: 5,
+		Lambda:          1.0,
+		MaxBins:         256,
+		Subsample:       1.0,
+		Seed:            1,
+	}
+}
+
+// Model is a fitted gradient-boosted ensemble.
+type Model struct {
+	Config
+
+	baseScore float64
+	trees     []boostTree
+	edges     [][]float64 // per-feature bin upper edges
+	width     int
+	fitted    bool
+}
+
+// boostTree is one fitted booster stage, stored with raw-space
+// thresholds so prediction needs no binning.
+type boostTree struct {
+	nodes []bnode
+}
+
+type bnode struct {
+	feature int // -1 for leaf
+	// threshold is the raw-space split value (upper edge of bin); bin is
+	// the same split in bin space, used during training where rows are
+	// already binned. bin(x) ≤ bin ⟺ x ≤ threshold by construction.
+	threshold   float64
+	bin         uint8
+	left, right int32
+	value       float64
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// New returns an unfitted model, normalizing invalid config fields to
+// the defaults.
+func New(cfg Config) *Model {
+	d := DefaultConfig()
+	if cfg.NEstimators <= 0 {
+		cfg.NEstimators = d.NEstimators
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = d.LearningRate
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = d.MaxDepth
+	}
+	if cfg.MinChildSamples < 1 {
+		cfg.MinChildSamples = d.MinChildSamples
+	}
+	if cfg.Lambda < 0 {
+		cfg.Lambda = d.Lambda
+	}
+	if cfg.MaxBins <= 1 || cfg.MaxBins > 256 {
+		cfg.MaxBins = d.MaxBins
+	}
+	if cfg.Subsample <= 0 || cfg.Subsample > 1 {
+		cfg.Subsample = d.Subsample
+	}
+	if cfg.EarlyStoppingRounds > 0 && (cfg.ValidationFraction <= 0 || cfg.ValidationFraction >= 1) {
+		cfg.ValidationFraction = 0.15
+	}
+	return &Model{Config: cfg}
+}
+
+// Fit trains the boosted ensemble with squared loss.
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateXY(x, y); err != nil {
+		return err
+	}
+	n, p := len(x), len(x[0])
+
+	m.edges = make([][]float64, p)
+	binned := make([][]uint8, n)
+	for i := range binned {
+		binned[i] = make([]uint8, p)
+	}
+	for j := 0; j < p; j++ {
+		edges := quantileEdges(x, j, m.MaxBins)
+		m.edges[j] = edges
+		for i := 0; i < n; i++ {
+			binned[i][j] = binOf(x[i][j], edges)
+		}
+	}
+
+	// Base score: the target mean.
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(n)
+	m.baseScore = base
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	grad := make([]float64, n)
+	rnd := rng.New(m.Seed ^ 0xbb67ae8584caa73b)
+
+	// Early stopping: hold out a random validation subset that trees
+	// never fit on, and monitor its MAE round by round.
+	var trainRows, valRows []int
+	if m.EarlyStoppingRounds > 0 {
+		perm := rnd.Perm(n)
+		nVal := int(float64(n) * m.ValidationFraction)
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal >= n {
+			nVal = n - 1
+		}
+		valRows = append(valRows, perm[:nVal]...)
+		trainRows = append(trainRows, perm[nVal:]...)
+		sort.Ints(trainRows)
+		sort.Ints(valRows)
+	} else {
+		trainRows = allRows(n)
+	}
+
+	bestLoss := math.Inf(1)
+	bestRound := 0
+	stale := 0
+
+	m.trees = m.trees[:0]
+	for round := 0; round < m.NEstimators; round++ {
+		for i := range grad {
+			grad[i] = pred[i] - y[i] // d/dF ½(F−y)²
+		}
+		rows := trainRows
+		if m.Subsample < 1 {
+			rows = sampleFrom(trainRows, m.Subsample, rnd)
+		}
+		bt := m.growTree(binned, grad, rows)
+		m.trees = append(m.trees, bt)
+		// Update predictions on all rows (not only the subsample).
+		for i := 0; i < n; i++ {
+			pred[i] += predictTreeBinned(&bt, binned[i])
+		}
+		if m.EarlyStoppingRounds > 0 {
+			var loss float64
+			for _, i := range valRows {
+				loss += math.Abs(pred[i] - y[i])
+			}
+			loss /= float64(len(valRows))
+			if loss < bestLoss-1e-12 {
+				bestLoss = loss
+				bestRound = round
+				stale = 0
+			} else {
+				stale++
+				if stale >= m.EarlyStoppingRounds {
+					break
+				}
+			}
+		}
+	}
+	if m.EarlyStoppingRounds > 0 {
+		m.trees = m.trees[:bestRound+1]
+	}
+	m.width = p
+	m.fitted = true
+	return nil
+}
+
+// growTree builds one depth-limited tree on the gradient targets using
+// per-node histograms. Leaf values are −G/(H+λ)·η where H is the sample
+// count (unit hessian for squared loss) and η the learning rate.
+func (m *Model) growTree(binned [][]uint8, grad []float64, rows []int) boostTree {
+	bt := boostTree{}
+	newLeaf := func(rows []int) int32 {
+		var g float64
+		for _, i := range rows {
+			g += grad[i]
+		}
+		val := -g / (float64(len(rows)) + m.Lambda) * m.LearningRate
+		bt.nodes = append(bt.nodes, bnode{feature: -1, value: val})
+		return int32(len(bt.nodes) - 1)
+	}
+
+	var build func(rows []int, depth int) int32
+	build = func(rows []int, depth int) int32 {
+		self := newLeaf(rows)
+		if depth >= m.MaxDepth || len(rows) < 2*m.MinChildSamples {
+			return self
+		}
+		feat, bin, gain := m.bestHistSplit(binned, grad, rows)
+		if gain <= 1e-12 {
+			return self
+		}
+		left := make([]int, 0, len(rows))
+		right := make([]int, 0, len(rows))
+		for _, i := range rows {
+			if binned[i][feat] <= bin {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) < m.MinChildSamples || len(right) < m.MinChildSamples {
+			return self
+		}
+		bt.nodes[self].feature = feat
+		// Raw-space threshold: the upper edge of the split bin, so that
+		// raw x ≤ edge routes left exactly like bin ≤ b.
+		bt.nodes[self].threshold = m.edges[feat][bin]
+		bt.nodes[self].bin = bin
+		l := build(left, depth+1)
+		r := build(right, depth+1)
+		bt.nodes[self].left = l
+		bt.nodes[self].right = r
+		return self
+	}
+	build(rows, 0)
+	return bt
+}
+
+// bestHistSplit scans per-feature histograms for the split with the best
+// regularized gain.
+func (m *Model) bestHistSplit(binned [][]uint8, grad []float64, rows []int) (feature int, bin uint8, gain float64) {
+	p := len(binned[rows[0]])
+	var gTot float64
+	for _, i := range rows {
+		gTot += grad[i]
+	}
+	hTot := float64(len(rows))
+	parent := gTot * gTot / (hTot + m.Lambda)
+
+	bestGain := 0.0
+	bestFeat, bestBin := -1, uint8(0)
+	var histG [256]float64
+	var histN [256]int
+
+	for f := 0; f < p; f++ {
+		nb := len(m.edges[f]) + 1
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			histG[b] = 0
+			histN[b] = 0
+		}
+		for _, i := range rows {
+			b := binned[i][f]
+			histG[b] += grad[i]
+			histN[b]++
+		}
+		var gl float64
+		var nl int
+		for b := 0; b < nb-1; b++ {
+			gl += histG[b]
+			nl += histN[b]
+			nr := len(rows) - nl
+			if nl < m.MinChildSamples || nr < m.MinChildSamples {
+				continue
+			}
+			gr := gTot - gl
+			g := gl*gl/(float64(nl)+m.Lambda) + gr*gr/(float64(nr)+m.Lambda) - parent
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestBin = uint8(b)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0
+	}
+	return bestFeat, bestBin, bestGain
+}
+
+// predictTreeBinned walks one stage in bin space (training-time rows).
+func predictTreeBinned(bt *boostTree, row []uint8) float64 {
+	i := int32(0)
+	for {
+		nd := &bt.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if row[nd.feature] <= nd.bin {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// predictTreeRaw walks one stage in raw feature space (inference).
+func predictTreeRaw(bt *boostTree, x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &bt.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Predict returns the boosted prediction for a raw feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic("gbm: Predict before Fit")
+	}
+	if len(x) != m.width {
+		panic(fmt.Sprintf("gbm: feature width %d, model width %d", len(x), m.width))
+	}
+	s := m.baseScore
+	for t := range m.trees {
+		s += predictTreeRaw(&m.trees[t], x)
+	}
+	return s
+}
+
+// TreeCount returns the number of boosting stages fitted.
+func (m *Model) TreeCount() int { return len(m.trees) }
+
+// allRows returns the identity index set [0, n).
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// sampleFrom draws a without-replacement subsample of the given rows
+// (at least 2 rows are kept so a split stays possible).
+func sampleFrom(rows []int, fraction float64, rnd *rng.Source) []int {
+	n := len(rows)
+	k := int(float64(n) * fraction)
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rnd.Perm(n)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = rows[perm[i]]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// quantileEdges computes ≤ maxBins−1 ascending unique bin upper edges for
+// column j from the training data.
+func quantileEdges(x [][]float64, j, maxBins int) []float64 {
+	vals := make([]float64, len(x))
+	for i := range x {
+		vals[i] = x[i][j]
+	}
+	sort.Float64s(vals)
+	// Deduplicate.
+	uniq := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) <= 1 {
+		return nil // constant column: no edges, single bin
+	}
+	nEdges := maxBins - 1
+	if nEdges > len(uniq)-1 {
+		nEdges = len(uniq) - 1
+	}
+	edges := make([]float64, 0, nEdges)
+	for k := 1; k <= nEdges; k++ {
+		pos := k * len(uniq) / (nEdges + 1)
+		if pos >= len(uniq)-1 {
+			pos = len(uniq) - 2
+		}
+		// Midpoint between consecutive unique values, like exact CART.
+		e := uniq[pos] + (uniq[pos+1]-uniq[pos])/2
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// binOf maps a raw value to its bin: the smallest k with v ≤ edges[k],
+// or len(edges) when v exceeds every edge.
+func binOf(v float64, edges []float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo > 255 {
+		lo = 255
+	}
+	return uint8(lo)
+}

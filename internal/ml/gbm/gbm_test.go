@@ -1,0 +1,190 @@
+package gbm
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sine(seed uint64, n int, noise float64) (x [][]float64, y []float64) {
+	rnd := rng.New(seed)
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		v := rnd.Range(0, 2*math.Pi)
+		x[i] = []float64{v}
+		y[i] = math.Sin(v)*5 + rnd.NormFloat64()*noise
+	}
+	return x, y
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	x, y := sine(1, 600, 0.1)
+	m := New(Config{NEstimators: 200, MaxDepth: 4, LearningRate: 0.1, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, math.Pi / 2, 3, 5} {
+		want := math.Sin(v) * 5
+		if got := m.Predict([]float64{v}); math.Abs(got-want) > 1 {
+			t.Fatalf("Predict(%v) = %v, want ≈%v", v, got, want)
+		}
+	}
+	if m.TreeCount() != 200 {
+		t.Fatalf("TreeCount = %d", m.TreeCount())
+	}
+}
+
+func TestMoreRoundsFitBetter(t *testing.T) {
+	x, y := sine(2, 400, 0.1)
+	trainMAE := func(rounds int) float64 {
+		m := New(Config{NEstimators: rounds, MaxDepth: 3, LearningRate: 0.1, Seed: 1})
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range x {
+			s += math.Abs(m.Predict(x[i]) - y[i])
+		}
+		return s / float64(len(x))
+	}
+	few := trainMAE(5)
+	many := trainMAE(150)
+	if many >= few {
+		t.Fatalf("training error did not improve with rounds: %v -> %v", few, many)
+	}
+}
+
+func TestBaseScoreIsMeanForZeroRounds(t *testing.T) {
+	// One round with learning rate ~0 keeps predictions at the mean.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	m := New(Config{NEstimators: 1, LearningRate: 1e-12, MaxDepth: 2, MinChildSamples: 1, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2.5}); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("near-zero-shrinkage prediction = %v, want mean 5", got)
+	}
+}
+
+func TestBinningRoundTripProperty(t *testing.T) {
+	// binOf must be monotone and consistent with the edge semantics:
+	// bin(x) <= b  ⟺  x <= edges[b].
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n := 30 + rnd.Intn(200)
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = []float64{rnd.Range(-100, 100)}
+		}
+		edges := quantileEdges(x, 0, 16)
+		if !sort.Float64sAreSorted(edges) {
+			return false
+		}
+		for i := range x {
+			v := x[i][0]
+			b := binOf(v, edges)
+			if int(b) > len(edges) {
+				return false
+			}
+			// v must be > all edges below its bin and <= edge at bin.
+			if int(b) < len(edges) && v > edges[b] {
+				return false
+			}
+			if b > 0 && v <= edges[b-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantColumnHandled(t *testing.T) {
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 5}, {5, 6}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	m := New(Config{NEstimators: 50, MaxDepth: 3, MinChildSamples: 1, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{5, 3.5})
+	if math.IsNaN(got) || got < 1 || got > 6 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestSubsampleStillLearns(t *testing.T) {
+	x, y := sine(3, 600, 0.1)
+	m := New(Config{NEstimators: 250, MaxDepth: 4, LearningRate: 0.1, Subsample: 0.6, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{math.Pi / 2}); math.Abs(got-5) > 1.5 {
+		t.Fatalf("subsampled prediction = %v, want ≈5", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	x, y := sine(4, 300, 0.2)
+	a := New(Config{NEstimators: 60, Subsample: 0.7, Seed: 5})
+	b := New(Config{NEstimators: 60, Subsample: 0.7, Seed: 5})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.3, 2, 4.4} {
+		if a.Predict([]float64{v}) != b.Predict([]float64{v}) {
+			t.Fatal("same seed produced different ensembles")
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	m := New(Config{NEstimators: -5, LearningRate: -1, MaxDepth: 0, MaxBins: 10000, Subsample: 7})
+	d := DefaultConfig()
+	if m.NEstimators != d.NEstimators || m.LearningRate != d.LearningRate ||
+		m.MaxDepth != d.MaxDepth || m.MaxBins != d.MaxBins || m.Subsample != d.Subsample {
+		t.Fatalf("invalid config not normalized: %+v", m.Config)
+	}
+}
+
+func TestEmptyFitRejected(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{}).Predict([]float64{1})
+}
+
+func TestTrainingPredictionsMatchRawPath(t *testing.T) {
+	// The bin-space traversal used during training and the raw-space
+	// traversal used at inference must agree on training points.
+	x, y := sine(6, 200, 0.3)
+	m := New(Config{NEstimators: 40, MaxDepth: 4, Seed: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Refit residuals must be consistent: check train MAE is small,
+	// which only happens when both traversals agreed during boosting.
+	var s float64
+	for i := range x {
+		s += math.Abs(m.Predict(x[i]) - y[i])
+	}
+	if mae := s / float64(len(x)); mae > 1 {
+		t.Fatalf("train MAE %v too large: traversal paths disagree", mae)
+	}
+}

@@ -1,0 +1,156 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRecoversExactLinearFunction(t *testing.T) {
+	// y = 2x1 − 3x2 + 5.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1}, {0, 0}}
+	y := make([]float64, len(x))
+	for i, r := range x {
+		y[i] = 2*r[0] - 3*r[1] + 5
+	}
+	m := New()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	w, b, err := m.Coefficients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-2) > 1e-9 || math.Abs(w[1]+3) > 1e-9 || math.Abs(b-5) > 1e-9 {
+		t.Fatalf("w=%v b=%v, want [2 -3] 5", w, b)
+	}
+	if got := m.Predict([]float64{10, 10}); math.Abs(got-(-5)) > 1e-8 {
+		t.Fatalf("Predict = %v, want -5", got)
+	}
+}
+
+func TestRecoveryProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		p := 1 + rnd.Intn(4)
+		n := p + 3 + rnd.Intn(30)
+		wTrue := make([]float64, p)
+		for j := range wTrue {
+			wTrue[j] = rnd.Range(-10, 10)
+		}
+		bTrue := rnd.Range(-10, 10)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			row := make([]float64, p)
+			for j := range row {
+				row[j] = rnd.Range(-5, 5)
+			}
+			x[i] = row
+			y[i] = bTrue
+			for j := range row {
+				y[i] += wTrue[j] * row[j]
+			}
+		}
+		m := New()
+		if m.Fit(x, y) != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(m.Predict(x[i])-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	rnd := rng.New(3)
+	x := make([][]float64, 40)
+	y := make([]float64, 40)
+	for i := range x {
+		v := rnd.Range(-1, 1)
+		x[i] = []float64{v}
+		y[i] = 4*v + rnd.NormFloat64()
+	}
+	ols := New()
+	ridge := NewRidge(100)
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wo, _, _ := ols.Coefficients()
+	wr, _, _ := ridge.Coefficients()
+	if math.Abs(wr[0]) >= math.Abs(wo[0]) {
+		t.Fatalf("ridge |w|=%v not smaller than OLS |w|=%v", wr[0], wo[0])
+	}
+}
+
+func TestCollinearFeaturesDoNotFail(t *testing.T) {
+	// Second column is an exact copy of the first: the normal equations
+	// are singular; the jitter fallback must keep OLS usable.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := New()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatalf("collinear fit failed: %v", err)
+	}
+	if got := m.Predict([]float64{5, 5}); math.Abs(got-10) > 1e-3 {
+		t.Fatalf("Predict = %v, want 10", got)
+	}
+}
+
+func TestNegativeRidgeRejected(t *testing.T) {
+	m := NewRidge(-1)
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("negative ridge accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().Predict([]float64{1})
+}
+
+func TestPredictWidthMismatchPanics(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestCoefficientsBeforeFit(t *testing.T) {
+	if _, _, err := New().Coefficients(); err == nil {
+		t.Fatal("Coefficients before Fit accepted")
+	}
+}
+
+func TestRefitDiscardsState(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{4}); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("refit Predict = %v, want 40", got)
+	}
+}

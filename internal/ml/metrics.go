@@ -1,0 +1,86 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAE returns the mean absolute error between equal-length slices.
+func MAE(yTrue, yPred []float64) (float64, error) {
+	if err := sameLen(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range yTrue {
+		s += math.Abs(yTrue[i] - yPred[i])
+	}
+	return s / float64(len(yTrue)), nil
+}
+
+// MSE returns the mean squared error.
+func MSE(yTrue, yPred []float64) (float64, error) {
+	if err := sameLen(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		s += d * d
+	}
+	return s / float64(len(yTrue)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) (float64, error) {
+	m, err := MSE(yTrue, yPred)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(m), nil
+}
+
+// R2 returns the coefficient of determination. A constant true series
+// yields R2 = 0 by convention.
+func R2(yTrue, yPred []float64) (float64, error) {
+	if err := sameLen(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, v := range yTrue {
+		mean += v
+	}
+	mean /= float64(len(yTrue))
+	var ssRes, ssTot float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		ssRes += d * d
+		t := yTrue[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// MeanError returns the signed mean error (bias): mean(yTrue − yPred).
+func MeanError(yTrue, yPred []float64) (float64, error) {
+	if err := sameLen(yTrue, yPred); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range yTrue {
+		s += yTrue[i] - yPred[i]
+	}
+	return s / float64(len(yTrue)), nil
+}
+
+func sameLen(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("ml: metric length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return fmt.Errorf("ml: metric on empty slices")
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestValidateXY(t *testing.T) {
+	if err := ValidateXY(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty: %v", err)
+	}
+	if err := ValidateXY([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := ValidateXY([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if err := ValidateXY([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("zero-width rows accepted")
+	}
+	if err := ValidateXY([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+}
+
+func TestDataset(t *testing.T) {
+	d, err := NewDataset([]string{"a", "b"}, [][]float64{{1, 2}, {3, 4}, {5, 6}}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Width() != 2 {
+		t.Fatalf("len=%d width=%d", d.Len(), d.Width())
+	}
+	sub := d.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Y[0] != 3 || sub.X[1][0] != 1 {
+		t.Fatalf("subset wrong: %+v", sub)
+	}
+	if _, err := NewDataset([]string{"only-one"}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("name/width mismatch accepted")
+	}
+}
+
+func TestSplitHoldoutChronological(t *testing.T) {
+	x := make([][]float64, 10)
+	y := make([]float64, 10)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = float64(i)
+	}
+	d, _ := NewDataset(nil, x, y)
+	train, test, err := d.SplitHoldout(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 7 || test.Len() != 3 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Order preserved: train gets the chronological head.
+	if train.Y[6] != 6 || test.Y[0] != 7 {
+		t.Fatal("split not chronological")
+	}
+	if _, _, err := d.SplitHoldout(0); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, _, err := d.SplitHoldout(1); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	yt := []float64{1, 2, 3}
+	yp := []float64{2, 2, 1}
+	mae, _ := MAE(yt, yp)
+	if mae != 1 {
+		t.Fatalf("MAE = %v, want 1", mae)
+	}
+	mse, _ := MSE(yt, yp)
+	if want := (1.0 + 0 + 4) / 3; mse != want {
+		t.Fatalf("MSE = %v, want %v", mse, want)
+	}
+	rmse, _ := RMSE(yt, yp)
+	if math.Abs(rmse-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+	me, _ := MeanError(yt, yp)
+	if want := (-1.0 + 0 + 2) / 3; me != want {
+		t.Fatalf("MeanError = %v, want %v", me, want)
+	}
+	r2, _ := R2(yt, yt)
+	if r2 != 1 {
+		t.Fatalf("perfect R2 = %v", r2)
+	}
+	r2c, _ := R2([]float64{5, 5}, []float64{1, 9})
+	if r2c != 0 {
+		t.Fatalf("constant-truth R2 = %v, want 0 by convention", r2c)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+}
+
+func TestKFoldPartitionProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		k := int(kRaw%4) + 2
+		folds, err := KFold(n, k, true, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		if len(folds) != k {
+			return false
+		}
+		seen := make([]int, n)
+		for _, f := range folds {
+			if len(f.Train)+len(f.Val) != n {
+				return false
+			}
+			for _, i := range f.Val {
+				seen[i]++
+			}
+			// Train and val must be disjoint.
+			inVal := map[int]bool{}
+			for _, i := range f.Val {
+				inVal[i] = true
+			}
+			for _, i := range f.Train {
+				if inVal[i] {
+					return false
+				}
+			}
+		}
+		// Every sample appears in exactly one validation fold.
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKFoldBalancedSizes(t *testing.T) {
+	folds, err := KFold(11, 3, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{len(folds[0].Val), len(folds[1].Val), len(folds[2].Val)}
+	if sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 3 {
+		t.Fatalf("fold sizes %v, want [4 4 3]", sizes)
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := KFold(10, 1, false, nil); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KFold(2, 3, false, nil); err == nil {
+		t.Fatal("n < k accepted")
+	}
+	if _, err := KFold(10, 2, true, nil); err == nil {
+		t.Fatal("shuffle without source accepted")
+	}
+}
+
+// meanModel predicts the training mean: a deterministic stub for CV.
+type meanModel struct{ mean float64 }
+
+func (m *meanModel) Fit(x [][]float64, y []float64) error {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	m.mean = s / float64(len(y))
+	return nil
+}
+func (m *meanModel) Predict([]float64) float64 { return m.mean }
+
+func TestCrossValidate(t *testing.T) {
+	x := make([][]float64, 20)
+	y := make([]float64, 20)
+	for i := range x {
+		x[i] = []float64{0}
+		y[i] = 10 // constant target: CV loss of the mean model is 0
+	}
+	d, _ := NewDataset(nil, x, y)
+	score, err := CrossValidate(func() Regressor { return &meanModel{} }, d, 5, MAE, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 {
+		t.Fatalf("CV score = %v, want 0", score)
+	}
+}
+
+// paramModel predicts its parameter; grid search must pick the parameter
+// matching the constant target.
+type paramModel struct{ v float64 }
+
+func (m *paramModel) Fit([][]float64, []float64) error { return nil }
+func (m *paramModel) Predict([]float64) float64        { return m.v }
+
+func TestGridSearchPicksBest(t *testing.T) {
+	x := make([][]float64, 15)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i] = []float64{0}
+		y[i] = 7
+	}
+	d, _ := NewDataset(nil, x, y)
+	res, err := GridSearchCV(
+		func(p Params) Regressor { return &paramModel{v: p["v"]} },
+		Grid{"v": {1, 7, 30}},
+		d, 3, MAE, rng.New(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["v"] != 7 {
+		t.Fatalf("best = %v, want v=7", res.Best)
+	}
+	if res.BestScore != 0 {
+		t.Fatalf("best score = %v, want 0", res.BestScore)
+	}
+	if res.Evaluated != 3 {
+		t.Fatalf("evaluated = %d, want 3", res.Evaluated)
+	}
+}
+
+func TestGridExpandDeterministic(t *testing.T) {
+	g := Grid{"b": {1, 2}, "a": {10}}
+	got := g.Expand()
+	if len(got) != 2 {
+		t.Fatalf("expanded %d configs, want 2", len(got))
+	}
+	// Keys sorted: "a" iterates before "b".
+	if got[0]["a"] != 10 || got[0]["b"] != 1 || got[1]["b"] != 2 {
+		t.Fatalf("expansion order wrong: %v", got)
+	}
+	if fmt.Sprint(got[0]) == "" {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestGridSearchEmptyGrid(t *testing.T) {
+	d, _ := NewDataset(nil, [][]float64{{1}, {2}, {3}}, []float64{1, 2, 3})
+	// An empty grid expands to one empty config and must still work.
+	res, err := GridSearchCV(func(Params) Regressor { return &meanModel{} }, Grid{}, d, 3, MAE, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 1 {
+		t.Fatalf("evaluated = %d, want 1", res.Evaluated)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{"z": 1, "a": 2.5}
+	if got := p.String(); got != "{a=2.5, z=1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	out := PredictBatch(&paramModel{v: 3}, [][]float64{{1}, {2}})
+	if len(out) != 2 || out[0] != 3 || out[1] != 3 {
+		t.Fatalf("batch = %v", out)
+	}
+}

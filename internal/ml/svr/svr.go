@@ -1,0 +1,220 @@
+// Package svr implements linear ε-insensitive support vector regression —
+// the paper's LSVR model. (The paper restricts itself to the linear
+// kernel "due to the high computational complexity of non-linear
+// kernels".)
+//
+// The solver is dual coordinate descent for L2-regularized L1-loss SVR,
+// following Ho & Lin, "Large-scale Linear Support Vector Regression"
+// (JMLR 2012) — the same algorithm family liblinear uses. Features and
+// target are standardized internally so the (ε, C) grid of the paper
+// behaves comparably across vehicles.
+package svr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// Model is a linear ε-SVR: ŷ = w·x + b with ε-insensitive absolute loss.
+type Model struct {
+	// Epsilon is the insensitivity tube half-width, in standardized
+	// target units (paper grid: 0.5 … 2.5).
+	Epsilon float64
+	// C is the per-sample loss weight (paper grid: 0.01 … 100).
+	C float64
+	// MaxEpochs bounds the number of passes over the data.
+	MaxEpochs int
+	// Tol is the convergence threshold on the largest coordinate move.
+	Tol float64
+	// Seed drives the coordinate-order shuffling.
+	Seed uint64
+
+	weights   []float64
+	intercept float64
+
+	xMean, xStd []float64
+	yMean, yStd float64
+	fitted      bool
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// New returns an SVR with the given tube width and cost, and sensible
+// solver defaults.
+func New(epsilon, c float64) *Model {
+	return &Model{Epsilon: epsilon, C: c, MaxEpochs: 200, Tol: 1e-4, Seed: 1}
+}
+
+// Fit trains by dual coordinate descent. For each sample i the dual
+// variable βᵢ ∈ [−C, C] is updated by exact minimization of the one-
+// dimensional subproblem; the primal weights w = Σ βᵢ xᵢ are maintained
+// incrementally.
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateXY(x, y); err != nil {
+		return err
+	}
+	if m.Epsilon < 0 {
+		return fmt.Errorf("svr: negative epsilon %v", m.Epsilon)
+	}
+	if m.C <= 0 {
+		return fmt.Errorf("svr: non-positive C %v", m.C)
+	}
+	if m.MaxEpochs <= 0 {
+		m.MaxEpochs = 200
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-4
+	}
+	n, p := len(x), len(x[0])
+
+	// Standardize features and target; constant columns get std 1 so
+	// they become all-zero and harmless.
+	m.xMean, m.xStd = columnStats(x)
+	m.yMean, m.yStd = scalarStats(y)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j, v := range x[i] {
+			row[j] = (v - m.xMean[j]) / m.xStd[j]
+		}
+		xs[i] = row
+		ys[i] = (y[i] - m.yMean) / m.yStd
+	}
+
+	// Augment with a constant column so the bias is learned jointly.
+	const biasScale = 1.0
+	q := make([]float64, n) // Q_ii = ‖x̃ᵢ‖²
+	for i, row := range xs {
+		s := biasScale * biasScale
+		for _, v := range row {
+			s += v * v
+		}
+		q[i] = s
+	}
+
+	w := make([]float64, p)
+	var b float64
+	beta := make([]float64, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rnd := rng.New(m.Seed)
+
+	for epoch := 0; epoch < m.MaxEpochs; epoch++ {
+		rnd.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		maxMove := 0.0
+		for _, i := range order {
+			if q[i] == 0 {
+				continue
+			}
+			row := xs[i]
+			g := b*biasScale - ys[i]
+			for j, v := range row {
+				g += w[j] * v
+			}
+			s := beta[i]
+			// Exact minimizer of ½Q z² − ... with the ε-|z| kink at 0,
+			// projected onto [−C, C].
+			zp := s - (g+m.Epsilon)/q[i]
+			zn := s - (g-m.Epsilon)/q[i]
+			var z float64
+			switch {
+			case zp > 0:
+				z = zp
+			case zn < 0:
+				z = zn
+			default:
+				z = 0
+			}
+			if z > m.C {
+				z = m.C
+			} else if z < -m.C {
+				z = -m.C
+			}
+			d := z - s
+			if d == 0 {
+				continue
+			}
+			beta[i] = z
+			for j, v := range row {
+				w[j] += d * v
+			}
+			b += d * biasScale
+			if ad := math.Abs(d); ad > maxMove {
+				maxMove = ad
+			}
+		}
+		if maxMove < m.Tol {
+			break
+		}
+	}
+
+	m.weights = w
+	m.intercept = b * biasScale
+	m.fitted = true
+	return nil
+}
+
+// Predict maps x through the standardization and the linear function,
+// returning a value in the original target units.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic("svr: Predict before Fit")
+	}
+	if len(x) != len(m.weights) {
+		panic(fmt.Sprintf("svr: feature width %d, model width %d", len(x), len(m.weights)))
+	}
+	s := m.intercept
+	for j, v := range x {
+		s += m.weights[j] * (v - m.xMean[j]) / m.xStd[j]
+	}
+	return s*m.yStd + m.yMean
+}
+
+func columnStats(x [][]float64) (mean, std []float64) {
+	n, p := len(x), len(x[0])
+	mean = make([]float64, p)
+	std = make([]float64, p)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return mean, std
+}
+
+func scalarStats(y []float64) (mean, std float64) {
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(y)))
+	if std == 0 {
+		std = 1
+	}
+	return mean, std
+}

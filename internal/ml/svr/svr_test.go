@@ -1,0 +1,158 @@
+package svr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/linreg"
+	"repro/internal/rng"
+)
+
+func TestFitsLinearData(t *testing.T) {
+	// y = 3x + 1 with no noise: SVR must track it within the tube.
+	rnd := rng.New(1)
+	x := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		v := rnd.Range(-5, 5)
+		x[i] = []float64{v}
+		y[i] = 3*v + 1
+	}
+	m := New(0.01, 10)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-4, 0, 4} {
+		want := 3*v + 1
+		if got := m.Predict([]float64{v}); math.Abs(got-want) > 0.3 {
+			t.Fatalf("Predict(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestMultivariate(t *testing.T) {
+	rnd := rng.New(2)
+	x := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range x {
+		a, b := rnd.Range(-2, 2), rnd.Range(-2, 2)
+		x[i] = []float64{a, b}
+		y[i] = 2*a - b + 0.5
+	}
+	m := New(0.05, 10)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-1.5) > 0.3 {
+		t.Fatalf("Predict = %v, want 1.5", got)
+	}
+}
+
+func TestRobustToOutliers(t *testing.T) {
+	// ε-insensitive L1 loss caps each sample's dual weight at C, so a
+	// single wild outlier pulls the fit far less than squared loss
+	// does. Compare against OLS on identical data.
+	rnd := rng.New(3)
+	x := make([][]float64, 61)
+	y := make([]float64, 61)
+	for i := 0; i < 60; i++ {
+		v := rnd.Range(0, 10)
+		x[i] = []float64{v}
+		y[i] = 2 * v
+	}
+	x[60] = []float64{5}
+	y[60] = 1000 // outlier
+
+	m := New(0.1, 1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ols := linreg.New()
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	const want = 10.0 // true value at x = 5
+	svrErr := math.Abs(m.Predict([]float64{5}) - want)
+	olsErr := math.Abs(ols.Predict([]float64{5}) - want)
+	if svrErr >= olsErr {
+		t.Fatalf("SVR error %v not below OLS error %v under an outlier", svrErr, olsErr)
+	}
+}
+
+func TestEpsilonTubeTolerance(t *testing.T) {
+	// With a huge tube every residual fits inside it, so the solution
+	// stays at beta = 0 and predictions equal the target mean.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m := New(1000, 10)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mean := 2.5
+	for _, row := range x {
+		if got := m.Predict(row); math.Abs(got-mean) > 1e-6 {
+			t.Fatalf("giant tube prediction %v, want mean %v", got, mean)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := New(-1, 1)
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	m = New(0.1, 0)
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("zero C accepted")
+	}
+	m = New(0.1, 1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rnd := rng.New(4)
+	x := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		v := rnd.Range(-3, 3)
+		x[i] = []float64{v}
+		y[i] = v + rnd.NormFloat64()*0.1
+	}
+	a, b := New(0.1, 5), New(0.1, 5)
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-2, 0, 2} {
+		if a.Predict([]float64{v}) != b.Predict([]float64{v}) {
+			t.Fatal("same seed, different models")
+		}
+	}
+}
+
+func TestConstantFeatureHarmless(t *testing.T) {
+	// A constant column must not produce NaNs (std = 0 handling).
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}, {5, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := New(0.01, 10)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{5, 2.5})
+	if math.IsNaN(got) || math.Abs(got-5) > 1 {
+		t.Fatalf("Predict = %v, want ≈5", got)
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0.1, 1).Predict([]float64{1})
+}

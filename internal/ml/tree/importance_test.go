@@ -1,0 +1,85 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestImportancesIdentifyInformativeFeature(t *testing.T) {
+	// Feature 0 fully determines y; features 1 and 2 are noise.
+	rnd := rng.New(1)
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rnd.Range(-5, 5)
+		x[i] = []float64{v, rnd.Float64(), rnd.Float64()}
+		y[i] = 3 * v
+	}
+	m := New(Config{MaxDepth: 8})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := m.Importances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("got %d importances", len(imp))
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	if imp[0] < 0.9 {
+		t.Fatalf("informative feature importance %v, want > 0.9 (all: %v)", imp[0], imp)
+	}
+}
+
+func TestImportancesSingleLeaf(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := m.Importances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] != 0 {
+		t.Fatalf("single-leaf importance %v, want 0", imp[0])
+	}
+}
+
+func TestImportancesBeforeFit(t *testing.T) {
+	if _, err := New(Config{}).Importances(); err == nil {
+		t.Fatal("Importances before Fit accepted")
+	}
+}
+
+func TestImportancesReturnsCopy(t *testing.T) {
+	m := New(Config{MaxDepth: 3})
+	rnd := rng.New(2)
+	x := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = []float64{rnd.Float64()}
+		y[i] = x[i][0] * 10
+	}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Importances()
+	a[0] = 999
+	b, _ := m.Importances()
+	if b[0] == 999 {
+		t.Fatal("Importances exposes internal state")
+	}
+}

@@ -1,0 +1,283 @@
+// Package tree implements CART regression trees: binary trees grown by
+// exhaustive variance-reduction splitting. Decision trees are the
+// non-linear mapping the paper's ensemble methods (random forest and
+// gradient boosting) are built from.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds tree depth; 0 means unlimited. The root is depth 0.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size to attempt a split
+	// (default 2).
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum size of each child (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of candidate features examined per
+	// split; 0 means all. Random forests set this below the feature
+	// count to decorrelate trees.
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures is active.
+	Seed uint64
+}
+
+// Model is a fitted CART regression tree.
+type Model struct {
+	Config
+
+	nodes       []node
+	width       int
+	importances []float64
+	fitted      bool
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int32
+	value       float64
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// New returns a tree with the given config, applying defaults for unset
+// minimums.
+func New(cfg Config) *Model {
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	if cfg.MinSamplesLeaf < 1 {
+		cfg.MinSamplesLeaf = 1
+	}
+	return &Model{Config: cfg}
+}
+
+// builder carries the per-Fit working state.
+type builder struct {
+	x       [][]float64
+	y       []float64
+	cfg     Config
+	rnd     *rng.Source
+	feats   []int
+	nodes   []node
+	sorted  []int // scratch index buffer
+	minLeaf int
+	// gains accumulates per-feature split improvement (SSE reduction)
+	// for feature importances.
+	gains []float64
+}
+
+// Fit grows the tree on (x, y).
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if err := ml.ValidateXY(x, y); err != nil {
+		return err
+	}
+	if m.MaxFeatures < 0 {
+		return fmt.Errorf("tree: negative MaxFeatures %d", m.MaxFeatures)
+	}
+	p := len(x[0])
+	b := &builder{
+		x:       x,
+		y:       y,
+		cfg:     m.Config,
+		rnd:     rng.New(m.Seed ^ 0x9e3779b97f4a7c15),
+		minLeaf: m.MinSamplesLeaf,
+	}
+	b.feats = make([]int, p)
+	for j := range b.feats {
+		b.feats[j] = j
+	}
+	b.gains = make([]float64, p)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	b.grow(idx, 0)
+	m.nodes = b.nodes
+	m.width = p
+	m.importances = b.gains
+	m.fitted = true
+	return nil
+}
+
+// Importances returns the per-feature importance: total SSE reduction
+// contributed by splits on each feature, normalized to sum to 1 (all
+// zeros when the tree is a single leaf). The slice is a copy.
+func (m *Model) Importances() ([]float64, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("tree: Importances before Fit")
+	}
+	out := make([]float64, len(m.importances))
+	copy(out, m.importances)
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out, nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{feature: -1, value: mean(b.y, idx)})
+
+	if len(idx) < b.cfg.MinSamplesSplit {
+		return self
+	}
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return self
+	}
+	feat, thr, improvement, ok := b.bestSplit(idx)
+	if !ok {
+		return self
+	}
+	left := make([]int, 0, len(idx))
+	right := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		return self
+	}
+	b.gains[feat] += improvement
+	b.nodes[self].feature = feat
+	b.nodes[self].threshold = thr
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[self].left = l
+	b.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans candidate features for the split maximizing the
+// variance reduction; returns ok=false when no valid split exists.
+// improvement is the SSE reduction of the winning split.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, improvement float64, ok bool) {
+	candidates := b.feats
+	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < len(b.feats) {
+		b.rnd.Shuffle(len(b.feats), func(i, j int) { b.feats[i], b.feats[j] = b.feats[j], b.feats[i] })
+		candidates = b.feats[:b.cfg.MaxFeatures]
+	}
+
+	n := len(idx)
+	if cap(b.sorted) < n {
+		b.sorted = make([]int, n)
+	}
+	order := b.sorted[:n]
+
+	var total float64
+	for _, i := range idx {
+		total += b.y[i]
+	}
+	// A split must strictly reduce the within-node SSE: its score
+	// Σ_L²/n_L + Σ_R²/n_R must exceed the parent's Σ²/n. Without this
+	// guard a constant-target node would split arbitrarily (every
+	// split ties the parent score exactly).
+	parentScore := total * total / float64(n)
+	bestGain := parentScore + 1e-9*(1+math.Abs(parentScore))
+	for _, f := range candidates {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
+
+		var sumL float64
+		for pos := 0; pos < n-1; pos++ {
+			i := order[pos]
+			sumL += b.y[i]
+			nl := pos + 1
+			nr := n - nl
+			if nl < b.minLeaf || nr < b.minLeaf {
+				continue
+			}
+			xi, xnext := b.x[i][f], b.x[order[pos+1]][f]
+			if xi == xnext {
+				continue // cannot separate equal values
+			}
+			sumR := total - sumL
+			// Maximizing Σ_L²/n_L + Σ_R²/n_R is equivalent to
+			// minimizing within-child SSE for a fixed node.
+			gain := sumL*sumL/float64(nl) + sumR*sumR/float64(nr)
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = xi + (xnext-xi)/2
+				ok = true
+			}
+		}
+	}
+	if ok {
+		improvement = bestGain - parentScore
+	}
+	return feature, threshold, improvement, ok
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// Predict routes x through the tree to a leaf value.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted {
+		panic("tree: Predict before Fit")
+	}
+	if len(x) != m.width {
+		panic(fmt.Sprintf("tree: feature width %d, model width %d", len(x), m.width))
+	}
+	i := int32(0)
+	for {
+		nd := &m.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (m *Model) NodeCount() int { return len(m.nodes) }
+
+// Depth returns the depth of the fitted tree (root = 0, empty = -1).
+func (m *Model) Depth() int {
+	if len(m.nodes) == 0 {
+		return -1
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		nd := &m.nodes[i]
+		if nd.feature < 0 {
+			return 0
+		}
+		l, r := walk(nd.left), walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}

@@ -1,0 +1,157 @@
+// Package sched implements the paper's §6 extension: "we plan ... to
+// design ML supported scheduling strategies". It turns per-vehicle
+// next-maintenance forecasts into a concrete workshop plan under daily
+// capacity constraints, preferring to anticipate (never postpone past
+// the predicted due date, since running past the allowance violates the
+// maintenance contract).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Request is one vehicle's maintenance demand.
+type Request struct {
+	// VehicleID identifies the vehicle.
+	VehicleID string
+	// Due is the predicted maintenance due date.
+	Due time.Time
+	// Uncertainty widens the feasible window: a request may be
+	// scheduled up to Uncertainty days *before* Due to absorb forecast
+	// error (never after).
+	Uncertainty int
+	// Priority breaks ties; higher is served earlier.
+	Priority int
+}
+
+// Config bounds the workshop.
+type Config struct {
+	// Capacity is the number of maintenance slots per day.
+	Capacity int
+	// Horizon is the planning window starting at Start.
+	Start   time.Time
+	Horizon int
+	// MaxLead caps how many days before its due date a vehicle may be
+	// pulled in (beyond Uncertainty) when capacity forces anticipation.
+	MaxLead int
+}
+
+// Assignment schedules one request on a concrete day.
+type Assignment struct {
+	VehicleID string
+	Day       time.Time
+	// LeadDays is how many days before the due date the slot falls
+	// (0 = exactly on time).
+	LeadDays int
+}
+
+// Plan is the scheduling outcome.
+type Plan struct {
+	Assignments []Assignment
+	// Unschedulable lists vehicles that could not be placed inside the
+	// horizon under the capacity constraints.
+	Unschedulable []string
+}
+
+// ErrNoCapacity is returned when the config has non-positive capacity.
+var ErrNoCapacity = errors.New("sched: capacity must be positive")
+
+// Schedule places every request on a day with free capacity, scanning
+// from each request's due date backwards (earliest-deadline-first with
+// backward packing). The algorithm is greedy and deterministic: EDF
+// order is optimal for unit-length jobs with deadlines on identical
+// machines, and determinism keeps plans reproducible for dispatchers.
+func Schedule(reqs []Request, cfg Config) (*Plan, error) {
+	if cfg.Capacity <= 0 {
+		return nil, ErrNoCapacity
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sched: horizon %d must be positive", cfg.Horizon)
+	}
+	if cfg.MaxLead < 0 {
+		return nil, fmt.Errorf("sched: negative max lead %d", cfg.MaxLead)
+	}
+
+	day0 := cfg.Start.Truncate(24 * time.Hour)
+	dayIndex := func(t time.Time) int {
+		return int(t.Truncate(24*time.Hour).Sub(day0).Hours() / 24)
+	}
+
+	// EDF with priority tiebreak, then stable by ID for determinism.
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Due.Equal(sorted[j].Due) {
+			return sorted[i].Due.Before(sorted[j].Due)
+		}
+		if sorted[i].Priority != sorted[j].Priority {
+			return sorted[i].Priority > sorted[j].Priority
+		}
+		return sorted[i].VehicleID < sorted[j].VehicleID
+	})
+
+	load := make([]int, cfg.Horizon)
+	plan := &Plan{}
+	for _, r := range sorted {
+		due := dayIndex(r.Due)
+		if due < 0 {
+			// Already overdue: schedule as early as possible.
+			due = 0
+		}
+		if due >= cfg.Horizon {
+			plan.Unschedulable = append(plan.Unschedulable, r.VehicleID)
+			continue
+		}
+		lead := r.Uncertainty + cfg.MaxLead
+		earliest := due - lead
+		if earliest < 0 {
+			earliest = 0
+		}
+		placed := false
+		for d := due; d >= earliest; d-- {
+			if load[d] < cfg.Capacity {
+				load[d]++
+				plan.Assignments = append(plan.Assignments, Assignment{
+					VehicleID: r.VehicleID,
+					Day:       day0.AddDate(0, 0, d),
+					LeadDays:  due - d,
+				})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			plan.Unschedulable = append(plan.Unschedulable, r.VehicleID)
+		}
+	}
+	sort.Slice(plan.Assignments, func(i, j int) bool {
+		if !plan.Assignments[i].Day.Equal(plan.Assignments[j].Day) {
+			return plan.Assignments[i].Day.Before(plan.Assignments[j].Day)
+		}
+		return plan.Assignments[i].VehicleID < plan.Assignments[j].VehicleID
+	})
+	return plan, nil
+}
+
+// Utilization summarizes a plan: scheduled count, mean lead days, and
+// the peak daily load.
+func (p *Plan) Utilization() (scheduled int, meanLead float64, peakLoad int) {
+	if len(p.Assignments) == 0 {
+		return 0, 0, 0
+	}
+	perDay := map[string]int{}
+	var leadSum int
+	for _, a := range p.Assignments {
+		leadSum += a.LeadDays
+		perDay[a.Day.Format("2006-01-02")]++
+	}
+	for _, n := range perDay {
+		if n > peakLoad {
+			peakLoad = n
+		}
+	}
+	return len(p.Assignments), float64(leadSum) / float64(len(p.Assignments)), peakLoad
+}

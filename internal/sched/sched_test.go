@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+var day0 = time.Date(2020, 1, 6, 0, 0, 0, 0, time.UTC)
+
+func req(id string, dueOffset, uncertainty int) Request {
+	return Request{VehicleID: id, Due: day0.AddDate(0, 0, dueOffset), Uncertainty: uncertainty}
+}
+
+func TestSchedulesOnDueDayWhenFree(t *testing.T) {
+	plan, err := Schedule([]Request{req("a", 3, 0)}, Config{Capacity: 1, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 1 || plan.Assignments[0].LeadDays != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !plan.Assignments[0].Day.Equal(day0.AddDate(0, 0, 3)) {
+		t.Fatalf("scheduled on %v", plan.Assignments[0].Day)
+	}
+}
+
+func TestNeverSchedulesAfterDue(t *testing.T) {
+	// Three vehicles due the same day, capacity 1: two must be pulled
+	// earlier, none later.
+	reqs := []Request{req("a", 5, 2), req("b", 5, 2), req("c", 5, 2)}
+	plan, err := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 3 {
+		t.Fatalf("scheduled %d of 3", len(plan.Assignments))
+	}
+	for _, a := range plan.Assignments {
+		if a.Day.After(day0.AddDate(0, 0, 5)) {
+			t.Fatalf("%s scheduled after due date", a.VehicleID)
+		}
+		if a.LeadDays < 0 {
+			t.Fatalf("negative lead for %s", a.VehicleID)
+		}
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	var reqs []Request
+	ids := "abcdefgh"
+	for i := range ids {
+		reqs = append(reqs, req(string(ids[i]), 4, 4))
+	}
+	plan, err := Schedule(reqs, Config{Capacity: 2, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := map[string]int{}
+	for _, a := range plan.Assignments {
+		perDay[a.Day.Format("2006-01-02")]++
+	}
+	for d, n := range perDay {
+		if n > 2 {
+			t.Fatalf("day %s has %d jobs, capacity 2", d, n)
+		}
+	}
+}
+
+func TestUnschedulableDetected(t *testing.T) {
+	// Capacity 1, two vehicles due day 0 with no anticipation room.
+	reqs := []Request{req("a", 0, 0), req("b", 0, 0)}
+	plan, err := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 1 || len(plan.Unschedulable) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestBeyondHorizonUnschedulable(t *testing.T) {
+	plan, err := Schedule([]Request{req("a", 99, 0)}, Config{Capacity: 1, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unschedulable) != 1 {
+		t.Fatal("beyond-horizon request not reported")
+	}
+}
+
+func TestOverdueScheduledASAP(t *testing.T) {
+	plan, err := Schedule([]Request{{VehicleID: "late", Due: day0.AddDate(0, 0, -5)}},
+		Config{Capacity: 1, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 1 || !plan.Assignments[0].Day.Equal(day0) {
+		t.Fatalf("overdue plan = %+v", plan)
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	// Same due day, capacity 1: the high-priority vehicle keeps the
+	// due-day slot, the other gets pulled earlier.
+	reqs := []Request{
+		{VehicleID: "low", Due: day0.AddDate(0, 0, 3), Uncertainty: 3, Priority: 0},
+		{VehicleID: "high", Due: day0.AddDate(0, 0, 3), Uncertainty: 3, Priority: 5},
+	}
+	plan, err := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.VehicleID == "high" && a.LeadDays != 0 {
+			t.Fatalf("high-priority vehicle displaced: %+v", plan.Assignments)
+		}
+	}
+}
+
+func TestMaxLeadExtendsWindow(t *testing.T) {
+	reqs := []Request{req("a", 2, 0), req("b", 2, 0), req("c", 2, 0)}
+	// Without MaxLead only the due day is usable: two unschedulable.
+	tight, err := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Unschedulable) != 2 {
+		t.Fatalf("tight plan: %+v", tight)
+	}
+	// MaxLead 2 opens two earlier days.
+	loose, err := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 5, MaxLead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose.Unschedulable) != 0 {
+		t.Fatalf("loose plan: %+v", loose)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Schedule(nil, Config{Capacity: 0, Start: day0, Horizon: 5}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Schedule(nil, Config{Capacity: 1, Start: day0, Horizon: 0}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := Schedule(nil, Config{Capacity: 1, Start: day0, Horizon: 5, MaxLead: -1}); err == nil {
+		t.Fatal("negative max lead accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	reqs := []Request{req("b", 4, 2), req("a", 4, 2), req("c", 2, 1)}
+	cfg := Config{Capacity: 1, Start: day0, Horizon: 10, MaxLead: 1}
+	p1, _ := Schedule(reqs, cfg)
+	p2, _ := Schedule(reqs, cfg)
+	if len(p1.Assignments) != len(p2.Assignments) {
+		t.Fatal("non-deterministic plan size")
+	}
+	for i := range p1.Assignments {
+		if p1.Assignments[i] != p2.Assignments[i] {
+			t.Fatal("non-deterministic assignment order")
+		}
+	}
+}
+
+func TestUtilizationStats(t *testing.T) {
+	reqs := []Request{req("a", 1, 1), req("b", 1, 1)}
+	plan, _ := Schedule(reqs, Config{Capacity: 1, Start: day0, Horizon: 5})
+	n, lead, peak := plan.Utilization()
+	if n != 2 || peak != 1 {
+		t.Fatalf("n=%d peak=%d", n, peak)
+	}
+	if lead != 0.5 { // one on time, one a day early
+		t.Fatalf("mean lead = %v, want 0.5", lead)
+	}
+	var empty Plan
+	if n, _, _ := empty.Utilization(); n != 0 {
+		t.Fatal("empty utilization wrong")
+	}
+}
+
+func TestScheduleInvariantsProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n := 1 + rnd.Intn(25)
+		capacity := 1 + rnd.Intn(3)
+		maxLead := rnd.Intn(5)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{
+				VehicleID:   string(rune('a' + i)),
+				Due:         day0.AddDate(0, 0, rnd.Intn(30)),
+				Uncertainty: rnd.Intn(4),
+			}
+		}
+		plan, err := Schedule(reqs, Config{Capacity: capacity, Start: day0, Horizon: 30, MaxLead: maxLead})
+		if err != nil {
+			return false
+		}
+		if len(plan.Assignments)+len(plan.Unschedulable) != n {
+			return false
+		}
+		perDay := map[string]int{}
+		uncBy := map[string]int{}
+		dueBy := map[string]time.Time{}
+		for _, r := range reqs {
+			uncBy[r.VehicleID] = r.Uncertainty
+			dueBy[r.VehicleID] = r.Due
+		}
+		for _, a := range plan.Assignments {
+			perDay[a.Day.Format("2006-01-02")]++
+			if a.Day.After(dueBy[a.VehicleID]) {
+				return false // never after due
+			}
+			if a.LeadDays > uncBy[a.VehicleID]+maxLead {
+				return false // never pulled in beyond the window
+			}
+		}
+		for _, c := range perDay {
+			if c > capacity {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package serve exposes the trained fleet predictor as a JSON-over-HTTP
+// service — the shape the paper's deployed system takes ("the data
+// owner ... has decided to put the present application under
+// deployment"). Endpoints:
+//
+//	GET /healthz                     liveness probe
+//	GET /vehicles                    fleet overview (category, strategy)
+//	GET /vehicles/{id}/forecast      next-maintenance forecast
+//	GET /fleet/forecast              all forecasts
+//	GET /fleet/plan?capacity=2&horizon=240&maxlead=7
+//	                                 workshop schedule from the forecasts
+//
+// The handler is a plain http.Handler built on the standard library,
+// so it embeds into any existing mux or server.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Server wraps a trained FleetPredictor. It is safe for concurrent use
+// as long as the predictor is not retrained while serving (the
+// predictor itself is read-only after Train).
+type Server struct {
+	predictor *core.FleetPredictor
+	statuses  map[string]core.VehicleStatus
+	mux       *http.ServeMux
+}
+
+// New builds the HTTP facade over a *trained* predictor; statuses are
+// the result of Train.
+func New(fp *core.FleetPredictor, statuses []core.VehicleStatus) (*Server, error) {
+	if fp == nil {
+		return nil, errors.New("serve: nil predictor")
+	}
+	s := &Server{
+		predictor: fp,
+		statuses:  make(map[string]core.VehicleStatus, len(statuses)),
+		mux:       http.NewServeMux(),
+	}
+	for _, st := range statuses {
+		s.statuses[st.ID] = st
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /vehicles", s.handleVehicles)
+	s.mux.HandleFunc("GET /vehicles/{id}/forecast", s.handleForecast)
+	s.mux.HandleFunc("GET /fleet/forecast", s.handleFleetForecast)
+	s.mux.HandleFunc("GET /fleet/plan", s.handlePlan)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is sent can only be logged by
+	// the caller's middleware; the payloads here are plain structs that
+	// cannot fail to marshal.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// VehicleInfo is the /vehicles row.
+type VehicleInfo struct {
+	ID       string `json:"id"`
+	Category string `json:"category"`
+	Strategy string `json:"strategy"`
+	Model    string `json:"model"`
+}
+
+func (s *Server) handleVehicles(w http.ResponseWriter, _ *http.Request) {
+	var out []VehicleInfo
+	for _, id := range s.predictor.VehicleIDs() {
+		st := s.statuses[id]
+		out = append(out, VehicleInfo{
+			ID:       id,
+			Category: st.Category.String(),
+			Strategy: st.Strategy,
+			Model:    string(st.Algorithm),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ForecastJSON is the wire form of a core.Forecast.
+type ForecastJSON struct {
+	VehicleID string  `json:"vehicle_id"`
+	DaysLeft  float64 `json:"days_left"`
+	DueDate   string  `json:"due_date"`
+	Category  string  `json:"category"`
+	Strategy  string  `json:"strategy"`
+}
+
+func toJSON(f core.Forecast) ForecastJSON {
+	return ForecastJSON{
+		VehicleID: f.VehicleID,
+		DaysLeft:  f.DaysLeft,
+		DueDate:   f.DueDate.Format("2006-01-02"),
+		Category:  f.Category.String(),
+		Strategy:  f.Strategy,
+	}
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, err := s.predictor.Predict(id)
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown vehicle") {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(f))
+}
+
+func (s *Server) handleFleetForecast(w http.ResponseWriter, _ *http.Request) {
+	fcs, err := s.predictor.PredictAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := make([]ForecastJSON, len(fcs))
+	for i, f := range fcs {
+		out[i] = toJSON(f)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// PlanJSON is the wire form of a workshop plan.
+type PlanJSON struct {
+	Assignments []AssignmentJSON `json:"assignments"`
+	Unscheduled []string         `json:"unscheduled,omitempty"`
+}
+
+// AssignmentJSON is one scheduled maintenance slot.
+type AssignmentJSON struct {
+	VehicleID string `json:"vehicle_id"`
+	Day       string `json:"day"`
+	LeadDays  int    `json:"lead_days"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	capacity, err := intQuery(r, "capacity", 2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	horizon, err := intQuery(r, "horizon", 365)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	maxLead, err := intQuery(r, "maxlead", 7)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	fcs, err := s.predictor.PredictAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var reqs []sched.Request
+	now := time.Now().UTC().Truncate(24 * time.Hour)
+	for _, f := range fcs {
+		due := f.DueDate
+		if due.Before(now) {
+			due = now
+		}
+		reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+	}
+	plan, err := sched.Schedule(reqs, sched.Config{Capacity: capacity, Start: now, Horizon: horizon, MaxLead: maxLead})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := PlanJSON{Unscheduled: plan.Unschedulable}
+	for _, a := range plan.Assignments {
+		out.Assignments = append(out.Assignments, AssignmentJSON{
+			VehicleID: a.VehicleID,
+			Day:       a.Day.Format("2006-01-02"),
+			LeadDays:  a.LeadDays,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func intQuery(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("serve: query parameter %q must be an integer, got %q", key, raw)
+	}
+	return v, nil
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// buildServer trains a tiny fleet and wraps it.
+func buildServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = 2
+	cfg.Candidates = []core.Algorithm{core.LR}
+	fp, err := core.NewFleetPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	rnd := rng.New(1)
+	for _, id := range []string{"v01", "v02", "v03"} {
+		u := make(timeseries.Series, 400)
+		for i := range u {
+			if i%7 >= 5 {
+				u[i] = 0
+			} else {
+				u[i] = 18000 * (1 + 0.1*rnd.NormFloat64())
+			}
+		}
+		vs, err := timeseries.Derive(id, u, 600_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.AddVehicle(vs, start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statuses, err := fp.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(fp, statuses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func get(t *testing.T, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(body, &m); err != nil || m["status"] != "ok" {
+		t.Fatalf("body %s err=%v", body, err)
+	}
+}
+
+func TestVehicles(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/vehicles")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var out []VehicleInfo
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d vehicles", len(out))
+	}
+	if out[0].ID != "v01" || out[0].Category != "old" || out[0].Strategy != "per-vehicle" {
+		t.Fatalf("row 0 = %+v", out[0])
+	}
+}
+
+func TestForecastEndpoint(t *testing.T) {
+	srv := buildServer(t)
+	rec, body := get(t, srv, "/vehicles/v02/forecast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var f ForecastJSON
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.VehicleID != "v02" || f.DaysLeft < 0 {
+		t.Fatalf("forecast = %+v", f)
+	}
+	if _, err := time.Parse("2006-01-02", f.DueDate); err != nil {
+		t.Fatalf("due date %q not a date: %v", f.DueDate, err)
+	}
+}
+
+func TestForecastUnknownVehicle(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/vehicles/ghost/forecast")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(body, &m); err != nil || m["error"] == "" {
+		t.Fatalf("error body %s", body)
+	}
+}
+
+func TestFleetForecast(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/fleet/forecast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out []ForecastJSON
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d forecasts", len(out))
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/fleet/plan?capacity=1&horizon=500&maxlead=10")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var plan PlanJSON
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments)+len(plan.Unscheduled) != 3 {
+		t.Fatalf("plan covers %d vehicles: %+v", len(plan.Assignments)+len(plan.Unscheduled), plan)
+	}
+	perDay := map[string]int{}
+	for _, a := range plan.Assignments {
+		perDay[a.Day]++
+		if perDay[a.Day] > 1 {
+			t.Fatalf("capacity 1 violated on %s", a.Day)
+		}
+	}
+}
+
+func TestPlanBadQuery(t *testing.T) {
+	rec, _ := get(t, buildServer(t), "/fleet/plan?capacity=abc")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+	rec, _ = get(t, buildServer(t), "/fleet/plan?capacity=0")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("zero capacity status %d", rec.Code)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := buildServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/vehicles", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+func TestAvgDistanceMatchesDefinition(t *testing.T) {
+	m := AvgDistance{}
+	d, err := m.Distance(timeseries.Series{1, 2, 3}, timeseries.Series{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (2.0 + 0 + 2) / 3; d != want {
+		t.Fatalf("avg distance = %v, want %v", d, want)
+	}
+	if m.Name() != "avg" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestDTWIdentityIsZero(t *testing.T) {
+	s := timeseries.Series{1, 5, 2, 8, 3}
+	d, err := DTW{}.Distance(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("DTW(s, s) = %v, want 0", d)
+	}
+}
+
+func TestDTWAbsorbsTimeShift(t *testing.T) {
+	// A shifted copy is far under point-wise distance but close under
+	// DTW — the motivation for the paper's cited extension [9].
+	base := timeseries.Series{0, 0, 10, 10, 10, 0, 0, 0, 0, 0}
+	shift := timeseries.Series{0, 0, 0, 0, 10, 10, 10, 0, 0, 0}
+	avg, err := AvgDistance{}.Distance(base, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtw, err := DTW{}.Distance(base, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtw >= avg {
+		t.Fatalf("DTW %v not below point-wise %v on shifted series", dtw, avg)
+	}
+	if dtw != 0 {
+		t.Fatalf("pure shift should warp to 0, got %v", dtw)
+	}
+}
+
+func TestDTWHandlesDifferentLengths(t *testing.T) {
+	a := timeseries.Series{1, 2, 3}
+	b := timeseries.Series{1, 1, 2, 2, 3, 3}
+	d, err := DTW{}.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("stretched copy distance = %v, want 0", d)
+	}
+}
+
+func TestDTWSymmetryProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		n, m := 3+rnd.Intn(20), 3+rnd.Intn(20)
+		a := make(timeseries.Series, n)
+		b := make(timeseries.Series, m)
+		for i := range a {
+			a[i] = rnd.Range(0, 100)
+		}
+		for i := range b {
+			b[i] = rnd.Range(0, 100)
+		}
+		d1, err1 := DTW{}.Distance(a, b)
+		d2, err2 := DTW{}.Distance(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(d1-d2) < 1e-9
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTWNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rnd := rng.New(seed)
+		a := make(timeseries.Series, 5+rnd.Intn(15))
+		b := make(timeseries.Series, 5+rnd.Intn(15))
+		for i := range a {
+			a[i] = rnd.Range(-50, 50)
+		}
+		for i := range b {
+			b[i] = rnd.Range(-50, 50)
+		}
+		d, err := DTW{}.Distance(a, b)
+		return err == nil && d >= 0
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedDTWWideBandMatchesFull(t *testing.T) {
+	rnd := rng.New(7)
+	a := make(timeseries.Series, 25)
+	b := make(timeseries.Series, 25)
+	for i := range a {
+		a[i] = rnd.Range(0, 10)
+		b[i] = rnd.Range(0, 10)
+	}
+	full, err := DTW{}.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banded, err := BandedDTW{Band: 25}.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-banded) > 1e-9 {
+		t.Fatalf("wide band %v differs from full DTW %v", banded, full)
+	}
+}
+
+func TestBandedDTWNarrowBandRestrictsWarping(t *testing.T) {
+	base := timeseries.Series{0, 0, 10, 10, 10, 0, 0, 0, 0, 0}
+	shift := timeseries.Series{0, 0, 0, 0, 10, 10, 10, 0, 0, 0}
+	narrow, err := BandedDTW{Band: 1}.Distance(base, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := BandedDTW{Band: 5}.Distance(base, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow <= wide {
+		t.Fatalf("narrow band %v should cost more than wide band %v", narrow, wide)
+	}
+}
+
+func TestBandedDTWValidation(t *testing.T) {
+	if _, err := (BandedDTW{Band: 0}).Distance(timeseries.Series{1}, timeseries.Series{1}); err == nil {
+		t.Fatal("zero band accepted")
+	}
+	m := BandedDTW{Band: 3}
+	if m.Name() != "dtw-band3" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	var d DTW
+	if _, err := d.Distance(nil, timeseries.Series{1}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	var a AvgDistance
+	if _, err := a.Distance(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	probe := timeseries.Series{5, 5, 5}
+	candidates := []timeseries.Series{
+		{100, 100, 100},
+		{6, 6, 6},
+		{0, 0, 0},
+	}
+	idx, dist, err := MostSimilar(probe, candidates, AvgDistance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || dist != 1 {
+		t.Fatalf("idx=%d dist=%v, want 1, 1", idx, dist)
+	}
+	if _, _, err := MostSimilar(probe, nil, AvgDistance{}); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+}

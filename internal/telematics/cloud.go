@@ -1,0 +1,170 @@
+package telematics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Collector is the cloud-side endpoint: it receives SummaryReports from
+// on-board controllers and reduces them to per-vehicle daily utilization
+// series, the input of the prediction pipeline.
+type Collector struct {
+	// perDay[vehicle][dayKey] accumulates working seconds.
+	perDay map[string]map[string]float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{perDay: make(map[string]map[string]float64)}
+}
+
+const dayKeyLayout = "2006-01-02"
+
+// Receive ingests one summary report, attributing its working seconds to
+// the calendar day of the period start.
+func (c *Collector) Receive(r SummaryReport) error {
+	if r.VehicleID == "" {
+		return fmt.Errorf("telematics: report with empty vehicle id")
+	}
+	if r.WorkSeconds < 0 || math.IsNaN(r.WorkSeconds) {
+		return fmt.Errorf("telematics: report for %s with invalid work seconds %v", r.VehicleID, r.WorkSeconds)
+	}
+	m, ok := c.perDay[r.VehicleID]
+	if !ok {
+		m = make(map[string]float64)
+		c.perDay[r.VehicleID] = m
+	}
+	m[r.PeriodStart.UTC().Format(dayKeyLayout)] += r.WorkSeconds
+	return nil
+}
+
+// Vehicles lists the vehicle IDs with at least one report, sorted.
+func (c *Collector) Vehicles() []string {
+	ids := make([]string, 0, len(c.perDay))
+	for id := range c.perDay {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DailySeries materializes the contiguous daily utilization series of one
+// vehicle from its first to its last reported day; days without reports
+// are zero (the vehicle simply did not work).
+func (c *Collector) DailySeries(vehicleID string) (start time.Time, u []float64, err error) {
+	m, ok := c.perDay[vehicleID]
+	if !ok || len(m) == 0 {
+		return time.Time{}, nil, fmt.Errorf("telematics: no reports for vehicle %q", vehicleID)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	first, err := time.Parse(dayKeyLayout, keys[0])
+	if err != nil {
+		return time.Time{}, nil, fmt.Errorf("telematics: corrupt day key %q: %w", keys[0], err)
+	}
+	last, err := time.Parse(dayKeyLayout, keys[len(keys)-1])
+	if err != nil {
+		return time.Time{}, nil, fmt.Errorf("telematics: corrupt day key %q: %w", keys[len(keys)-1], err)
+	}
+	days := int(last.Sub(first).Hours()/24) + 1
+	u = make([]float64, days)
+	for k, v := range m {
+		d, err := time.Parse(dayKeyLayout, k)
+		if err != nil {
+			return time.Time{}, nil, fmt.Errorf("telematics: corrupt day key %q: %w", k, err)
+		}
+		u[int(d.Sub(first).Hours()/24)] = v
+	}
+	return first, u, nil
+}
+
+// WriteCSV serializes a fleet's raw daily series as CSV with the header
+// vehicle,model,class,date,seconds. NaN (missing) days are written as
+// empty fields, matching how telematics backends export gaps.
+func (f *Fleet) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "vehicle,model,class,date,seconds"); err != nil {
+		return fmt.Errorf("telematics: writing CSV header: %w", err)
+	}
+	for _, v := range f.Vehicles {
+		for t, sec := range v.RawU {
+			date := v.Start.AddDate(0, 0, t).Format(dayKeyLayout)
+			field := ""
+			if !math.IsNaN(sec) {
+				field = strconv.FormatFloat(sec, 'f', 1, 64)
+			}
+			if _, err := fmt.Fprintf(bw, "%s,%s,%s,%s,%s\n", v.Profile.ID, v.Profile.Model, v.Profile.Class, date, field); err != nil {
+				return fmt.Errorf("telematics: writing CSV row: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CSV format produced by WriteCSV back into a fleet
+// (profiles carry only ID/model/class; generator parameters are not
+// serialized). Rows must be grouped by vehicle and sorted by date.
+func ReadCSV(r io.Reader) (*Fleet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("telematics: empty CSV input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "vehicle,model,class,date,seconds" {
+		return nil, fmt.Errorf("telematics: unexpected CSV header %q", got)
+	}
+	fleet := &Fleet{}
+	var cur *VehicleData
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("telematics: line %d: want 5 fields, got %d", line, len(parts))
+		}
+		id, model, class, dateStr, secStr := parts[0], parts[1], parts[2], parts[3], parts[4]
+		date, err := time.Parse(dayKeyLayout, dateStr)
+		if err != nil {
+			return nil, fmt.Errorf("telematics: line %d: bad date %q: %w", line, dateStr, err)
+		}
+		sec := math.NaN()
+		if secStr != "" {
+			sec, err = strconv.ParseFloat(secStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telematics: line %d: bad seconds %q: %w", line, secStr, err)
+			}
+		}
+		if cur == nil || cur.Profile.ID != id {
+			fleet.Vehicles = append(fleet.Vehicles, VehicleData{
+				Profile: Profile{ID: id, Model: model, Class: VehicleClass(class)},
+				Start:   date,
+			})
+			cur = &fleet.Vehicles[len(fleet.Vehicles)-1]
+		}
+		wantDay := len(cur.RawU)
+		if got := int(date.Sub(cur.Start).Hours() / 24); got != wantDay {
+			return nil, fmt.Errorf("telematics: line %d: vehicle %s day gap, expected offset %d got %d", line, id, wantDay, got)
+		}
+		cur.RawU = append(cur.RawU, sec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telematics: scanning CSV: %w", err)
+	}
+	if len(fleet.Vehicles) == 0 {
+		return nil, fmt.Errorf("telematics: CSV contained no data rows")
+	}
+	return fleet, nil
+}
