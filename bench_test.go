@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -41,6 +43,56 @@ func env(b *testing.B) *experiments.Env {
 		b.Fatal(benchErr)
 	}
 	return benchEnv
+}
+
+var (
+	fleet24Once sync.Once
+	fleet24Env  *experiments.Env
+	fleet24Err  error
+)
+
+// fleet24 lazily builds the paper-scale 24-vehicle fleet used by the
+// fleet-training benchmarks.
+func fleet24(b *testing.B) *experiments.Env {
+	b.Helper()
+	fleet24Once.Do(func() {
+		s := experiments.FullScale()
+		fleet24Env, fleet24Err = experiments.NewEnv(s)
+	})
+	if fleet24Err != nil {
+		b.Fatal(fleet24Err)
+	}
+	return fleet24Env
+}
+
+// benchFleetTrain measures one full deployed-system training run — all
+// 24 vehicles, candidate competition per old vehicle, cold-start
+// strategies for the rest — through the engine's worker pool.
+func benchFleetTrain(b *testing.B, workers int) {
+	e := fleet24(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := e.TrainFleet(context.Background(), workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(snap.Statuses) != e.Scale.Vehicles {
+			b.Fatalf("trained %d of %d vehicles", len(snap.Statuses), e.Scale.Vehicles)
+		}
+	}
+}
+
+// BenchmarkFleetTrain is the sequential reference (worker pool of 1).
+func BenchmarkFleetTrain(b *testing.B) { benchFleetTrain(b, 1) }
+
+// BenchmarkFleetTrainParallel scales the pool; per-vehicle rng splits
+// make every variant bit-identical to BenchmarkFleetTrain, so the
+// speedup is pure scheduling (expect ~linear until the core count or
+// the slowest single vehicle dominates).
+func BenchmarkFleetTrainParallel(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) { benchFleetTrain(b, workers) })
+	}
 }
 
 // BenchmarkFig1DataGeneration measures the full data path behind

@@ -7,18 +7,22 @@
 //
 //	fleetctl -data fleet.csv status            # categories + cycles
 //	fleetctl -data fleet.csv cycles -vehicle v01
-//	fleetctl -data fleet.csv predict [-w 6]    # train + forecast fleet
+//	fleetctl -data fleet.csv predict [-w 6] [-workers 8]
+//	                                           # train + forecast fleet
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataprep"
+	"repro/internal/engine"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
 )
@@ -31,6 +35,7 @@ func main() {
 		data    = flag.String("data", "", "fleet CSV file (required)")
 		vehicle = flag.String("vehicle", "", "vehicle ID filter (cycles)")
 		window  = flag.Int("w", 6, "feature window W for predict")
+		workers = flag.Int("workers", 0, "training pool size for predict (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *data == "" || flag.NArg() != 1 {
@@ -65,7 +70,7 @@ func main() {
 	case "cycles":
 		cycles(prepared, *vehicle)
 	case "predict":
-		predict(prepared, *window)
+		predict(prepared, *window, *workers)
 	default:
 		log.Fatalf("unknown subcommand %q (want status, cycles or predict)", flag.Arg(0))
 	}
@@ -97,33 +102,32 @@ func cycles(prepared []*dataprep.PreparedVehicle, vehicle string) {
 	}
 }
 
-func predict(prepared []*dataprep.PreparedVehicle, window int) {
+func predict(prepared []*dataprep.PreparedVehicle, window, workers int) {
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = window
-	fp, err := core.NewFleetPredictor(cfg)
+	eng, err := engine.New(engine.Config{Predictor: cfg, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fleet := make([]engine.Vehicle, 0, len(prepared))
 	for _, p := range prepared {
-		if err := fp.AddVehicle(p.Series, p.Start); err != nil {
-			log.Fatal(err)
-		}
+		fleet = append(fleet, engine.Vehicle{Series: p.Series, Start: p.Start})
 	}
-	statuses, err := fp.Train()
+	snap, err := eng.Retrain(context.Background(), fleet)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byID := make(map[string]core.VehicleStatus, len(statuses))
-	for _, st := range statuses {
-		byID[st.ID] = st
+	ids := make([]string, 0, len(snap.ForecastErrors))
+	for id := range snap.ForecastErrors {
+		ids = append(ids, id)
 	}
-	forecasts, err := fp.PredictAll()
-	if err != nil {
-		log.Fatal(err)
+	sort.Strings(ids)
+	for _, id := range ids {
+		log.Printf("no forecast for %s: %s", id, snap.ForecastErrors[id])
 	}
 	fmt.Printf("%-6s %-10s %-12s %-5s %10s %12s %10s\n", "veh", "category", "strategy", "alg", "days-left", "due-date", "val-MRE")
-	for _, fc := range forecasts {
-		st := byID[fc.VehicleID]
+	for _, fc := range snap.Forecasts {
+		st := snap.StatusByID[fc.VehicleID]
 		val := "-"
 		if !math.IsNaN(st.ValidationMRE) {
 			val = fmt.Sprintf("%.2f", st.ValidationMRE)

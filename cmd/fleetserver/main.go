@@ -1,13 +1,21 @@
-// Command fleetserver trains the fleet predictor on a fleet CSV (as
-// produced by fleetgen) and serves next-maintenance forecasts and
+// Command fleetserver boots the concurrent fleet engine on a fleet CSV
+// (as produced by fleetgen) and serves next-maintenance forecasts and
 // workshop plans over HTTP (see internal/serve for the endpoints).
+//
+// Training runs on a bounded worker pool; the CSV is re-read on every
+// retrain (POST /admin/retrain, or periodically with
+// -retrain-interval), so appended telemetry is picked up with zero
+// serving downtime: the old model snapshot answers requests until the
+// new one atomically replaces it.
 //
 // Usage:
 //
-//	fleetserver -data fleet.csv [-addr :8080] [-w 6]
+//	fleetserver -data fleet.csv [-addr :8080] [-w 6] [-workers 8] [-retrain-interval 1h]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataprep"
+	"repro/internal/engine"
 	"repro/internal/serve"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
@@ -27,54 +36,108 @@ func main() {
 	log.SetPrefix("fleetserver: ")
 
 	var (
-		data   = flag.String("data", "", "fleet CSV file (required)")
-		addr   = flag.String("addr", ":8080", "listen address")
-		window = flag.Int("w", 6, "feature window W")
+		data     = flag.String("data", "", "fleet CSV file (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		window   = flag.Int("w", 6, "feature window W")
+		workers  = flag.Int("workers", 0, "training pool size (0 = GOMAXPROCS)")
+		interval = flag.Duration("retrain-interval", 0, "periodic retrain interval (0 disables)")
 	)
 	flag.Parse()
 	if *data == "" {
-		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080]")
+		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080] [-workers 8] [-retrain-interval 1h]")
 		os.Exit(2)
-	}
-
-	f, err := os.Open(*data)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fleet, err := telematics.ReadCSV(f)
-	if cerr := f.Close(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = *window
-	fp, err := core.NewFleetPredictor(cfg)
+	eng, err := engine.New(engine.Config{
+		Predictor: cfg,
+		Workers:   *workers,
+		Source:    csvSource(*data),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, v := range fleet.Vehicles {
-		prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, timeseries.DefaultAllowance)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fp.AddVehicle(prep.Series, prep.Start); err != nil {
-			log.Fatal(err)
-		}
-	}
-	t0 := time.Now()
-	statuses, err := fp.Train()
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("trained %d vehicles in %.1fs", len(statuses), time.Since(t0).Seconds())
 
-	srv, err := serve.New(fp, statuses)
+	srv, err := serve.New(eng)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Bind before the cold training finishes: the server answers
+	// /healthz and /admin/status immediately and 503s data endpoints
+	// until the first snapshot lands, so orchestrator probes never see
+	// a refused connection during a long initial train.
+	go func() {
+		snap, err := eng.RetrainFromSource(context.Background())
+		if err != nil {
+			// Without a periodic retrain nothing would ever recover a
+			// failed cold train — keep the old fail-fast boot there. With
+			// one, stay up serving 503s and let the next tick retry.
+			if *interval <= 0 {
+				log.Fatalf("initial training failed: %v", err)
+			}
+			log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
+			return
+		}
+		log.Printf("trained %d vehicles in %.1fs on %d workers",
+			len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
+	}()
+
+	if *interval > 0 {
+		go retrainLoop(eng, *interval)
+		log.Printf("retraining every %s", *interval)
+	}
+
 	log.Printf("listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// csvSource re-reads and re-prepares the fleet CSV on every call, so a
+// retrain ingests whatever telemetry has been appended since boot.
+func csvSource(path string) engine.Source {
+	return func(context.Context) ([]engine.Vehicle, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		fleet, err := telematics.ReadCSV(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := make([]engine.Vehicle, 0, len(fleet.Vehicles))
+		for _, v := range fleet.Vehicles {
+			prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, timeseries.DefaultAllowance)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, engine.Vehicle{Series: prep.Series, Start: prep.Start})
+		}
+		return out, nil
+	}
+}
+
+// retrainLoop rebuilds the snapshot on a fixed cadence. A tick that
+// fires while another build is in flight is skipped — not queued —
+// so the loop never trains the fleet back-to-back on the same data.
+// Failures keep the previous snapshot serving and are retried at the
+// next tick.
+func retrainLoop(eng *engine.Engine, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		snap, err := eng.TryRetrainFromSource(context.Background())
+		if errors.Is(err, engine.ErrRetrainInFlight) {
+			continue
+		}
+		if err != nil {
+			log.Printf("retrain failed (still serving generation %d): %v", eng.Status().Generation, err)
+			continue
+		}
+		log.Printf("retrained: generation %d, %d vehicles in %.1fs",
+			snap.Generation, len(snap.Statuses), snap.TrainDuration.Seconds())
+	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ml"
+	"repro/internal/rng"
 	"repro/internal/timeseries"
 )
 
@@ -118,34 +120,154 @@ func (fp *FleetPredictor) VehicleIDs() []string {
 	return ids
 }
 
-// Train fits one model per vehicle according to its category and returns
-// the per-vehicle statuses in ID order.
-func (fp *FleetPredictor) Train() ([]VehicleStatus, error) {
-	if len(fp.vehicles) == 0 {
-		return nil, fmt.Errorf("core: Train with no vehicles registered")
-	}
-	olds := fp.oldVehicles()
+// TrainTask is one vehicle's unit of training work. Tasks are produced
+// by PlanTraining and consumed by TrainVehicle; because each task
+// carries its own pre-split seed, tasks may be executed in any order —
+// or concurrently — and still reproduce the sequential result bit for
+// bit.
+type TrainTask struct {
+	Vehicle  *timeseries.VehicleSeries
+	Category Category
+	// Seed is this vehicle's private rng split, derived from the
+	// predictor seed in ID order.
+	Seed uint64
+}
 
-	var out []VehicleStatus
+// TrainShared is the read-only context shared by every training task of
+// one build: the old-vehicle donor pool and the build's single unified
+// model (§4.4.1 trains *one* Model_Uni on all old vehicles and serves
+// every new vehicle with it). The unified model is trained lazily, at
+// most once even under concurrent tasks, with its own seed split — so
+// sharing costs nothing in determinism and saves O(olds) training per
+// additional new vehicle.
+type TrainShared struct {
+	olds []*timeseries.VehicleSeries
+	cfg  PredictorConfig
+	seed uint64
+
+	once    sync.Once
+	unified ml.Regressor
+	err     error
+}
+
+// Olds returns the old-vehicle donor pool.
+func (sh *TrainShared) Olds() []*timeseries.VehicleSeries { return sh.olds }
+
+// Unified returns the build's unified cold-start model, training it on
+// first use.
+func (sh *TrainShared) Unified() (ml.Regressor, error) {
+	sh.once.Do(func() {
+		if len(sh.olds) == 0 {
+			sh.err = fmt.Errorf("no old vehicles available to train a unified model")
+			return
+		}
+		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed}
+		sh.unified, sh.err = TrainUnified(sh.olds, sh.cfg.ColdStartAlgorithm, cs)
+	})
+	return sh.unified, sh.err
+}
+
+// PlanTraining returns the deterministic per-vehicle task list (ID
+// order) and the shared training context. Seeds are split from
+// cfg.Seed with rng.Source.Split — first the shared unified-model
+// split, then one per vehicle in ID order — so the plan, and therefore
+// every downstream model, does not depend on how the tasks are later
+// scheduled.
+func (fp *FleetPredictor) PlanTraining() ([]TrainTask, *TrainShared, error) {
+	if len(fp.vehicles) == 0 {
+		return nil, nil, fmt.Errorf("core: Train with no vehicles registered")
+	}
+	root := rng.New(fp.cfg.Seed)
+	shared := &TrainShared{
+		olds: fp.oldVehicles(),
+		cfg:  fp.cfg,
+		seed: root.Split().Uint64(),
+	}
+	tasks := make([]TrainTask, 0, len(fp.vehicles))
 	for _, id := range fp.VehicleIDs() {
 		vs := fp.vehicles[id]
-		cat := Categorize(vs)
-		var st VehicleStatus
-		var err error
-		switch cat {
-		case Old:
-			st, err = fp.trainOld(vs)
-		case SemiNew:
-			st, err = fp.trainSemiNew(vs, olds)
-		case New:
-			st, err = fp.trainNew(vs, olds)
+		tasks = append(tasks, TrainTask{
+			Vehicle:  vs,
+			Category: Categorize(vs),
+			Seed:     root.Split().Uint64(),
+		})
+	}
+	return tasks, shared, nil
+}
+
+// TrainVehicle trains one vehicle according to its category (§4.3 for
+// old vehicles, §4.4 cold-start strategies otherwise). It depends only
+// on the task and the shared context — which carries the predictor's
+// effective config, defaults applied — and is safe to call from many
+// goroutines at once.
+func TrainVehicle(task TrainTask, shared *TrainShared) (VehicleStatus, ml.Regressor, error) {
+	var (
+		st    VehicleStatus
+		model ml.Regressor
+		err   error
+	)
+	switch task.Category {
+	case Old:
+		st, model, err = trainOld(task.Vehicle, shared.cfg, task.Seed)
+	case SemiNew:
+		st, model, err = trainSemiNew(task.Vehicle, shared, task.Seed)
+	case New:
+		st, model, err = trainNew(shared)
+	}
+	if err != nil {
+		return VehicleStatus{}, nil, fmt.Errorf("core: training vehicle %s (%s): %w", task.Vehicle.ID, task.Category, err)
+	}
+	st.ID = task.Vehicle.ID
+	st.Category = task.Category
+	return st, model, nil
+}
+
+// InstallTrained installs externally computed training results (the
+// engine's worker-pool path) and marks the predictor trained. The
+// statuses must cover every registered vehicle exactly once.
+func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[string]ml.Regressor) error {
+	if len(statuses) != len(fp.vehicles) {
+		return fmt.Errorf("core: InstallTrained with %d statuses for %d vehicles", len(statuses), len(fp.vehicles))
+	}
+	seen := make(map[string]bool, len(statuses))
+	for _, st := range statuses {
+		if seen[st.ID] {
+			return fmt.Errorf("core: InstallTrained with duplicate status for vehicle %q", st.ID)
 		}
+		seen[st.ID] = true
+		if _, ok := fp.vehicles[st.ID]; !ok {
+			return fmt.Errorf("core: InstallTrained for unregistered vehicle %q", st.ID)
+		}
+		model, ok := models[st.ID]
+		if !ok || model == nil {
+			return fmt.Errorf("core: InstallTrained without a model for vehicle %q", st.ID)
+		}
+	}
+	for _, st := range statuses {
+		fp.status[st.ID] = st
+		fp.models[st.ID] = models[st.ID]
+	}
+	fp.trained = true
+	return nil
+}
+
+// Train fits one model per vehicle according to its category and returns
+// the per-vehicle statuses in ID order. It is the sequential reference
+// path; internal/engine runs the same task plan on a worker pool and
+// produces bit-identical results.
+func (fp *FleetPredictor) Train() ([]VehicleStatus, error) {
+	tasks, shared, err := fp.PlanTraining()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VehicleStatus, 0, len(tasks))
+	for _, task := range tasks {
+		st, model, err := TrainVehicle(task, shared)
 		if err != nil {
-			return nil, fmt.Errorf("core: training vehicle %s (%s): %w", id, cat, err)
+			return nil, err
 		}
-		st.ID = id
-		st.Category = cat
-		fp.status[id] = st
+		fp.status[st.ID] = st
+		fp.models[st.ID] = model
 		out = append(out, st)
 	}
 	fp.trained = true
@@ -165,23 +287,23 @@ func (fp *FleetPredictor) oldVehicles() []*timeseries.VehicleSeries {
 
 // trainOld competes the candidate algorithms on a validation tail and
 // refits the winner on the vehicle's full history.
-func (fp *FleetPredictor) trainOld(vs *timeseries.VehicleSeries) (VehicleStatus, error) {
+func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (VehicleStatus, ml.Regressor, error) {
 	cfg := NewOldConfig()
-	cfg.Window = fp.cfg.Window
-	cfg.Normalize = fp.cfg.Normalize
-	cfg.TrainFraction = 1 - fp.cfg.ValidationFraction
-	cfg.Eval = fp.cfg.Eval
+	cfg.Window = pcfg.Window
+	cfg.Normalize = pcfg.Normalize
+	cfg.TrainFraction = 1 - pcfg.ValidationFraction
+	cfg.Eval = pcfg.Eval
 	cfg.RestrictTrain = true // Table 1: restriction is strictly better
-	cfg.Seed = fp.cfg.Seed
+	cfg.Seed = seed
 
 	bestScore := math.Inf(1)
 	var bestAlg Algorithm
-	for _, alg := range fp.cfg.Candidates {
+	for _, alg := range pcfg.Candidates {
 		res, err := EvaluateOld(vs, alg, cfg)
 		if err != nil {
-			return VehicleStatus{}, err
+			return VehicleStatus{}, nil, err
 		}
-		score := res.Report.MRE(fp.cfg.Eval)
+		score := res.Report.MRE(pcfg.Eval)
 		if math.IsNaN(score) {
 			score = res.Report.Global()
 		}
@@ -191,58 +313,52 @@ func (fp *FleetPredictor) trainOld(vs *timeseries.VehicleSeries) (VehicleStatus,
 		}
 	}
 	if math.IsInf(bestScore, 1) {
-		return VehicleStatus{}, fmt.Errorf("no candidate algorithm produced a score")
+		return VehicleStatus{}, nil, fmt.Errorf("no candidate algorithm produced a score")
 	}
 
 	// Refit the winner on all available records (restricted region).
-	fcfg := FeatureConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Restrict: fp.cfg.Eval}
+	fcfg := FeatureConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Restrict: pcfg.Eval}
 	recs, err := BuildRecords(vs, fcfg)
 	if err != nil {
-		return VehicleStatus{}, err
+		return VehicleStatus{}, nil, err
 	}
 	if len(recs) == 0 {
 		// Degenerate restriction; fall back to all known-target rows.
 		fcfg.Restrict = nil
 		if recs, err = BuildRecords(vs, fcfg); err != nil {
-			return VehicleStatus{}, err
+			return VehicleStatus{}, nil, err
 		}
 	}
-	model, err := Build(bestAlg, DefaultParams(bestAlg), fp.cfg.Seed)
+	model, err := Build(bestAlg, DefaultParams(bestAlg), seed)
 	if err != nil {
-		return VehicleStatus{}, err
+		return VehicleStatus{}, nil, err
 	}
 	x, y := RecordsToXY(recs)
 	if err := model.Fit(x, y); err != nil {
-		return VehicleStatus{}, err
+		return VehicleStatus{}, nil, err
 	}
-	fp.models[vs.ID] = model
-	return VehicleStatus{Strategy: "per-vehicle", Algorithm: bestAlg, ValidationMRE: bestScore}, nil
+	return VehicleStatus{Strategy: "per-vehicle", Algorithm: bestAlg, ValidationMRE: bestScore}, model, nil
 }
 
-func (fp *FleetPredictor) trainSemiNew(vs *timeseries.VehicleSeries, olds []*timeseries.VehicleSeries) (VehicleStatus, error) {
-	cs := ColdStartConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Seed: fp.cfg.Seed}
-	if len(olds) > 0 {
-		model, donor, err := TrainSimilarityForLive(vs, olds, fp.cfg.ColdStartAlgorithm, cs)
+func trainSemiNew(vs *timeseries.VehicleSeries, shared *TrainShared, seed uint64) (VehicleStatus, ml.Regressor, error) {
+	pcfg := shared.cfg
+	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed}
+	if olds := shared.Olds(); len(olds) > 0 {
+		model, donor, err := TrainSimilarityForLive(vs, olds, pcfg.ColdStartAlgorithm, cs)
 		if err == nil {
-			fp.models[vs.ID] = model
-			return VehicleStatus{Strategy: "similarity", Algorithm: fp.cfg.ColdStartAlgorithm, ValidationMRE: math.NaN(), Donor: donor}, nil
+			return VehicleStatus{Strategy: "similarity", Algorithm: pcfg.ColdStartAlgorithm, ValidationMRE: math.NaN(), Donor: donor}, model, nil
 		}
 		// Fall through to unified on similarity failure.
 	}
-	return fp.trainNew(vs, olds)
+	return trainNew(shared)
 }
 
-func (fp *FleetPredictor) trainNew(vs *timeseries.VehicleSeries, olds []*timeseries.VehicleSeries) (VehicleStatus, error) {
-	if len(olds) == 0 {
-		return VehicleStatus{}, fmt.Errorf("no old vehicles available to train a unified model")
-	}
-	cs := ColdStartConfig{Window: fp.cfg.Window, Normalize: fp.cfg.Normalize, Seed: fp.cfg.Seed}
-	model, err := TrainUnified(olds, fp.cfg.ColdStartAlgorithm, cs)
+func trainNew(shared *TrainShared) (VehicleStatus, ml.Regressor, error) {
+	model, err := shared.Unified()
 	if err != nil {
-		return VehicleStatus{}, err
+		return VehicleStatus{}, nil, err
 	}
-	fp.models[vs.ID] = model
-	return VehicleStatus{Strategy: "unified", Algorithm: fp.cfg.ColdStartAlgorithm, ValidationMRE: math.NaN()}, nil
+	return VehicleStatus{Strategy: "unified", Algorithm: shared.cfg.ColdStartAlgorithm, ValidationMRE: math.NaN()}, model, nil
 }
 
 // TrainSimilarityForLive is TrainSimilarity for a *live* semi-new vehicle

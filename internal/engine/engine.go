@@ -1,0 +1,302 @@
+// Package engine is the concurrent fleet engine behind the deployed
+// system: it trains the per-vehicle models of internal/core on a
+// bounded worker pool, freezes each completed training run into an
+// immutable Snapshot (predictor + statuses + precomputed forecasts),
+// and swaps snapshots atomically so serving never blocks on — or
+// observes a half-built — retrain.
+//
+// Determinism: training work is planned by core.PlanTraining, which
+// splits one rng.Source child per vehicle in ID order before any task
+// runs. Each task is a pure function of (vehicle, donor pool, config,
+// seed), so executing the plan on 1 worker or N workers produces
+// bit-identical models, statuses and forecasts. The parallel path is a
+// scheduling change only.
+//
+// Lifecycle:
+//
+//	eng, _ := engine.New(cfg)
+//	snap, _ := eng.Retrain(ctx, fleet)   // initial build
+//	eng.Snapshot()                       // lock-free read, never nil after first Retrain
+//	go eng.Retrain(ctx, newFleet)        // zero-downtime refresh; old snapshot serves meanwhile
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/timeseries"
+)
+
+// Vehicle is one prepared vehicle to ingest: the derived series from
+// the §3 preparation pipeline plus its acquisition start date.
+type Vehicle struct {
+	Series *timeseries.VehicleSeries
+	Start  time.Time
+}
+
+// Source yields the current fleet — typically by re-reading the
+// telematics store so a retrain picks up telemetry that arrived since
+// the previous build.
+type Source func(ctx context.Context) ([]Vehicle, error)
+
+// Config configures the engine.
+type Config struct {
+	// Predictor is the core training configuration (candidates, window,
+	// seed, ...).
+	Predictor core.PredictorConfig
+	// Workers bounds the training pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Source, when set, lets RetrainFromSource (and the HTTP admin
+	// endpoint) re-ingest telemetry without the caller shipping the
+	// fleet explicitly.
+	Source Source
+}
+
+// Engine owns the training pool and the current snapshot.
+type Engine struct {
+	cfg     Config
+	workers int
+
+	snap atomic.Pointer[Snapshot]
+
+	// buildMu serializes snapshot builds; serving never takes it.
+	buildMu    sync.Mutex
+	generation uint64
+
+	// stateMu guards the observability fields below.
+	stateMu    sync.Mutex
+	retraining bool
+	lastErr    error
+	lastErrAt  time.Time
+}
+
+// New validates the configuration and returns an engine with no
+// snapshot yet; the first Retrain (or RetrainFromSource) arms it.
+func New(cfg Config) (*Engine, error) {
+	// Reuse the predictor's validation up front so a bad config fails at
+	// boot, not mid-retrain.
+	if _, err := core.NewFleetPredictor(cfg.Predictor); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{cfg: cfg, workers: workers}, nil
+}
+
+// Workers reports the bound of the training pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// Snapshot returns the current snapshot without locking; it is nil
+// until the first successful Retrain.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// ErrRetrainInFlight is returned by the Try variants when another
+// build already holds the engine.
+var ErrRetrainInFlight = errors.New("engine: retrain already in progress")
+
+// Retrain builds a fresh snapshot from the given fleet and swaps it in
+// on success. The previous snapshot keeps serving until the swap, so a
+// retrain causes zero downtime; on failure the previous snapshot stays
+// current and the error is also surfaced via Status. Builds are
+// serialized: a concurrent Retrain blocks until the one in flight
+// finishes.
+func (e *Engine) Retrain(ctx context.Context, fleet []Vehicle) (*Snapshot, error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.retrainLocked(ctx, func(context.Context) ([]Vehicle, error) { return fleet, nil })
+}
+
+// RetrainFromSource pulls the fleet from the configured Source and
+// retrains on it. The fetch happens under the build lock, so queued
+// retrains each re-read the source when their turn comes and can never
+// publish data staler than an earlier generation's.
+func (e *Engine) RetrainFromSource(ctx context.Context) (*Snapshot, error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.retrainLocked(ctx, e.sourceFetch)
+}
+
+// TryRetrainFromSource is RetrainFromSource, except that when any
+// build is already in flight — no matter who started it — it fails
+// fast with ErrRetrainInFlight instead of queueing a redundant one.
+func (e *Engine) TryRetrainFromSource(ctx context.Context) (*Snapshot, error) {
+	if !e.buildMu.TryLock() {
+		return nil, ErrRetrainInFlight
+	}
+	defer e.buildMu.Unlock()
+	return e.retrainLocked(ctx, e.sourceFetch)
+}
+
+// BeginRetrainFromSource starts a detached background rebuild and
+// reports whether it started; like TryRetrainFromSource it refuses
+// when any build is in flight. Failures surface via Status.
+func (e *Engine) BeginRetrainFromSource() bool {
+	if !e.buildMu.TryLock() {
+		return false
+	}
+	// Mark the engine retraining before returning, not inside the
+	// goroutine: a caller that was just told "started" must never read
+	// retraining=false while the goroutine awaits scheduling.
+	e.setRetraining(true)
+	go func() {
+		defer e.buildMu.Unlock()
+		_, _ = e.retrainLocked(context.Background(), e.sourceFetch)
+	}()
+	return true
+}
+
+func (e *Engine) sourceFetch(ctx context.Context) ([]Vehicle, error) {
+	if e.cfg.Source == nil {
+		return nil, fmt.Errorf("engine: no fleet source configured")
+	}
+	fleet, err := e.cfg.Source(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: fleet source: %w", err)
+	}
+	return fleet, nil
+}
+
+// retrainLocked fetches, builds and publishes one generation. Callers
+// hold buildMu.
+func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) ([]Vehicle, error)) (*Snapshot, error) {
+	e.setRetraining(true)
+	defer e.setRetraining(false)
+
+	fleet, err := fetch(ctx)
+	if err != nil {
+		e.recordError(err)
+		return nil, err
+	}
+	snap, err := e.build(ctx, fleet)
+	if err != nil {
+		e.recordError(err)
+		return nil, err
+	}
+	e.generation++
+	snap.Generation = e.generation
+	// A successful build supersedes any earlier failure; clear it
+	// *before* publishing so Status never pairs the new generation with
+	// a stale error.
+	e.stateMu.Lock()
+	e.lastErr = nil
+	e.lastErrAt = time.Time{}
+	e.stateMu.Unlock()
+	e.snap.Store(snap)
+	return snap, nil
+}
+
+// build trains every vehicle on the worker pool and freezes the result.
+func (e *Engine) build(ctx context.Context, fleet []Vehicle) (*Snapshot, error) {
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("engine: retrain with an empty fleet")
+	}
+	t0 := time.Now()
+	fp, err := core.NewFleetPredictor(e.cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range fleet {
+		if err := fp.AddVehicle(v.Series, v.Start); err != nil {
+			return nil, err
+		}
+	}
+	tasks, shared, err := fp.PlanTraining()
+	if err != nil {
+		return nil, err
+	}
+
+	statuses, models, err := e.runPool(ctx, tasks, shared)
+	if err != nil {
+		return nil, err
+	}
+	if err := fp.InstallTrained(statuses, models); err != nil {
+		return nil, err
+	}
+	return newSnapshot(fp, statuses, time.Since(t0)), nil
+}
+
+// runPool executes the task plan on min(Workers, len(tasks))
+// goroutines. Results land in task order, so the output is independent
+// of scheduling.
+func (e *Engine) runPool(ctx context.Context, tasks []core.TrainTask, shared *core.TrainShared) ([]core.VehicleStatus, map[string]ml.Regressor, error) {
+	n := len(tasks)
+	statuses := make([]core.VehicleStatus, n)
+	trained := make([]ml.Regressor, n)
+	errs := make([]error, n)
+
+	if err := ForEach(ctx, n, e.workers, func(i int) {
+		statuses[i], trained[i], errs[i] = core.TrainVehicle(tasks[i], shared)
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	models := make(map[string]ml.Regressor, n)
+	for i, st := range statuses {
+		models[st.ID] = trained[i]
+	}
+	return statuses, models, nil
+}
+
+func (e *Engine) setRetraining(v bool) {
+	e.stateMu.Lock()
+	e.retraining = v
+	e.stateMu.Unlock()
+}
+
+func (e *Engine) recordError(err error) {
+	e.stateMu.Lock()
+	e.lastErr = err
+	e.lastErrAt = time.Now()
+	e.stateMu.Unlock()
+}
+
+// Status is the engine's operational state, served by /admin/status.
+type Status struct {
+	// Ready reports whether a snapshot is live.
+	Ready bool `json:"ready"`
+	// Retraining reports whether a build is in flight.
+	Retraining bool `json:"retraining"`
+	// Workers is the training-pool bound.
+	Workers int `json:"workers"`
+	// Generation, Vehicles, BuiltAt and TrainDuration describe the
+	// current snapshot (zero values when not ready).
+	Generation    uint64  `json:"generation"`
+	Vehicles      int     `json:"vehicles"`
+	BuiltAt       string  `json:"built_at,omitempty"`
+	TrainSeconds  float64 `json:"train_seconds"`
+	LastError     string  `json:"last_error,omitempty"`
+	LastErrorTime string  `json:"last_error_time,omitempty"`
+}
+
+// Status reports the engine's current operational state.
+func (e *Engine) Status() Status {
+	st := Status{Workers: e.workers}
+	if snap := e.Snapshot(); snap != nil {
+		st.Ready = true
+		st.Generation = snap.Generation
+		st.Vehicles = len(snap.Statuses)
+		st.BuiltAt = snap.BuiltAt.UTC().Format(time.RFC3339)
+		st.TrainSeconds = snap.TrainDuration.Seconds()
+	}
+	e.stateMu.Lock()
+	st.Retraining = e.retraining
+	if e.lastErr != nil {
+		st.LastError = e.lastErr.Error()
+		st.LastErrorTime = e.lastErrAt.UTC().Format(time.RFC3339)
+	}
+	e.stateMu.Unlock()
+	return st
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/telematics"
+)
+
+// genFleet synthesizes a fleet with the telematics generator and runs
+// the §3 preparation pipeline, mirroring the deployed ingestion path.
+func genFleet(t testing.TB, vehicles, days int) []Vehicle {
+	t.Helper()
+	cfg := telematics.DefaultFleetConfig()
+	cfg.Vehicles = vehicles
+	cfg.Days = days
+	fleet, err := telematics.GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Vehicle, 0, len(fleet.Vehicles))
+	for _, v := range fleet.Vehicles {
+		prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, cfg.Allowance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Vehicle{Series: prep.Series, Start: prep.Start})
+	}
+	return out
+}
+
+// fastPredictorConfig keeps tests quick: two cheap candidates instead
+// of the full four-algorithm competition.
+func fastPredictorConfig() core.PredictorConfig {
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = 3
+	cfg.Candidates = []core.Algorithm{core.LR, core.LSVR}
+	cfg.ColdStartAlgorithm = core.LR
+	return cfg
+}
+
+func trainAt(t *testing.T, fleet []Vehicle, workers int) *Snapshot {
+	t.Helper()
+	eng, err := New(Config{Predictor: fastPredictorConfig(), Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Retrain(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// sameFloat treats NaN == NaN and otherwise requires bit equality.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestParallelMatchesSequential is the determinism contract: training
+// on an 8-worker pool must be bit-identical to the sequential path —
+// same statuses, same winning algorithms, same forecasts.
+func TestParallelMatchesSequential(t *testing.T) {
+	fleet := genFleet(t, 8, 900)
+	seq := trainAt(t, fleet, 1)
+	par := trainAt(t, fleet, 8)
+
+	if len(seq.Statuses) != len(fleet) || len(par.Statuses) != len(seq.Statuses) {
+		t.Fatalf("status counts: seq=%d par=%d fleet=%d", len(seq.Statuses), len(par.Statuses), len(fleet))
+	}
+	for i, s := range seq.Statuses {
+		p := par.Statuses[i]
+		if s.ID != p.ID || s.Category != p.Category || s.Strategy != p.Strategy ||
+			s.Algorithm != p.Algorithm || s.Donor != p.Donor || !sameFloat(s.ValidationMRE, p.ValidationMRE) {
+			t.Errorf("status %d differs:\nseq %+v\npar %+v", i, s, p)
+		}
+	}
+	if len(seq.Forecasts) != len(par.Forecasts) {
+		t.Fatalf("forecast counts: seq=%d par=%d", len(seq.Forecasts), len(par.Forecasts))
+	}
+	for i, f := range seq.Forecasts {
+		g := par.Forecasts[i]
+		if f.VehicleID != g.VehicleID || f.AsOfDay != g.AsOfDay ||
+			!sameFloat(f.DaysLeft, g.DaysLeft) || !f.DueDate.Equal(g.DueDate) {
+			t.Errorf("forecast %d differs:\nseq %+v\npar %+v", i, f, g)
+		}
+	}
+	for id, msg := range seq.ForecastErrors {
+		if par.ForecastErrors[id] != msg {
+			t.Errorf("forecast error for %s: seq %q par %q", id, msg, par.ForecastErrors[id])
+		}
+	}
+}
+
+// TestEngineMatchesCoreTrain pins the engine's parallel path to the
+// core sequential reference (FleetPredictor.Train) as well.
+func TestEngineMatchesCoreTrain(t *testing.T) {
+	fleet := genFleet(t, 6, 900)
+	fp, err := core.NewFleetPredictor(fastPredictorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fleet {
+		if err := fp.AddVehicle(v.Series, v.Start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := fp.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := trainAt(t, fleet, 4)
+	if len(ref) != len(snap.Statuses) {
+		t.Fatalf("status counts: core=%d engine=%d", len(ref), len(snap.Statuses))
+	}
+	for i, s := range ref {
+		p := snap.Statuses[i]
+		if s.ID != p.ID || s.Algorithm != p.Algorithm || s.Strategy != p.Strategy || !sameFloat(s.ValidationMRE, p.ValidationMRE) {
+			t.Errorf("status %d differs:\ncore   %+v\nengine %+v", i, s, p)
+		}
+	}
+}
+
+func TestRetrainSwapsSnapshot(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	eng, err := New(Config{Predictor: fastPredictorConfig(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Snapshot() != nil {
+		t.Fatal("snapshot before first retrain")
+	}
+	if st := eng.Status(); st.Ready {
+		t.Fatal("ready before first retrain")
+	}
+	first, err := eng.Retrain(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation != 1 || eng.Snapshot() != first {
+		t.Fatalf("generation %d, snapshot swapped=%v", first.Generation, eng.Snapshot() == first)
+	}
+	second, err := eng.Retrain(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == first || second.Generation != 2 {
+		t.Fatalf("second retrain: same snapshot=%v generation=%d", second == first, second.Generation)
+	}
+	// The old snapshot must stay fully usable after the swap.
+	if len(first.Forecasts) == 0 || first.Forecasts[0].VehicleID == "" {
+		t.Fatal("old snapshot degraded after swap")
+	}
+	st := eng.Status()
+	if !st.Ready || st.Generation != 2 || st.Vehicles != len(fleet) || st.Retraining {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestRetrainFailureKeepsServing(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	eng, err := New(Config{Predictor: fastPredictorConfig(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := eng.Retrain(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Retrain(context.Background(), nil); err == nil {
+		t.Fatal("empty-fleet retrain succeeded")
+	}
+	if eng.Snapshot() != good {
+		t.Fatal("failed retrain replaced the live snapshot")
+	}
+	if st := eng.Status(); st.LastError == "" || st.Generation != 1 {
+		t.Fatalf("status after failure = %+v", st)
+	}
+}
+
+func TestRetrainContextCancel(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	eng, err := New(Config{Predictor: fastPredictorConfig(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Retrain(ctx, fleet); err == nil {
+		t.Fatal("cancelled retrain succeeded")
+	}
+	if eng.Snapshot() != nil {
+		t.Fatal("cancelled retrain published a snapshot")
+	}
+}
+
+// TestSingleFlight: while any build is in flight, the Try/Begin
+// variants refuse instead of queueing a redundant one.
+func TestSingleFlight(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	cfg := Config{Predictor: fastPredictorConfig(), Workers: 2, Source: func(context.Context) ([]Vehicle, error) {
+		entered <- struct{}{}
+		<-release
+		return fleet, nil
+	}}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.BeginRetrainFromSource() {
+		t.Fatal("first background retrain refused")
+	}
+	<-entered // the build holds the engine now
+	if eng.BeginRetrainFromSource() {
+		t.Fatal("second background retrain started while one is in flight")
+	}
+	if _, err := eng.TryRetrainFromSource(context.Background()); err != ErrRetrainInFlight {
+		t.Fatalf("TryRetrainFromSource err = %v, want ErrRetrainInFlight", err)
+	}
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Snapshot() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background retrain never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Once drained, a Try retrain succeeds again.
+	if _, err := eng.TryRetrainFromSource(context.Background()); err != nil {
+		t.Fatalf("retrain after drain: %v", err)
+	}
+}
+
+func TestRetrainFromSource(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	calls := 0
+	src := func(context.Context) ([]Vehicle, error) {
+		calls++
+		return fleet, nil
+	}
+	eng, err := New(Config{Predictor: fastPredictorConfig(), Workers: 2, Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RetrainFromSource(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || eng.Snapshot() == nil {
+		t.Fatalf("calls=%d snapshot=%v", calls, eng.Snapshot() != nil)
+	}
+
+	noSrc, err := New(Config{Predictor: fastPredictorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noSrc.RetrainFromSource(context.Background()); err == nil {
+		t.Fatal("RetrainFromSource without a source succeeded")
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Snapshot is one immutable, fully materialized training result. All
+// fields are written before the snapshot is published and never
+// mutated afterwards, so readers may use it without synchronization for
+// as long as they like — even across a retrain, which only swaps the
+// engine's pointer to a new snapshot.
+type Snapshot struct {
+	// Statuses are the per-vehicle training outcomes in ID order.
+	Statuses []core.VehicleStatus
+	// StatusByID indexes Statuses.
+	StatusByID map[string]core.VehicleStatus
+	// Forecasts are the precomputed fleet forecasts in ID order,
+	// excluding vehicles whose forecast failed (see ForecastErrors).
+	// Hot read paths serve these without touching a model.
+	Forecasts []core.Forecast
+	// ForecastByID indexes Forecasts.
+	ForecastByID map[string]core.Forecast
+	// ForecastErrors records, per vehicle, why a forecast could not be
+	// precomputed (e.g. a brand-new vehicle with less history than the
+	// feature window).
+	ForecastErrors map[string]string
+	// Generation counts successful builds, starting at 1.
+	Generation uint64
+	// BuiltAt is when the build finished; TrainDuration how long it
+	// took.
+	BuiltAt       time.Time
+	TrainDuration time.Duration
+}
+
+// newSnapshot freezes a trained predictor: it precomputes every
+// vehicle's forecast once so serving does no model math. The predictor
+// itself (models plus series) is deliberately not retained — the
+// snapshot keeps only the materialized outputs, so swapped-out
+// generations release the fleet's model memory as soon as readers
+// drain.
+func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, trainDur time.Duration) *Snapshot {
+	s := &Snapshot{
+		Statuses:       statuses,
+		StatusByID:     make(map[string]core.VehicleStatus, len(statuses)),
+		ForecastByID:   make(map[string]core.Forecast, len(statuses)),
+		ForecastErrors: make(map[string]string),
+		BuiltAt:        time.Now(),
+		TrainDuration:  trainDur,
+	}
+	for _, st := range statuses {
+		s.StatusByID[st.ID] = st
+		f, err := fp.Predict(st.ID)
+		if err != nil {
+			s.ForecastErrors[st.ID] = err.Error()
+			continue
+		}
+		s.Forecasts = append(s.Forecasts, f)
+		s.ForecastByID[st.ID] = f
+	}
+	return s
+}

@@ -5,12 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataprep"
+	"repro/internal/engine"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
 )
@@ -118,31 +119,25 @@ func (e *Env) evaluateFleet(alg core.Algorithm, window int, restrict bool) (*fle
 		cfg.Grid = core.CoarseGrid(alg)
 	}
 
+	// Bounded worker pool over the old fleet; results land in vehicle
+	// order so downstream tables do not depend on goroutine scheduling.
+	reports := make([]*core.ErrorReport, len(e.Olds))
+	_ = engine.ForEach(context.Background(), len(e.Olds), runtime.GOMAXPROCS(0), func(i int) {
+		// Insufficient data for this configuration is a data condition,
+		// not a failure: leave the slot nil and continue.
+		if r, err := core.EvaluateOld(e.Olds[i], alg, cfg); err == nil {
+			reports[i] = r.Report
+		}
+	})
+
 	res := &fleetResult{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	errs := make([]error, len(e.Olds))
-	for i, vs := range e.Olds {
-		wg.Add(1)
-		go func(i int, vs *timeseries.VehicleSeries) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := core.EvaluateOld(vs, alg, cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				// Insufficient data for this configuration is a data
-				// condition, not a failure: record and continue.
-				res.Skipped = append(res.Skipped, vs.ID)
-				return
-			}
-			res.Reports = append(res.Reports, r.Report)
-			errs[i] = nil
-		}(i, vs)
+	for i, r := range reports {
+		if r == nil {
+			res.Skipped = append(res.Skipped, e.Olds[i].ID)
+			continue
+		}
+		res.Reports = append(res.Reports, r)
 	}
-	wg.Wait()
 	if len(res.Reports) == 0 {
 		return nil, fmt.Errorf("experiments: %s W=%d restrict=%v: no vehicle evaluable", alg, window, restrict)
 	}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// FleetVehicles adapts the prepared fleet for the engine's ingestion
+// path.
+func (e *Env) FleetVehicles() []engine.Vehicle {
+	out := make([]engine.Vehicle, 0, len(e.Prepared))
+	for _, p := range e.Prepared {
+		out = append(out, engine.Vehicle{Series: p.Series, Start: p.Start})
+	}
+	return out
+}
+
+// TrainFleet runs the full deployed-system training — per-vehicle
+// candidate competition for old vehicles, cold-start strategies for the
+// rest — on a workers-wide pool and returns the frozen snapshot. It is
+// the §5.1 "train the whole fleet" workload behind
+// BenchmarkFleetTrain*; workers = 1 is the sequential reference and any
+// other worker count is bit-identical to it.
+func (e *Env) TrainFleet(ctx context.Context, workers int) (*engine.Snapshot, error) {
+	cfg := core.DefaultPredictorConfig()
+	cfg.Seed = e.Scale.Seed
+	eng, err := engine.New(engine.Config{Predictor: cfg, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fleet engine: %w", err)
+	}
+	return eng.Retrain(ctx, e.FleetVehicles())
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestServeDuringRetrain hammers the hot forecast endpoints from many
+// goroutines while snapshot swaps happen underneath them. Run under
+// -race (CI does), it is the zero-downtime contract: every request must
+// see a complete snapshot — correct status code, well-formed body —
+// no matter how the swaps interleave.
+func TestServeDuringRetrain(t *testing.T) {
+	srv := buildServer(t)
+
+	const (
+		readers  = 8
+		requests = 150
+		retrains = 5
+	)
+	paths := []string{
+		"/vehicles/v01/forecast",
+		"/vehicles/v02/forecast",
+		"/fleet/forecast",
+		"/vehicles",
+		"/admin/status",
+	}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				if failures.Load() > 0 {
+					return
+				}
+				path := paths[(g+i)%len(paths)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fail("GET %s: status %d body %s", path, rec.Code, rec.Body.Bytes())
+					return
+				}
+				if !json.Valid(rec.Body.Bytes()) {
+					fail("GET %s: invalid JSON %q", path, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Retrain repeatedly while the readers run; each call swaps in a
+	// fresh snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < retrains; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/admin/retrain?wait=1", nil)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				fail("retrain %d: status %d body %s", i, rec.Code, rec.Body.Bytes())
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	st := srv.engine.Status()
+	if st.Generation != retrains+1 {
+		t.Fatalf("generation %d after %d retrains", st.Generation, retrains)
+	}
+
+	// Forecasts must be identical across generations: same fleet in,
+	// same deterministic model out.
+	var before, after FleetForecastJSON
+	rec, body := get(t, srv, "/fleet/forecast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("final forecast status %d", rec.Code)
+	}
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildServer(t)
+	_, body = get(t, fresh, "/fleet/forecast")
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Fatalf("forecasts drifted across retrains:\nbefore %v\nafter  %v", before, after)
+	}
+}

@@ -1,60 +1,64 @@
-// Package serve exposes the trained fleet predictor as a JSON-over-HTTP
-// service — the shape the paper's deployed system takes ("the data
-// owner ... has decided to put the present application under
-// deployment"). Endpoints:
+// Package serve exposes the fleet engine as a JSON-over-HTTP service —
+// the shape the paper's deployed system takes ("the data owner ... has
+// decided to put the present application under deployment"). Endpoints:
 //
-//	GET /healthz                     liveness probe
-//	GET /vehicles                    fleet overview (category, strategy)
-//	GET /vehicles/{id}/forecast      next-maintenance forecast
-//	GET /fleet/forecast              all forecasts
-//	GET /fleet/plan?capacity=2&horizon=240&maxlead=7
-//	                                 workshop schedule from the forecasts
+//	GET  /healthz                     liveness probe
+//	GET  /vehicles                    fleet overview (category, strategy)
+//	GET  /vehicles/{id}/forecast      next-maintenance forecast
+//	GET  /fleet/forecast              all forecasts
+//	GET  /fleet/plan?capacity=2&horizon=240&maxlead=7
+//	                                  workshop schedule from the forecasts
+//	POST /admin/retrain[?wait=1]      re-ingest telemetry, rebuild in the
+//	                                  background, swap snapshots
+//	GET  /admin/status                engine state (generation, workers, ...)
+//
+// Every read endpoint serves from the engine's current immutable
+// snapshot: one atomic pointer load, no locks, no model math (forecasts
+// are precomputed at snapshot-build time). A retrain builds the next
+// snapshot off to the side and swaps it in when done, so reads are
+// never blocked and never observe a half-trained fleet.
 //
 // The handler is a plain http.Handler built on the standard library,
 // so it embeds into any existing mux or server.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sched"
 )
 
-// Server wraps a trained FleetPredictor. It is safe for concurrent use
-// as long as the predictor is not retrained while serving (the
-// predictor itself is read-only after Train).
+// Server wraps a fleet engine. All handlers are safe for arbitrary
+// concurrency, including concurrently with retrains.
 type Server struct {
-	predictor *core.FleetPredictor
-	statuses  map[string]core.VehicleStatus
-	mux       *http.ServeMux
+	engine *engine.Engine
+	mux    *http.ServeMux
 }
 
-// New builds the HTTP facade over a *trained* predictor; statuses are
-// the result of Train.
-func New(fp *core.FleetPredictor, statuses []core.VehicleStatus) (*Server, error) {
-	if fp == nil {
-		return nil, errors.New("serve: nil predictor")
+// New builds the HTTP facade over an engine. The engine does not need a
+// snapshot yet — endpoints answer 503 until the first build lands — so
+// a server can accept traffic while the initial training runs.
+func New(eng *engine.Engine) (*Server, error) {
+	if eng == nil {
+		return nil, errors.New("serve: nil engine")
 	}
-	s := &Server{
-		predictor: fp,
-		statuses:  make(map[string]core.VehicleStatus, len(statuses)),
-		mux:       http.NewServeMux(),
-	}
-	for _, st := range statuses {
-		s.statuses[st.ID] = st
-	}
+	s := &Server{engine: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /vehicles", s.handleVehicles)
 	s.mux.HandleFunc("GET /vehicles/{id}/forecast", s.handleForecast)
 	s.mux.HandleFunc("GET /fleet/forecast", s.handleFleetForecast)
 	s.mux.HandleFunc("GET /fleet/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
+	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
 	return s, nil
 }
 
@@ -74,6 +78,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// snapshot fetches the current snapshot, answering 503 when the engine
+// has not finished its first build.
+func (s *Server) snapshot(w http.ResponseWriter) (*engine.Snapshot, bool) {
+	snap := s.engine.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model snapshot yet; initial training in progress")
+		return nil, false
+	}
+	return snap, true
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -87,11 +102,14 @@ type VehicleInfo struct {
 }
 
 func (s *Server) handleVehicles(w http.ResponseWriter, _ *http.Request) {
-	var out []VehicleInfo
-	for _, id := range s.predictor.VehicleIDs() {
-		st := s.statuses[id]
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	out := make([]VehicleInfo, 0, len(snap.Statuses))
+	for _, st := range snap.Statuses {
 		out = append(out, VehicleInfo{
-			ID:       id,
+			ID:       st.ID,
 			Category: st.Category.String(),
 			Strategy: st.Strategy,
 			Model:    string(st.Algorithm),
@@ -120,28 +138,42 @@ func toJSON(f core.Forecast) ForecastJSON {
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	f, err := s.predictor.Predict(id)
-	if err != nil {
-		if strings.Contains(err.Error(), "unknown vehicle") {
-			writeError(w, http.StatusNotFound, err.Error())
-			return
-		}
-		writeError(w, http.StatusInternalServerError, err.Error())
+	snap, ok := s.snapshot(w)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, toJSON(f))
+	id := r.PathValue("id")
+	// Precomputed at snapshot build: the hot path does no model math.
+	if f, ok := snap.ForecastByID[id]; ok {
+		writeJSON(w, http.StatusOK, toJSON(f))
+		return
+	}
+	if msg, ok := snap.ForecastErrors[id]; ok {
+		writeError(w, http.StatusInternalServerError, msg)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown vehicle %q", id))
+}
+
+// FleetForecastJSON is the /fleet/forecast response. Errors lists the
+// vehicles no forecast could be precomputed for, so a fleet-wide read
+// never silently loses a vehicle.
+type FleetForecastJSON struct {
+	Forecasts []ForecastJSON    `json:"forecasts"`
+	Errors    map[string]string `json:"errors,omitempty"`
 }
 
 func (s *Server) handleFleetForecast(w http.ResponseWriter, _ *http.Request) {
-	fcs, err := s.predictor.PredictAll()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+	snap, ok := s.snapshot(w)
+	if !ok {
 		return
 	}
-	out := make([]ForecastJSON, len(fcs))
-	for i, f := range fcs {
-		out[i] = toJSON(f)
+	out := FleetForecastJSON{Forecasts: make([]ForecastJSON, len(snap.Forecasts))}
+	for i, f := range snap.Forecasts {
+		out.Forecasts[i] = toJSON(f)
+	}
+	if len(snap.ForecastErrors) > 0 {
+		out.Errors = snap.ForecastErrors
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -176,14 +208,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	fcs, err := s.predictor.PredictAll()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+	snap, ok := s.snapshot(w)
+	if !ok {
 		return
 	}
 	var reqs []sched.Request
 	now := time.Now().UTC().Truncate(24 * time.Hour)
-	for _, f := range fcs {
+	for _, f := range snap.Forecasts {
 		due := f.DueDate
 		if due.Before(now) {
 			due = now
@@ -196,6 +227,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := PlanJSON{Unscheduled: plan.Unschedulable}
+	// Vehicles without a precomputed forecast cannot be scheduled; list
+	// them explicitly so the plan never silently drops a vehicle.
+	for _, id := range sortedKeys(snap.ForecastErrors) {
+		out.Unscheduled = append(out.Unscheduled, id)
+	}
 	for _, a := range plan.Assignments {
 		out.Assignments = append(out.Assignments, AssignmentJSON{
 			VehicleID: a.VehicleID,
@@ -204,6 +240,68 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// RetrainJSON acknowledges a retrain request.
+type RetrainJSON struct {
+	// Started reports whether a rebuild was kicked off.
+	Started bool `json:"started"`
+	// Generation is the snapshot generation at response time — for a
+	// waited retrain, the fresh build's generation.
+	Generation uint64 `json:"generation"`
+}
+
+// handleRetrain re-ingests telemetry through the engine's fleet source
+// and rebuilds the snapshot. By default the rebuild runs in the
+// background and 202 is returned immediately; with ?wait=1 the handler
+// blocks until the new snapshot is live (or the build fails). Either
+// way at most one handler-initiated rebuild is in flight: further
+// kicks answer 409 instead of queueing redundant full trainings.
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	wait := false
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		var err error
+		if wait, err = strconv.ParseBool(raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: query parameter %q must be a boolean, got %q", "wait", raw))
+			return
+		}
+	}
+	if wait {
+		// Deliberately detached from the request context: a client
+		// disconnect or timeout must not abort (and discard) a
+		// fleet-wide rebuild that is already underway.
+		snap, err := s.engine.TryRetrainFromSource(context.Background())
+		switch {
+		case errors.Is(err, engine.ErrRetrainInFlight):
+			writeError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, RetrainJSON{Started: true, Generation: snap.Generation})
+		}
+		return
+	}
+	// The engine's single-flight covers every initiator — handler
+	// kicks and the periodic retrain loop alike. Failures of the
+	// detached rebuild land in /admin/status.
+	if !s.engine.BeginRetrainFromSource() {
+		writeError(w, http.StatusConflict, engine.ErrRetrainInFlight.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, RetrainJSON{Started: true, Generation: s.engine.Status().Generation})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Status())
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func intQuery(r *http.Request, key string, def int) (int, error) {

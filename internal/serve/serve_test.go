@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -8,22 +9,18 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/timeseries"
 )
 
-// buildServer trains a tiny fleet and wraps it.
-func buildServer(t *testing.T) *Server {
+// tinyFleet builds three deterministic vehicles through the derivation
+// pipeline.
+func tinyFleet(t testing.TB) []engine.Vehicle {
 	t.Helper()
-	cfg := core.DefaultPredictorConfig()
-	cfg.Window = 2
-	cfg.Candidates = []core.Algorithm{core.LR}
-	fp, err := core.NewFleetPredictor(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
 	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
 	rnd := rng.New(1)
+	var fleet []engine.Vehicle
 	for _, id := range []string{"v01", "v02", "v03"} {
 		u := make(timeseries.Series, 400)
 		for i := range u {
@@ -37,27 +34,50 @@ func buildServer(t *testing.T) *Server {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := fp.AddVehicle(vs, start); err != nil {
-			t.Fatal(err)
-		}
+		fleet = append(fleet, engine.Vehicle{Series: vs, Start: start})
 	}
-	statuses, err := fp.Train()
+	return fleet
+}
+
+func testEngineConfig() engine.Config {
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = 2
+	cfg.Candidates = []core.Algorithm{core.LR}
+	cfg.ColdStartAlgorithm = core.LR
+	return engine.Config{Predictor: cfg, Workers: 2}
+}
+
+// buildServer trains a tiny fleet through the engine and wraps it. The
+// engine's source re-serves the same fleet, so /admin/retrain works.
+func buildServer(t testing.TB) *Server {
+	t.Helper()
+	fleet := tinyFleet(t)
+	cfg := testEngineConfig()
+	cfg.Source = func(context.Context) ([]engine.Vehicle, error) { return fleet, nil }
+	eng, err := engine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(fp, statuses)
+	if _, err := eng.Retrain(context.Background(), fleet); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return srv
 }
 
-func get(t *testing.T, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
+func do(t testing.TB, srv *Server, method, path string) (*httptest.ResponseRecorder, []byte) {
 	t.Helper()
-	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req := httptest.NewRequest(method, path, nil)
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
 	return rec, rec.Body.Bytes()
+}
+
+func get(t testing.TB, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
+	return do(t, srv, http.MethodGet, path)
 }
 
 func TestHealthz(t *testing.T) {
@@ -122,12 +142,15 @@ func TestFleetForecast(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var out []ForecastJSON
+	var out FleetForecastJSON
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 3 {
-		t.Fatalf("got %d forecasts", len(out))
+	if len(out.Forecasts) != 3 {
+		t.Fatalf("got %d forecasts", len(out.Forecasts))
+	}
+	if len(out.Errors) != 0 {
+		t.Fatalf("unexpected forecast errors: %v", out.Errors)
 	}
 }
 
@@ -165,16 +188,191 @@ func TestPlanBadQuery(t *testing.T) {
 
 func TestMethodRouting(t *testing.T) {
 	srv := buildServer(t)
-	req := httptest.NewRequest(http.MethodPost, "/vehicles", nil)
-	rec := httptest.NewRecorder()
-	srv.ServeHTTP(rec, req)
+	rec, _ := do(t, srv, http.MethodPost, "/vehicles")
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+	rec, _ = do(t, srv, http.MethodGet, "/admin/retrain")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/retrain status %d, want 405", rec.Code)
 	}
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, nil); err == nil {
-		t.Fatal("nil predictor accepted")
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+// TestNotReady exercises the window between boot and the first snapshot.
+func TestNotReady(t *testing.T) {
+	eng, err := engine.New(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/vehicles", "/vehicles/v01/forecast", "/fleet/forecast", "/fleet/plan"} {
+		rec, _ := get(t, srv, path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s status %d, want 503", path, rec.Code)
+		}
+	}
+	// Liveness and status must answer even without a snapshot.
+	if rec, _ := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz status %d", rec.Code)
+	}
+	rec, body := get(t, srv, "/admin/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status endpoint %d", rec.Code)
+	}
+	var st engine.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || st.Generation != 0 {
+		t.Fatalf("status before training = %+v", st)
+	}
+}
+
+func TestAdminStatus(t *testing.T) {
+	rec, body := get(t, buildServer(t), "/admin/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var st engine.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Generation != 1 || st.Vehicles != 3 || st.Workers != 2 {
+		t.Fatalf("admin status = %+v", st)
+	}
+}
+
+func TestAdminRetrainWait(t *testing.T) {
+	srv := buildServer(t)
+	rec, body := do(t, srv, http.MethodPost, "/admin/retrain?wait=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var ack RetrainJSON
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Started || ack.Generation != 2 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	// Forecasts must still be served from the fresh snapshot.
+	rec, _ = get(t, srv, "/vehicles/v01/forecast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forecast after retrain: %d", rec.Code)
+	}
+}
+
+func TestAdminRetrainAsync(t *testing.T) {
+	srv := buildServer(t)
+	// wait=0 is explicitly async, and garbage is rejected.
+	if rec, body := do(t, srv, http.MethodPost, "/admin/retrain?wait=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("wait=bogus status %d: %s", rec.Code, body)
+	}
+	rec, body := do(t, srv, http.MethodPost, "/admin/retrain?wait=0")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv.engine.Status().Generation >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background retrain never landed: %+v", srv.engine.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminRetrainConflict pins the duplicate guard: while one
+// background rebuild is in flight, further kicks answer 409.
+func TestAdminRetrainConflict(t *testing.T) {
+	fleet := tinyFleet(t)
+	release := make(chan struct{})
+	cfg := testEngineConfig()
+	cfg.Source = func(context.Context) ([]engine.Vehicle, error) {
+		<-release
+		return fleet, nil
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Retrain(context.Background(), fleet); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, body := do(t, srv, http.MethodPost, "/admin/retrain")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("first kick: status %d body %s", rec.Code, body)
+	}
+	rec, body = do(t, srv, http.MethodPost, "/admin/retrain")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("second kick: status %d body %s, want 409", rec.Code, body)
+	}
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.engine.Status().Generation < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background retrain never landed: %+v", srv.engine.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAdminRetrainNoSource(t *testing.T) {
+	fleet := tinyFleet(t)
+	eng, err := engine.New(testEngineConfig()) // no Source
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Retrain(context.Background(), fleet); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, srv, http.MethodPost, "/admin/retrain?wait=1")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+
+	// An async kick must surface the failure in /admin/status rather
+	// than vanish behind the 202 — on a fresh engine, so the assertion
+	// cannot be satisfied by the waited request's recorded error.
+	eng2, err := engine.New(testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Retrain(context.Background(), fleet); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = do(t, srv2, http.MethodPost, "/admin/retrain")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("async status %d, want 202", rec.Code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for eng2.Status().LastError == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("async no-source failure never reached status: %+v", eng2.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
