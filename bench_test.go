@@ -15,6 +15,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/ml"
@@ -85,13 +86,56 @@ func benchFleetTrain(b *testing.B, workers int) {
 // BenchmarkFleetTrain is the sequential reference (worker pool of 1).
 func BenchmarkFleetTrain(b *testing.B) { benchFleetTrain(b, 1) }
 
-// BenchmarkFleetTrainParallel scales the pool; per-vehicle rng splits
-// make every variant bit-identical to BenchmarkFleetTrain, so the
-// speedup is pure scheduling (expect ~linear until the core count or
-// the slowest single vehicle dominates).
+// BenchmarkFleetTrainParallel scales the pool; per-vehicle seed
+// derivation makes every variant bit-identical to BenchmarkFleetTrain,
+// so the speedup is pure scheduling (expect ~linear until the core
+// count or the slowest single vehicle dominates).
 func BenchmarkFleetTrainParallel(b *testing.B) {
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) { benchFleetTrain(b, workers) })
+	}
+}
+
+// BenchmarkIncrementalRetrain measures the telemetry-update steady
+// state: a retrain after exactly one of the 24 vehicles received new
+// telemetry. The engine carries the 23 clean vehicles' models forward
+// (hash-gated reuse), so the cost is O(changed vehicles) — expect this
+// to beat BenchmarkFleetTrain by roughly the fleet size. Alternating
+// between the base fleet and a one-vehicle perturbation keeps every
+// iteration at exactly one dirty vehicle.
+func BenchmarkIncrementalRetrain(b *testing.B) {
+	e := fleet24(b)
+	cfg := core.DefaultPredictorConfig()
+	cfg.Seed = e.Scale.Seed
+	eng, err := engine.New(engine.Config{Predictor: cfg, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := e.FleetVehicles()
+	dirty := append([]engine.Vehicle(nil), base...)
+	u := base[0].Series.U.Clone()
+	u = append(u, u[len(u)-1])
+	pert, err := timeseries.Derive(base[0].Series.ID, u, base[0].Series.Allowance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty[0] = engine.Vehicle{Series: pert, Start: base[0].Start}
+	if _, err := eng.Retrain(context.Background(), base); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet := base
+		if i%2 == 0 {
+			fleet = dirty
+		}
+		snap, err := eng.Retrain(context.Background(), fleet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Retrained != 1 {
+			b.Fatalf("retrained %d vehicles, want 1", snap.Retrained)
+		}
 	}
 }
 

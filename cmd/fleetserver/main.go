@@ -1,16 +1,23 @@
-// Command fleetserver boots the concurrent fleet engine on a fleet CSV
-// (as produced by fleetgen) and serves next-maintenance forecasts and
-// workshop plans over HTTP (see internal/serve for the endpoints).
+// Command fleetserver boots the concurrent fleet engine and serves
+// next-maintenance forecasts and workshop plans over HTTP (see
+// internal/serve for the endpoints).
 //
-// Training runs on a bounded worker pool; the CSV is re-read on every
-// retrain (POST /admin/retrain, or periodically with
-// -retrain-interval), so appended telemetry is picked up with zero
-// serving downtime: the old model snapshot answers requests until the
-// new one atomically replaces it.
+// Two ingestion modes:
+//
+//   - CSV mode (default): the fleet CSV (as produced by fleetgen) is
+//     re-read on every retrain, so appended telemetry is picked up with
+//     zero serving downtime.
+//   - Live mode (-ingest): a concurrent telemetry store accepts batched
+//     POST /telemetry reports; the CSV (now optional) only seeds the
+//     store at boot. With -retrain-dirty N, an incremental retrain
+//     kicks automatically once N vehicles have changed — and because
+//     retrains reuse unchanged vehicles' models, its cost is
+//     O(changed vehicles), not O(fleet).
 //
 // Usage:
 //
-//	fleetserver -data fleet.csv [-addr :8080] [-w 6] [-workers 8] [-retrain-interval 1h]
+//	fleetserver -data fleet.csv [-addr :8080] [-w 6] [-workers 8]
+//	            [-retrain-interval 1h] [-ingest] [-retrain-dirty 1]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataprep"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
@@ -36,30 +44,65 @@ func main() {
 	log.SetPrefix("fleetserver: ")
 
 	var (
-		data     = flag.String("data", "", "fleet CSV file (required)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		window   = flag.Int("w", 6, "feature window W")
-		workers  = flag.Int("workers", 0, "training pool size (0 = GOMAXPROCS)")
-		interval = flag.Duration("retrain-interval", 0, "periodic retrain interval (0 disables)")
+		data        = flag.String("data", "", "fleet CSV file (required unless -ingest)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		window      = flag.Int("w", 6, "feature window W")
+		workers     = flag.Int("workers", 0, "training pool size (0 = GOMAXPROCS)")
+		interval    = flag.Duration("retrain-interval", 0, "periodic retrain interval (0 disables)")
+		liveIngest  = flag.Bool("ingest", false, "enable live telemetry ingestion (POST /telemetry); -data becomes seed data")
+		retrainDirt = flag.Int("retrain-dirty", 0, "with -ingest: auto-retrain once this many vehicles changed (0 disables)")
 	)
 	flag.Parse()
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080] [-workers 8] [-retrain-interval 1h]")
+	if *data == "" && !*liveIngest {
+		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080] [-workers 8] [-retrain-interval 1h] [-ingest] [-retrain-dirty 1]")
 		os.Exit(2)
+	}
+	if *retrainDirt > 0 && !*liveIngest {
+		log.Fatal("-retrain-dirty needs -ingest")
+	}
+	if *liveIngest && *retrainDirt <= 0 && *interval <= 0 {
+		// Live mode with no retrain trigger would ingest forever
+		// without ever training; default to retraining as soon as any
+		// vehicle changes.
+		*retrainDirt = 1
+		log.Printf("-ingest without -retrain-dirty/-retrain-interval: defaulting -retrain-dirty to 1")
 	}
 
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = *window
+
+	var (
+		store *ingest.Store
+		src   engine.Source
+	)
+	if *liveIngest {
+		store = ingest.New(timeseries.DefaultAllowance)
+		if *data != "" {
+			fleet, err := readFleetCSV(*data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := store.SeedFromFleet(fleet)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("seeded ingest store from %s: %d vehicles, %d daily reports", *data, len(res.Vehicles), res.Accepted)
+		}
+		src = store.Fleet
+	} else {
+		src = csvSource(*data)
+	}
+
 	eng, err := engine.New(engine.Config{
 		Predictor: cfg,
 		Workers:   *workers,
-		Source:    csvSource(*data),
+		Source:    src,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := serve.New(eng)
+	srv, err := serve.NewWithOptions(eng, serve.Options{Ingest: store, RetrainDirty: *retrainDirt})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,43 +111,58 @@ func main() {
 	// /healthz and /admin/status immediately and 503s data endpoints
 	// until the first snapshot lands, so orchestrator probes never see
 	// a refused connection during a long initial train.
-	go func() {
-		snap, err := eng.RetrainFromSource(context.Background())
-		if err != nil {
-			// Without a periodic retrain nothing would ever recover a
-			// failed cold train — keep the old fail-fast boot there. With
-			// one, stay up serving 503s and let the next tick retry.
-			if *interval <= 0 {
-				log.Fatalf("initial training failed: %v", err)
+	if *liveIngest && len(store.Vehicles()) == 0 {
+		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
+	} else {
+		go func() {
+			snap, err := eng.RetrainFromSource(context.Background())
+			if err != nil {
+				// Without any later retrain trigger nothing would ever
+				// recover a failed cold train — keep the old fail-fast
+				// boot there. With one (periodic loop, or the dirty
+				// threshold kicking retrains on ingest), stay up
+				// serving 503s.
+				if *interval <= 0 && *retrainDirt <= 0 {
+					log.Fatalf("initial training failed: %v", err)
+				}
+				log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
+				return
 			}
-			log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
-			return
-		}
-		log.Printf("trained %d vehicles in %.1fs on %d workers",
-			len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
-	}()
+			log.Printf("trained %d vehicles in %.1fs on %d workers",
+				len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
+		}()
+	}
 
 	if *interval > 0 {
 		go retrainLoop(eng, *interval)
 		log.Printf("retraining every %s", *interval)
+	}
+	if *retrainDirt > 0 {
+		log.Printf("auto-retraining once %d vehicles are dirty", *retrainDirt)
 	}
 
 	log.Printf("listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
+// readFleetCSV loads a fleetgen CSV.
+func readFleetCSV(path string) (*telematics.Fleet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := telematics.ReadCSV(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return fleet, err
+}
+
 // csvSource re-reads and re-prepares the fleet CSV on every call, so a
 // retrain ingests whatever telemetry has been appended since boot.
 func csvSource(path string) engine.Source {
 	return func(context.Context) ([]engine.Vehicle, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		fleet, err := telematics.ReadCSV(f)
-		if cerr := f.Close(); err == nil && cerr != nil {
-			err = cerr
-		}
+		fleet, err := readFleetCSV(path)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +187,7 @@ func retrainLoop(eng *engine.Engine, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for range ticker.C {
-		snap, err := eng.TryRetrainFromSource(context.Background())
+		snap, err := eng.TryRetrainFromSource(context.Background(), false)
 		if errors.Is(err, engine.ErrRetrainInFlight) {
 			continue
 		}
@@ -137,7 +195,7 @@ func retrainLoop(eng *engine.Engine, interval time.Duration) {
 			log.Printf("retrain failed (still serving generation %d): %v", eng.Status().Generation, err)
 			continue
 		}
-		log.Printf("retrained: generation %d, %d vehicles in %.1fs",
-			snap.Generation, len(snap.Statuses), snap.TrainDuration.Seconds())
+		log.Printf("retrained: generation %d, %d vehicles (%d reused, %d retrained) in %.1fs",
+			snap.Generation, len(snap.Statuses), snap.Reused, snap.Retrained, snap.TrainDuration.Seconds())
 	}
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/timeseries"
+)
+
+// FNV-1a constants (64-bit). The repo hashes series content with FNV-1a
+// because it is fast, dependency-free and stable across platforms —
+// exactly what a cross-generation reuse key needs.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	h = fnvUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// Fingerprint is the FNV-1a content hash of one prepared vehicle: its
+// identity, acquisition start, allowance and the full daily utilization
+// series. Every other per-vehicle series (C, L, D, the cycle
+// segmentation) is a pure function of these inputs, so two vehicles
+// with equal fingerprints train — and forecast — bit-identically under
+// the same configuration. Incremental builds use the fingerprint to
+// decide whether the previous generation's model can be carried
+// forward.
+func Fingerprint(vs *timeseries.VehicleSeries, start time.Time) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvString(h, vs.ID)
+	h = fnvUint64(h, uint64(start.Unix()))
+	h = fnvUint64(h, math.Float64bits(vs.Allowance))
+	h = fnvUint64(h, uint64(len(vs.U)))
+	for _, v := range vs.U {
+		h = fnvUint64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// Seed-derivation domains. Tagging the domain byte first makes a
+// vehicle seed and the shared unified-model seed collide-proof even if
+// a vehicle were named like the reserved shared key.
+const (
+	seedDomainVehicle = 'V'
+	seedDomainShared  = 'U'
+)
+
+// deriveSeed maps (root seed, domain, id) to a task seed through FNV-1a
+// and one SplitMix/xoshiro expansion for avalanche. Unlike a sequential
+// rng split, the result does not depend on which other vehicles are in
+// the fleet — the property that makes incremental reuse sound: a
+// vehicle's seed (and therefore its model) is unchanged when neighbours
+// join or leave the fleet.
+func deriveSeed(root uint64, domain byte, id string) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvByte(h, domain)
+	h = fnvUint64(h, root)
+	h = fnvString(h, id)
+	return rng.New(h).Uint64()
+}
+
+// PriorGeneration carries the reusable outputs of a previous build:
+// per-vehicle fingerprints, statuses and trained models, plus the hash
+// of the old-vehicle donor pool those models were trained against.
+// internal/engine materializes one from its current Snapshot.
+type PriorGeneration struct {
+	// Fingerprints are the per-vehicle series content hashes at the
+	// previous build.
+	Fingerprints map[string]uint64
+	// PoolHash identifies the donor pool (IDs and contents of every
+	// old-category vehicle) of the previous build.
+	PoolHash uint64
+	// Statuses are the previous per-vehicle outcomes, including failed
+	// vehicles (Err != "").
+	Statuses map[string]VehicleStatus
+	// Models are the previous trained models; failed vehicles have no
+	// entry.
+	Models map[string]ml.Regressor
+}
+
+// TrainPlan is the outcome of planning one build: the vehicles that
+// must (re)train, the shared training context, and the prior results
+// carried forward unchanged.
+type TrainPlan struct {
+	// Tasks are the vehicles to train this build, in ID order.
+	Tasks []TrainTask
+	// Shared is the read-only context for executing Tasks.
+	Shared *TrainShared
+	// Reused are the carried-forward statuses, in ID order.
+	Reused []VehicleStatus
+	// ReusedModels are the carried-forward models (reused vehicles with
+	// Err == "" only).
+	ReusedModels map[string]ml.Regressor
+	// Fingerprints covers every registered vehicle at this build.
+	Fingerprints map[string]uint64
+	// PoolHash identifies this build's old-vehicle donor pool.
+	PoolHash uint64
+}
+
+// PlanTrainingWithReuse plans one build against a prior generation.
+// With prior == nil every vehicle trains (a full build). Otherwise a
+// vehicle is carried forward — status and model untouched — when its
+// series fingerprint matches the prior build's, and, for vehicles that
+// train on the donor pool rather than their own history (semi-new and
+// new), when the pool itself is also unchanged. Old vehicles train on
+// their own series only, so their reuse needs only their own
+// fingerprint to match.
+//
+// Reuse is exact by construction, not approximation: a task seed is a
+// pure function of (config seed, vehicle ID), and TrainVehicle is a
+// pure function of (series, category, seed, config, donor pool), so a
+// reused model is bit-identical to the model a full rebuild would
+// train. Callers needing the escape hatch (changed config or seed —
+// which a FleetPredictor cannot observe) pass prior == nil.
+func (fp *FleetPredictor) PlanTrainingWithReuse(prior *PriorGeneration) (*TrainPlan, error) {
+	if len(fp.vehicles) == 0 {
+		return nil, errNoVehicles()
+	}
+	plan := &TrainPlan{
+		Shared: &TrainShared{
+			olds: fp.oldVehicles(),
+			cfg:  fp.cfg,
+			seed: deriveSeed(fp.cfg.Seed, seedDomainShared, ""),
+		},
+		ReusedModels: make(map[string]ml.Regressor),
+		Fingerprints: make(map[string]uint64, len(fp.vehicles)),
+	}
+
+	ids := fp.VehicleIDs()
+	categories := make(map[string]Category, len(ids))
+	poolHash := uint64(fnvOffset64)
+	for _, id := range ids {
+		vs := fp.vehicles[id]
+		cat := Categorize(vs)
+		categories[id] = cat
+		fpHash := Fingerprint(vs, fp.starts[id])
+		plan.Fingerprints[id] = fpHash
+		if cat == Old {
+			poolHash = fnvString(poolHash, id)
+			poolHash = fnvUint64(poolHash, fpHash)
+		}
+	}
+	plan.PoolHash = poolHash
+
+	for _, id := range ids {
+		vs := fp.vehicles[id]
+		if reusable(prior, id, plan.Fingerprints[id], categories[id], poolHash) {
+			st := prior.Statuses[id]
+			plan.Reused = append(plan.Reused, st)
+			if st.Err == "" {
+				plan.ReusedModels[id] = prior.Models[id]
+			}
+			continue
+		}
+		plan.Tasks = append(plan.Tasks, TrainTask{
+			Vehicle:  vs,
+			Category: categories[id],
+			Seed:     deriveSeed(fp.cfg.Seed, seedDomainVehicle, id),
+		})
+	}
+	return plan, nil
+}
+
+// reusable decides whether one vehicle's prior result can be carried
+// forward unchanged.
+func reusable(prior *PriorGeneration, id string, fpHash uint64, cat Category, poolHash uint64) bool {
+	if prior == nil {
+		return false
+	}
+	prev, ok := prior.Fingerprints[id]
+	if !ok || prev != fpHash {
+		return false
+	}
+	st, ok := prior.Statuses[id]
+	if !ok {
+		return false
+	}
+	// A matching fingerprint implies an identical series, hence an
+	// identical category; re-deriving it above keeps this robust even
+	// against a (vanishingly unlikely) hash collision on membership.
+	if cat != Old && prior.PoolHash != poolHash {
+		// Semi-new and new vehicles train on the donor pool: a changed
+		// pool means a retrain could pick a different donor or unified
+		// model, so carrying the old one forward would break the
+		// bit-identical contract.
+		return false
+	}
+	if st.Err == "" && prior.Models[id] == nil {
+		return false
+	}
+	return true
+}

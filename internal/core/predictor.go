@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/ml"
-	"repro/internal/rng"
 	"repro/internal/timeseries"
 )
 
@@ -59,6 +58,10 @@ type VehicleStatus struct {
 	ValidationMRE float64
 	// Donor is the similarity donor vehicle (similarity strategy only).
 	Donor string
+	// Err, when non-empty, records why this vehicle's training failed.
+	// A failed vehicle carries no model and no forecast; the rest of
+	// the fleet is unaffected (per-vehicle failure tolerance).
+	Err string
 }
 
 // FleetPredictor is the deployed-system facade: it ingests prepared
@@ -168,31 +171,23 @@ func (sh *TrainShared) Unified() (ml.Regressor, error) {
 }
 
 // PlanTraining returns the deterministic per-vehicle task list (ID
-// order) and the shared training context. Seeds are split from
-// cfg.Seed with rng.Source.Split — first the shared unified-model
-// split, then one per vehicle in ID order — so the plan, and therefore
-// every downstream model, does not depend on how the tasks are later
-// scheduled.
+// order) and the shared training context. Each seed is derived from
+// (cfg.Seed, vehicle ID) — not from a sequential split — so the plan,
+// and therefore every downstream model, depends neither on how the
+// tasks are later scheduled nor on which other vehicles are in the
+// fleet. The latter is what lets incremental builds (see
+// PlanTrainingWithReuse) carry unchanged vehicles' models forward
+// bit-identically even as the fleet grows or shrinks.
 func (fp *FleetPredictor) PlanTraining() ([]TrainTask, *TrainShared, error) {
-	if len(fp.vehicles) == 0 {
-		return nil, nil, fmt.Errorf("core: Train with no vehicles registered")
+	plan, err := fp.PlanTrainingWithReuse(nil)
+	if err != nil {
+		return nil, nil, err
 	}
-	root := rng.New(fp.cfg.Seed)
-	shared := &TrainShared{
-		olds: fp.oldVehicles(),
-		cfg:  fp.cfg,
-		seed: root.Split().Uint64(),
-	}
-	tasks := make([]TrainTask, 0, len(fp.vehicles))
-	for _, id := range fp.VehicleIDs() {
-		vs := fp.vehicles[id]
-		tasks = append(tasks, TrainTask{
-			Vehicle:  vs,
-			Category: Categorize(vs),
-			Seed:     root.Split().Uint64(),
-		})
-	}
-	return tasks, shared, nil
+	return plan.Tasks, plan.Shared, nil
+}
+
+func errNoVehicles() error {
+	return fmt.Errorf("core: Train with no vehicles registered")
 }
 
 // TrainVehicle trains one vehicle according to its category (§4.3 for
@@ -224,7 +219,8 @@ func TrainVehicle(task TrainTask, shared *TrainShared) (VehicleStatus, ml.Regres
 
 // InstallTrained installs externally computed training results (the
 // engine's worker-pool path) and marks the predictor trained. The
-// statuses must cover every registered vehicle exactly once.
+// statuses must cover every registered vehicle exactly once; a vehicle
+// whose training failed (Err != "") needs no model.
 func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[string]ml.Regressor) error {
 	if len(statuses) != len(fp.vehicles) {
 		return fmt.Errorf("core: InstallTrained with %d statuses for %d vehicles", len(statuses), len(fp.vehicles))
@@ -238,6 +234,9 @@ func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[st
 		if _, ok := fp.vehicles[st.ID]; !ok {
 			return fmt.Errorf("core: InstallTrained for unregistered vehicle %q", st.ID)
 		}
+		if st.Err != "" {
+			continue
+		}
 		model, ok := models[st.ID]
 		if !ok || model == nil {
 			return fmt.Errorf("core: InstallTrained without a model for vehicle %q", st.ID)
@@ -245,7 +244,9 @@ func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[st
 	}
 	for _, st := range statuses {
 		fp.status[st.ID] = st
-		fp.models[st.ID] = models[st.ID]
+		if st.Err == "" {
+			fp.models[st.ID] = models[st.ID]
+		}
 	}
 	fp.trained = true
 	return nil
@@ -431,7 +432,13 @@ func (fp *FleetPredictor) Predict(vehicleID string) (Forecast, error) {
 	if !ok {
 		return Forecast{}, fmt.Errorf("core: unknown vehicle %q", vehicleID)
 	}
+	if st := fp.status[vehicleID]; st.Err != "" {
+		return Forecast{}, fmt.Errorf("core: vehicle %s failed training: %s", vehicleID, st.Err)
+	}
 	model := fp.models[vehicleID]
+	if model == nil {
+		return Forecast{}, fmt.Errorf("core: vehicle %s has no trained model", vehicleID)
+	}
 	t := len(vs.U) - 1
 	if t < fp.cfg.Window {
 		return Forecast{}, fmt.Errorf("core: vehicle %s has %d days of history, need > window %d", vehicleID, t+1, fp.cfg.Window)

@@ -6,11 +6,14 @@
 // observes a half-built — retrain.
 //
 // Determinism: training work is planned by core.PlanTraining, which
-// splits one rng.Source child per vehicle in ID order before any task
-// runs. Each task is a pure function of (vehicle, donor pool, config,
-// seed), so executing the plan on 1 worker or N workers produces
-// bit-identical models, statuses and forecasts. The parallel path is a
-// scheduling change only.
+// derives each vehicle's seed from (config seed, vehicle ID) before any
+// task runs. Each task is a pure function of (vehicle, donor pool,
+// config, seed), so executing the plan on 1 worker or N workers
+// produces bit-identical models, statuses and forecasts — and a
+// vehicle whose series is unchanged between two builds trains the same
+// model both times, which is what lets incremental retrains carry
+// clean vehicles forward without training them at all (see Retrain).
+// The parallel path is a scheduling change only.
 //
 // Lifecycle:
 //
@@ -109,37 +112,61 @@ var ErrRetrainInFlight = errors.New("engine: retrain already in progress")
 // current and the error is also surfaced via Status. Builds are
 // serialized: a concurrent Retrain blocks until the one in flight
 // finishes.
+//
+// Retrains are incremental: vehicles whose series fingerprint matches
+// the previous snapshot's carry their model, status and forecast
+// forward unchanged, so a retrain after a one-vehicle telemetry update
+// costs O(changed vehicles), not O(fleet). Reuse is bit-exact (see
+// core.PlanTrainingWithReuse); RetrainFull is the escape hatch that
+// rebuilds everything from scratch.
 func (e *Engine) Retrain(ctx context.Context, fleet []Vehicle) (*Snapshot, error) {
+	return e.retrain(ctx, fleet, false)
+}
+
+// RetrainFull is Retrain with reuse disabled: every vehicle trains from
+// scratch regardless of the previous snapshot. By construction it
+// produces the same statuses and forecasts as an incremental Retrain on
+// the same fleet — it exists as the escape hatch for operators who want
+// to verify exactly that, or to rebuild after anything the fingerprint
+// cannot see.
+func (e *Engine) RetrainFull(ctx context.Context, fleet []Vehicle) (*Snapshot, error) {
+	return e.retrain(ctx, fleet, true)
+}
+
+func (e *Engine) retrain(ctx context.Context, fleet []Vehicle, full bool) (*Snapshot, error) {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
-	return e.retrainLocked(ctx, func(context.Context) ([]Vehicle, error) { return fleet, nil })
+	return e.retrainLocked(ctx, func(context.Context) ([]Vehicle, error) { return fleet, nil }, full)
 }
 
 // RetrainFromSource pulls the fleet from the configured Source and
-// retrains on it. The fetch happens under the build lock, so queued
-// retrains each re-read the source when their turn comes and can never
-// publish data staler than an earlier generation's.
+// retrains on it (incrementally; see Retrain). The fetch happens under
+// the build lock, so queued retrains each re-read the source when
+// their turn comes and can never publish data staler than an earlier
+// generation's.
 func (e *Engine) RetrainFromSource(ctx context.Context) (*Snapshot, error) {
 	e.buildMu.Lock()
 	defer e.buildMu.Unlock()
-	return e.retrainLocked(ctx, e.sourceFetch)
+	return e.retrainLocked(ctx, e.sourceFetch, false)
 }
 
 // TryRetrainFromSource is RetrainFromSource, except that when any
 // build is already in flight — no matter who started it — it fails
 // fast with ErrRetrainInFlight instead of queueing a redundant one.
-func (e *Engine) TryRetrainFromSource(ctx context.Context) (*Snapshot, error) {
+// full disables incremental reuse (see RetrainFull).
+func (e *Engine) TryRetrainFromSource(ctx context.Context, full bool) (*Snapshot, error) {
 	if !e.buildMu.TryLock() {
 		return nil, ErrRetrainInFlight
 	}
 	defer e.buildMu.Unlock()
-	return e.retrainLocked(ctx, e.sourceFetch)
+	return e.retrainLocked(ctx, e.sourceFetch, full)
 }
 
 // BeginRetrainFromSource starts a detached background rebuild and
 // reports whether it started; like TryRetrainFromSource it refuses
-// when any build is in flight. Failures surface via Status.
-func (e *Engine) BeginRetrainFromSource() bool {
+// when any build is in flight. full disables incremental reuse.
+// Failures surface via Status.
+func (e *Engine) BeginRetrainFromSource(full bool) bool {
 	if !e.buildMu.TryLock() {
 		return false
 	}
@@ -149,7 +176,7 @@ func (e *Engine) BeginRetrainFromSource() bool {
 	e.setRetraining(true)
 	go func() {
 		defer e.buildMu.Unlock()
-		_, _ = e.retrainLocked(context.Background(), e.sourceFetch)
+		_, _ = e.retrainLocked(context.Background(), e.sourceFetch, full)
 	}()
 	return true
 }
@@ -167,7 +194,7 @@ func (e *Engine) sourceFetch(ctx context.Context) ([]Vehicle, error) {
 
 // retrainLocked fetches, builds and publishes one generation. Callers
 // hold buildMu.
-func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) ([]Vehicle, error)) (*Snapshot, error) {
+func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) ([]Vehicle, error), full bool) (*Snapshot, error) {
 	e.setRetraining(true)
 	defer e.setRetraining(false)
 
@@ -176,7 +203,7 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 		e.recordError(err)
 		return nil, err
 	}
-	snap, err := e.build(ctx, fleet)
+	snap, err := e.build(ctx, fleet, full)
 	if err != nil {
 		e.recordError(err)
 		return nil, err
@@ -194,8 +221,13 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 	return snap, nil
 }
 
-// build trains every vehicle on the worker pool and freezes the result.
-func (e *Engine) build(ctx context.Context, fleet []Vehicle) (*Snapshot, error) {
+// build trains the dirty vehicles on the worker pool, carries clean
+// vehicles forward from the previous snapshot (unless full), and
+// freezes the result. A single vehicle failing training does not abort
+// the build: its error lands in its status (and the snapshot's
+// FailedVehicles) while the rest of the fleet serves normally; only a
+// fleet with zero trainable vehicles fails the build.
+func (e *Engine) build(ctx context.Context, fleet []Vehicle, full bool) (*Snapshot, error) {
 	if len(fleet) == 0 {
 		return nil, fmt.Errorf("engine: retrain with an empty fleet")
 	}
@@ -209,43 +241,87 @@ func (e *Engine) build(ctx context.Context, fleet []Vehicle) (*Snapshot, error) 
 			return nil, err
 		}
 	}
-	tasks, shared, err := fp.PlanTraining()
+	var prior *core.PriorGeneration
+	if prev := e.snap.Load(); prev != nil && !full {
+		prior = prev.prior()
+	}
+	plan, err := fp.PlanTrainingWithReuse(prior)
 	if err != nil {
 		return nil, err
 	}
 
-	statuses, models, err := e.runPool(ctx, tasks, shared)
+	trained, models, err := e.runPool(ctx, plan.Tasks, plan.Shared)
 	if err != nil {
 		return nil, err
+	}
+	statuses := mergeStatuses(plan.Reused, trained)
+	for id, m := range plan.ReusedModels {
+		models[id] = m
+	}
+	healthy := 0
+	for _, st := range statuses {
+		if st.Err == "" {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		return nil, fmt.Errorf("engine: all %d vehicles failed training; first error: %s", len(statuses), statuses[0].Err)
 	}
 	if err := fp.InstallTrained(statuses, models); err != nil {
 		return nil, err
 	}
-	return newSnapshot(fp, statuses, time.Since(t0)), nil
+	return newSnapshot(fp, statuses, models, plan, time.Since(t0)), nil
+}
+
+// mergeStatuses interleaves the carried-forward and freshly trained
+// statuses back into one ID-ordered slice. Both inputs are already in
+// ID order (PlanTrainingWithReuse emits them that way), so this is a
+// linear merge.
+func mergeStatuses(reused, trained []core.VehicleStatus) []core.VehicleStatus {
+	out := make([]core.VehicleStatus, 0, len(reused)+len(trained))
+	i, j := 0, 0
+	for i < len(reused) && j < len(trained) {
+		if reused[i].ID < trained[j].ID {
+			out = append(out, reused[i])
+			i++
+		} else {
+			out = append(out, trained[j])
+			j++
+		}
+	}
+	out = append(out, reused[i:]...)
+	out = append(out, trained[j:]...)
+	return out
 }
 
 // runPool executes the task plan on min(Workers, len(tasks))
 // goroutines. Results land in task order, so the output is independent
-// of scheduling.
+// of scheduling. A task error becomes a failed status for that vehicle
+// instead of aborting the pool; only context cancellation aborts.
 func (e *Engine) runPool(ctx context.Context, tasks []core.TrainTask, shared *core.TrainShared) ([]core.VehicleStatus, map[string]ml.Regressor, error) {
 	n := len(tasks)
 	statuses := make([]core.VehicleStatus, n)
 	trained := make([]ml.Regressor, n)
-	errs := make([]error, n)
 
 	if err := ForEach(ctx, n, e.workers, func(i int) {
-		statuses[i], trained[i], errs[i] = core.TrainVehicle(tasks[i], shared)
+		st, model, err := core.TrainVehicle(tasks[i], shared)
+		if err != nil {
+			st = core.VehicleStatus{
+				ID:       tasks[i].Vehicle.ID,
+				Category: tasks[i].Category,
+				Err:      err.Error(),
+			}
+			model = nil
+		}
+		statuses[i], trained[i] = st, model
 	}); err != nil {
 		return nil, nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
-	}
 	models := make(map[string]ml.Regressor, n)
 	for i, st := range statuses {
-		models[st.ID] = trained[i]
+		if st.Err == "" {
+			models[st.ID] = trained[i]
+		}
 	}
 	return statuses, models, nil
 }
@@ -273,12 +349,19 @@ type Status struct {
 	Workers int `json:"workers"`
 	// Generation, Vehicles, BuiltAt and TrainDuration describe the
 	// current snapshot (zero values when not ready).
-	Generation    uint64  `json:"generation"`
-	Vehicles      int     `json:"vehicles"`
-	BuiltAt       string  `json:"built_at,omitempty"`
-	TrainSeconds  float64 `json:"train_seconds"`
-	LastError     string  `json:"last_error,omitempty"`
-	LastErrorTime string  `json:"last_error_time,omitempty"`
+	Generation   uint64  `json:"generation"`
+	Vehicles     int     `json:"vehicles"`
+	BuiltAt      string  `json:"built_at,omitempty"`
+	TrainSeconds float64 `json:"train_seconds"`
+	// Reused and Retrained split the current snapshot's vehicles by how
+	// the last build produced them (carried forward vs trained).
+	Reused    int `json:"reused"`
+	Retrained int `json:"retrained"`
+	// FailedVehicles maps each vehicle whose training failed in the
+	// current snapshot to its error.
+	FailedVehicles map[string]string `json:"failed_vehicles,omitempty"`
+	LastError      string            `json:"last_error,omitempty"`
+	LastErrorTime  string            `json:"last_error_time,omitempty"`
 }
 
 // Status reports the engine's current operational state.
@@ -290,6 +373,11 @@ func (e *Engine) Status() Status {
 		st.Vehicles = len(snap.Statuses)
 		st.BuiltAt = snap.BuiltAt.UTC().Format(time.RFC3339)
 		st.TrainSeconds = snap.TrainDuration.Seconds()
+		st.Reused = snap.Reused
+		st.Retrained = snap.Retrained
+		if len(snap.FailedVehicles) > 0 {
+			st.FailedVehicles = snap.FailedVehicles
+		}
 	}
 	e.stateMu.Lock()
 	st.Retraining = e.retraining

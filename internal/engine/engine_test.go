@@ -216,14 +216,14 @@ func TestSingleFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eng.BeginRetrainFromSource() {
+	if !eng.BeginRetrainFromSource(false) {
 		t.Fatal("first background retrain refused")
 	}
 	<-entered // the build holds the engine now
-	if eng.BeginRetrainFromSource() {
+	if eng.BeginRetrainFromSource(false) {
 		t.Fatal("second background retrain started while one is in flight")
 	}
-	if _, err := eng.TryRetrainFromSource(context.Background()); err != ErrRetrainInFlight {
+	if _, err := eng.TryRetrainFromSource(context.Background(), false); err != ErrRetrainInFlight {
 		t.Fatalf("TryRetrainFromSource err = %v, want ErrRetrainInFlight", err)
 	}
 	close(release)
@@ -235,7 +235,7 @@ func TestSingleFlight(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// Once drained, a Try retrain succeeds again.
-	if _, err := eng.TryRetrainFromSource(context.Background()); err != nil {
+	if _, err := eng.TryRetrainFromSource(context.Background(), false); err != nil {
 		t.Fatalf("retrain after drain: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ml"
 )
 
 // Snapshot is one immutable, fully materialized training result. All
@@ -12,7 +13,8 @@ import (
 // as long as they like — even across a retrain, which only swaps the
 // engine's pointer to a new snapshot.
 type Snapshot struct {
-	// Statuses are the per-vehicle training outcomes in ID order.
+	// Statuses are the per-vehicle training outcomes in ID order,
+	// including vehicles whose training failed (Err != "").
 	Statuses []core.VehicleStatus
 	// StatusByID indexes Statuses.
 	StatusByID map[string]core.VehicleStatus
@@ -24,8 +26,28 @@ type Snapshot struct {
 	ForecastByID map[string]core.Forecast
 	// ForecastErrors records, per vehicle, why a forecast could not be
 	// precomputed (e.g. a brand-new vehicle with less history than the
-	// feature window).
+	// feature window, or a vehicle whose training failed).
 	ForecastErrors map[string]string
+	// FailedVehicles maps each vehicle whose training failed to its
+	// error. The rest of the fleet trained and serves normally.
+	FailedVehicles map[string]string
+	// Models retains the trained per-vehicle models so the next
+	// incremental build can carry clean vehicles forward without
+	// retraining them. Reused models are shared pointers across
+	// generations, so the steady-state memory cost is one live model
+	// set — a swapped-out generation's exclusive models are released as
+	// soon as its readers drain.
+	Models map[string]ml.Regressor
+	// Fingerprints are the per-vehicle series content hashes this
+	// build trained against (core.Fingerprint); the next build compares
+	// against them to decide which vehicles are dirty.
+	Fingerprints map[string]uint64
+	// PoolHash identifies the old-vehicle donor pool of this build.
+	PoolHash uint64
+	// Reused counts the vehicles carried forward from the previous
+	// generation; Retrained counts the vehicles trained (or failed)
+	// this build. Reused+Retrained == len(Statuses).
+	Reused, Retrained int
 	// Generation counts successful builds, starting at 1.
 	Generation uint64
 	// BuiltAt is when the build finished; TrainDuration how long it
@@ -34,23 +56,44 @@ type Snapshot struct {
 	TrainDuration time.Duration
 }
 
+// prior packages the snapshot's reusable outputs for the next
+// incremental plan.
+func (s *Snapshot) prior() *core.PriorGeneration {
+	return &core.PriorGeneration{
+		Fingerprints: s.Fingerprints,
+		PoolHash:     s.PoolHash,
+		Statuses:     s.StatusByID,
+		Models:       s.Models,
+	}
+}
+
 // newSnapshot freezes a trained predictor: it precomputes every
-// vehicle's forecast once so serving does no model math. The predictor
-// itself (models plus series) is deliberately not retained — the
-// snapshot keeps only the materialized outputs, so swapped-out
-// generations release the fleet's model memory as soon as readers
-// drain.
-func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, trainDur time.Duration) *Snapshot {
+// vehicle's forecast once so serving does no model math. Forecasts are
+// recomputed even for reused vehicles — a model prediction per vehicle
+// is trivial next to training — which keeps the bit-identical contract
+// trivially true for the served payloads.
+func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, models map[string]ml.Regressor, plan *core.TrainPlan, trainDur time.Duration) *Snapshot {
 	s := &Snapshot{
 		Statuses:       statuses,
 		StatusByID:     make(map[string]core.VehicleStatus, len(statuses)),
 		ForecastByID:   make(map[string]core.Forecast, len(statuses)),
 		ForecastErrors: make(map[string]string),
+		FailedVehicles: make(map[string]string),
+		Models:         models,
+		Fingerprints:   plan.Fingerprints,
+		PoolHash:       plan.PoolHash,
+		Reused:         len(plan.Reused),
+		Retrained:      len(plan.Tasks),
 		BuiltAt:        time.Now(),
 		TrainDuration:  trainDur,
 	}
 	for _, st := range statuses {
 		s.StatusByID[st.ID] = st
+		if st.Err != "" {
+			s.FailedVehicles[st.ID] = st.Err
+			s.ForecastErrors[st.ID] = "training failed: " + st.Err
+			continue
+		}
 		f, err := fp.Predict(st.ID)
 		if err != nil {
 			s.ForecastErrors[st.ID] = err.Error()

@@ -1,0 +1,454 @@
+// Package ingest is the live telemetry substrate of the deployed
+// system: a concurrent, append-only store of per-vehicle daily-usage
+// reports, the cloud-side sink the paper's telematics loop drains into
+// (on-vehicle collectors → cloud store → prediction models). It
+// replaces the seed architecture's "re-read a CSV from disk" source
+// with batched POSTed telemetry:
+//
+//   - reports are idempotent upserts keyed by (vehicle, day): the same
+//     batch delivered twice changes nothing, and out-of-order days are
+//     tolerated — the store keeps a day-indexed map, not a tail;
+//   - every vehicle carries an FNV-1a content hash maintained
+//     incrementally (XOR-folded per-day hashes, so an upsert adjusts
+//     the hash in O(1) regardless of history length) — equal content
+//     always yields an equal hash no matter the delivery order;
+//   - a monotonic change sequence records which vehicles changed since
+//     any point in time (DirtySince), so retrain policy can be
+//     data-driven instead of purely periodic;
+//   - Fleet derives timeseries.VehicleSeries on demand through the §3
+//     preparation pipeline, making the store a drop-in engine.Source.
+//
+// All methods are safe for concurrent use; reads (Fleet, Stats,
+// DirtySince) take a shared lock and never block each other.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataprep"
+	"repro/internal/engine"
+	"repro/internal/telematics"
+	"repro/internal/timeseries"
+)
+
+// Report is one per-vehicle daily usage report: the working seconds a
+// vehicle accumulated on one calendar day. It is the unit the POST
+// /telemetry endpoint batches.
+type Report struct {
+	// VehicleID identifies the reporting vehicle.
+	VehicleID string
+	// Date is the calendar day the usage belongs to (the time-of-day
+	// part is ignored; the UTC date is the key).
+	Date time.Time
+	// Seconds is the working seconds on that day. Must be finite,
+	// non-negative and at most dataprep.MaxDailySeconds — the on-vehicle
+	// collector already aggregates to days, so anything outside that
+	// range is a transport or sensor fault and is rejected.
+	Seconds float64
+}
+
+// VehicleResult is the per-vehicle slice of a batch's accept/reject
+// report.
+type VehicleResult struct {
+	// Accepted counts valid reports (including no-op re-deliveries).
+	Accepted int `json:"accepted"`
+	// Rejected counts invalid reports.
+	Rejected int `json:"rejected"`
+	// Changed counts accepted reports that actually altered stored
+	// content (new day, or a day re-reported with a different value).
+	Changed int `json:"changed"`
+	// Errors lists the rejection reasons, one per rejected report.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// BatchResult is the outcome of one UpsertBatch: totals plus the
+// per-vehicle accept/reject breakdown. Reports with an empty vehicle
+// ID are keyed under "".
+type BatchResult struct {
+	Accepted int                       `json:"accepted"`
+	Rejected int                       `json:"rejected"`
+	Changed  int                       `json:"changed"`
+	Vehicles map[string]*VehicleResult `json:"vehicles"`
+	// Seq is the store's change sequence after the batch.
+	Seq uint64 `json:"seq"`
+}
+
+// vehicleRecord is one vehicle's stored telemetry.
+type vehicleRecord struct {
+	// days maps epoch day (floor(unix/86400)) to working seconds.
+	days           map[int64]float64
+	minDay, maxDay int64
+	// hash is the XOR fold of dayHash over every stored (day, seconds)
+	// entry — an order-independent FNV-1a content hash that upserts
+	// maintain incrementally.
+	hash uint64
+	// lastSeq is the store sequence of this vehicle's latest content
+	// change.
+	lastSeq uint64
+	// reports counts accepted reports; lastReport is the wall-clock
+	// receipt time of the latest one (observability only).
+	reports    uint64
+	lastReport time.Time
+}
+
+// Store is the concurrent telemetry store.
+type Store struct {
+	mu        sync.RWMutex
+	vehicles  map[string]*vehicleRecord
+	seq       uint64
+	accepted  uint64
+	rejected  uint64
+	changed   uint64
+	allowance float64
+}
+
+// New returns an empty store whose derived series use the given
+// per-cycle usage allowance T_v; allowance <= 0 selects the paper's
+// default (timeseries.DefaultAllowance).
+func New(allowance float64) *Store {
+	if allowance <= 0 {
+		allowance = timeseries.DefaultAllowance
+	}
+	return &Store{
+		vehicles:  make(map[string]*vehicleRecord),
+		allowance: allowance,
+	}
+}
+
+// FNV-1a (64-bit) over one (day, seconds) entry. The per-vehicle
+// content hash is the XOR of these over all stored entries, so it is
+// independent of arrival order and adjustable in O(1) on upsert.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func dayHash(day int64, seconds float64) uint64 {
+	h := uint64(fnvOffset64)
+	v := uint64(day)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xff)) * fnvPrime64
+	}
+	v = math.Float64bits(seconds)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// epochDay floors a time to its UTC calendar day number. Plain integer
+// division would round toward zero for pre-1970 dates.
+func epochDay(t time.Time) int64 {
+	sec := t.Unix()
+	day := sec / 86400
+	if sec%86400 < 0 {
+		day--
+	}
+	return day
+}
+
+// minReportDate bounds how far back a report may reach; together with
+// the small future slack below it caps any vehicle's contiguous span,
+// so a single fat-fingered date cannot permanently inflate the derived
+// series (the store is append-only — there is no delete to recover
+// with).
+var minReportDate = time.Date(1990, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// futureSlack tolerates collector clock skew; telemetry reports past
+// usage, so anything further ahead is a fault.
+const futureSlack = 48 * time.Hour
+
+func validate(r Report, now time.Time) error {
+	switch {
+	case r.VehicleID == "":
+		return fmt.Errorf("empty vehicle id")
+	case r.Date.IsZero():
+		return fmt.Errorf("missing or invalid date")
+	case r.Date.Before(minReportDate):
+		return fmt.Errorf("date %s before the %s horizon", r.Date.Format(dayLayout), minReportDate.Format(dayLayout))
+	case r.Date.After(now.Add(futureSlack)):
+		return fmt.Errorf("date %s is in the future", r.Date.Format(dayLayout))
+	case math.IsNaN(r.Seconds) || math.IsInf(r.Seconds, 0):
+		return fmt.Errorf("non-finite seconds")
+	case r.Seconds < 0:
+		return fmt.Errorf("negative seconds %v", r.Seconds)
+	case r.Seconds > dataprep.MaxDailySeconds:
+		return fmt.Errorf("seconds %v exceed the physical daily maximum %v", r.Seconds, dataprep.MaxDailySeconds)
+	}
+	return nil
+}
+
+// UpsertBatch applies one batch of reports. Validation is per report:
+// invalid reports are rejected and reported, valid ones land — a batch
+// is never rejected wholesale for one bad row. Re-delivering a batch is
+// a no-op (accepted, zero changed, hashes and sequence untouched).
+func (s *Store) UpsertBatch(reports []Report) BatchResult {
+	res := BatchResult{Vehicles: make(map[string]*VehicleResult)}
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reports {
+		vr := res.Vehicles[r.VehicleID]
+		if vr == nil {
+			vr = &VehicleResult{}
+			res.Vehicles[r.VehicleID] = vr
+		}
+		if err := validate(r, now); err != nil {
+			vr.Rejected++
+			vr.Errors = append(vr.Errors, err.Error())
+			res.Rejected++
+			s.rejected++
+			continue
+		}
+		vr.Accepted++
+		res.Accepted++
+		s.accepted++
+		if s.upsertLocked(r, now) {
+			vr.Changed++
+			res.Changed++
+			s.changed++
+		}
+	}
+	res.Seq = s.seq
+	return res
+}
+
+// upsertLocked applies one validated report and reports whether it
+// changed stored content. Callers hold the write lock.
+func (s *Store) upsertLocked(r Report, now time.Time) bool {
+	rec := s.vehicles[r.VehicleID]
+	if rec == nil {
+		rec = &vehicleRecord{days: make(map[int64]float64)}
+		s.vehicles[r.VehicleID] = rec
+	}
+	rec.reports++
+	rec.lastReport = now
+
+	day := epochDay(r.Date)
+	old, existed := rec.days[day]
+	if existed && old == r.Seconds {
+		return false // idempotent re-delivery
+	}
+	if existed {
+		rec.hash ^= dayHash(day, old)
+	}
+	rec.days[day] = r.Seconds
+	rec.hash ^= dayHash(day, r.Seconds)
+	if len(rec.days) == 1 {
+		rec.minDay, rec.maxDay = day, day
+	} else {
+		if day < rec.minDay {
+			rec.minDay = day
+		}
+		if day > rec.maxDay {
+			rec.maxDay = day
+		}
+	}
+	s.seq++
+	rec.lastSeq = s.seq
+	return true
+}
+
+// Seq returns the store's change sequence: it increments on every
+// content-changing upsert, so two equal Seq reads bracket a window in
+// which no vehicle changed.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// DirtySince lists the vehicles whose content changed after the given
+// sequence point, sorted by ID. DirtySince(0) lists every vehicle ever
+// written.
+func (s *Store) DirtySince(seq uint64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []string
+	for id, rec := range s.vehicles {
+		if rec.lastSeq > seq {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Vehicles lists the stored vehicle IDs, sorted.
+func (s *Store) Vehicles() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.vehicles))
+	for id := range s.vehicles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Hash returns a vehicle's incremental content hash and whether the
+// vehicle exists.
+func (s *Store) Hash(vehicleID string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.vehicles[vehicleID]
+	if !ok {
+		return 0, false
+	}
+	return rec.hash, true
+}
+
+// Fleet materializes the stored telemetry as prepared engine vehicles:
+// per vehicle, a contiguous daily series from its first to its last
+// reported day (unreported days are zero — the vehicle did not work),
+// run through the §3 preparation pipeline. It satisfies engine.Source,
+// so an engine configured with Source: store.Fleet re-reads live
+// telemetry on every retrain.
+//
+// Only the raw-series copy happens under the store lock; the O(fleet x
+// history) preparation pipeline runs outside it, so a retrain fetch
+// never stalls concurrent telemetry writes for more than the copy.
+func (s *Store) Fleet(ctx context.Context) ([]engine.Vehicle, error) {
+	type rawVehicle struct {
+		id    string
+		start time.Time
+		u     timeseries.Series
+	}
+
+	s.mu.RLock()
+	raw := make([]rawVehicle, 0, len(s.vehicles))
+	for id, rec := range s.vehicles {
+		u := make(timeseries.Series, rec.maxDay-rec.minDay+1)
+		for day, sec := range rec.days {
+			u[day-rec.minDay] = sec
+		}
+		raw = append(raw, rawVehicle{id: id, start: time.Unix(rec.minDay*86400, 0).UTC(), u: u})
+	}
+	s.mu.RUnlock()
+	sort.Slice(raw, func(i, j int) bool { return raw[i].id < raw[j].id })
+
+	out := make([]engine.Vehicle, 0, len(raw))
+	for _, rv := range raw {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prep, err := dataprep.Prepare(rv.id, rv.start, rv.u, s.allowance)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: preparing vehicle %s: %w", rv.id, err)
+		}
+		out = append(out, engine.Vehicle{Series: prep.Series, Start: prep.Start})
+	}
+	return out, nil
+}
+
+// SeedFromFleet loads a telematics fleet (e.g. a fleetgen CSV read back
+// with telematics.ReadCSV) into the store as if its days had arrived as
+// reports. Raw series are cleaned first (§3 step i), so corrupted
+// exports — NaN gaps, negative glitches, >86400s duplicated
+// transmissions — seed as valid content instead of being rejected
+// report by report. CSV thereby becomes seed data; live telemetry takes
+// over from there.
+func (s *Store) SeedFromFleet(f *telematics.Fleet) (BatchResult, error) {
+	var reports []Report
+	for _, v := range f.Vehicles {
+		clean, _ := dataprep.Clean(v.RawU)
+		if err := dataprep.ValidateClean(clean); err != nil {
+			return BatchResult{}, fmt.Errorf("ingest: seeding vehicle %s: %w", v.Profile.ID, err)
+		}
+		for t, sec := range clean {
+			reports = append(reports, Report{
+				VehicleID: v.Profile.ID,
+				Date:      v.Start.AddDate(0, 0, t),
+				Seconds:   sec,
+			})
+		}
+	}
+	return s.UpsertBatch(reports), nil
+}
+
+// DrainCollector copies a telematics.Collector's accumulated daily
+// series into the store, closing the on-vehicle loop: controllers
+// stream SummaryReports into a Collector, and draining it lands the
+// per-day aggregates here. Draining is idempotent — re-draining an
+// unchanged collector changes nothing.
+func (s *Store) DrainCollector(c *telematics.Collector) (BatchResult, error) {
+	var reports []Report
+	for _, id := range c.Vehicles() {
+		start, u, err := c.DailySeries(id)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("ingest: draining collector for %s: %w", id, err)
+		}
+		for t, sec := range u {
+			reports = append(reports, Report{
+				VehicleID: id,
+				Date:      start.AddDate(0, 0, t),
+				Seconds:   sec,
+			})
+		}
+	}
+	return s.UpsertBatch(reports), nil
+}
+
+// VehicleStats is the observable state of one stored vehicle.
+type VehicleStats struct {
+	ID string `json:"id"`
+	// Days is the number of days with a stored report; SpanDays the
+	// contiguous first-to-last span the derived series covers.
+	Days     int    `json:"days"`
+	SpanDays int    `json:"span_days"`
+	FirstDay string `json:"first_day"`
+	LastDay  string `json:"last_day"`
+	// Hash is the incremental FNV-1a content hash (hex).
+	Hash string `json:"hash"`
+	// Reports counts accepted reports; LastReport is the receipt time
+	// of the latest.
+	Reports    uint64 `json:"reports"`
+	LastReport string `json:"last_report"`
+}
+
+// Stats is the store-wide observable state, served by GET
+// /admin/ingest.
+type Stats struct {
+	Vehicles int    `json:"vehicles"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Changed  uint64 `json:"changed"`
+	Seq      uint64 `json:"seq"`
+	// PerVehicle is sorted by vehicle ID.
+	PerVehicle []VehicleStats `json:"per_vehicle"`
+}
+
+const dayLayout = "2006-01-02"
+
+// Stats reports the store's current state.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Vehicles: len(s.vehicles),
+		Accepted: s.accepted,
+		Rejected: s.rejected,
+		Changed:  s.changed,
+		Seq:      s.seq,
+	}
+	for id, rec := range s.vehicles {
+		st.PerVehicle = append(st.PerVehicle, VehicleStats{
+			ID:         id,
+			Days:       len(rec.days),
+			SpanDays:   int(rec.maxDay - rec.minDay + 1),
+			FirstDay:   time.Unix(rec.minDay*86400, 0).UTC().Format(dayLayout),
+			LastDay:    time.Unix(rec.maxDay*86400, 0).UTC().Format(dayLayout),
+			Hash:       fmt.Sprintf("%016x", rec.hash),
+			Reports:    rec.reports,
+			LastReport: rec.lastReport.UTC().Format(time.RFC3339),
+		})
+	}
+	sort.Slice(st.PerVehicle, func(i, j int) bool { return st.PerVehicle[i].ID < st.PerVehicle[j].ID })
+	return st
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ingest"
+)
+
+// ingestServer seeds an ingest store with the tiny deterministic fleet,
+// trains the initial snapshot from it, and wraps everything with the
+// live-ingestion surface enabled.
+func ingestServer(t testing.TB, retrainDirty int) (*Server, *engine.Engine, *ingest.Store) {
+	t.Helper()
+	store := ingest.New(600_000)
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	var reports []ingest.Report
+	for _, v := range tinyFleet(t) {
+		for d, sec := range v.Series.U {
+			reports = append(reports, ingest.Report{
+				VehicleID: v.Series.ID,
+				Date:      start.AddDate(0, 0, d),
+				Seconds:   sec,
+			})
+		}
+	}
+	if res := store.UpsertBatch(reports); res.Rejected != 0 {
+		t.Fatalf("seeding rejected %d reports", res.Rejected)
+	}
+
+	cfg := testEngineConfig()
+	cfg.Source = store.Fleet
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RetrainFromSource(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithOptions(eng, Options{Ingest: store, RetrainDirty: retrainDirty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, eng, store
+}
+
+func postJSON(t testing.TB, srv *Server, path, body string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestTelemetryAcceptReject(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	rec, body := postJSON(t, srv, "/telemetry", `{"reports":[
+		{"vehicle":"v01","date":"2016-02-10","seconds":12345},
+		{"vehicle":"v01","date":"not-a-date","seconds":1},
+		{"vehicle":"v02","date":"2016-02-10","seconds":-4},
+		{"vehicle":"v02","date":"2016-02-11","seconds":8000}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var res TelemetryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 || res.Rejected != 2 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/2", res.Accepted, res.Rejected)
+	}
+	if v1 := res.Vehicles["v01"]; v1 == nil || v1.Accepted != 1 || v1.Rejected != 1 {
+		t.Fatalf("v01 = %+v", v1)
+	}
+	if v2 := res.Vehicles["v02"]; v2 == nil || v2.Accepted != 1 || v2.Rejected != 1 {
+		t.Fatalf("v02 = %+v", v2)
+	}
+	if res.RetrainStarted {
+		t.Fatal("retrain started with threshold disabled")
+	}
+
+	// The ingest stats endpoint reflects the upload.
+	rec, body = get(t, srv, "/admin/ingest")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest stats status %d", rec.Code)
+	}
+	var stats IngestStatsJSON
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vehicles != 3 || stats.Rejected != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Boot-seeded telemetry is baselined away at construction; only the
+	// upload's two vehicles count as dirty.
+	if len(stats.DirtySinceLastRetrain) != 2 {
+		t.Fatalf("dirty = %v", stats.DirtySinceLastRetrain)
+	}
+}
+
+func TestTelemetryMalformedBody(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	rec, _ := postJSON(t, srv, "/telemetry", `{"reports": [`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+func TestTelemetryIdempotentRedelivery(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	batch := `{"reports":[{"vehicle":"v01","date":"2016-03-01","seconds":9000}]}`
+	if rec, body := postJSON(t, srv, "/telemetry", batch); rec.Code != http.StatusOK {
+		t.Fatalf("first delivery: %d %s", rec.Code, body)
+	}
+	_, body := postJSON(t, srv, "/telemetry", batch)
+	var res TelemetryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 1 || res.Changed != 0 {
+		t.Fatalf("re-delivery accepted=%d changed=%d, want 1/0", res.Accepted, res.Changed)
+	}
+}
+
+// TestTelemetryIncrementalRetrain is the acceptance path: a telemetry
+// batch for one vehicle trips the dirty threshold, and the resulting
+// retrain rebuilds only that vehicle — the other vehicles' models are
+// carried forward pointer-equal.
+func TestTelemetryIncrementalRetrain(t *testing.T) {
+	srv, eng, _ := ingestServer(t, 1)
+	before := eng.Snapshot()
+
+	var reports []string
+	for d := 0; d < 5; d++ {
+		reports = append(reports, fmt.Sprintf(`{"vehicle":"v02","date":"2016-02-%02d","seconds":17000}`, 10+d))
+	}
+	rec, body := postJSON(t, srv, "/telemetry", `{"reports":[`+strings.Join(reports, ",")+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var res TelemetryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.RetrainStarted {
+		t.Fatal("threshold=1 batch did not start a retrain")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var after *engine.Snapshot
+	for {
+		if after = eng.Snapshot(); after.Generation > before.Generation {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background retrain never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after.Retrained != 1 || after.Reused != 2 {
+		t.Fatalf("retrained=%d reused=%d, want 1/2", after.Retrained, after.Reused)
+	}
+	for _, id := range []string{"v01", "v03"} {
+		if after.Models[id] != before.Models[id] {
+			t.Errorf("clean vehicle %s was retrained", id)
+		}
+	}
+	if after.Models["v02"] == before.Models["v02"] {
+		t.Error("dirty vehicle v02 kept its stale model")
+	}
+}
+
+// TestFailedKickRollsBackDirtyBaseline: a threshold-kicked build that
+// fails must not consume its dirty set — the vehicles it covered count
+// again, so a later batch re-triggers even though it alone is under
+// the threshold.
+func TestFailedKickRollsBackDirtyBaseline(t *testing.T) {
+	store := ingest.New(600_000)
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	var reports []ingest.Report
+	for _, v := range tinyFleet(t) {
+		for d, sec := range v.Series.U {
+			reports = append(reports, ingest.Report{VehicleID: v.Series.ID, Date: start.AddDate(0, 0, d), Seconds: sec})
+		}
+	}
+	store.UpsertBatch(reports)
+
+	var failFetch atomic.Bool
+	cfg := testEngineConfig()
+	cfg.Source = func(ctx context.Context) ([]engine.Vehicle, error) {
+		if failFetch.Load() {
+			return nil, errors.New("telemetry backend down")
+		}
+		return store.Fleet(ctx)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RetrainFromSource(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithOptions(eng, Options{Ingest: store, RetrainDirty: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two vehicles change; the kicked build fails.
+	failFetch.Store(true)
+	rec, body := postJSON(t, srv, "/telemetry", `{"reports":[
+		{"vehicle":"v01","date":"2016-02-10","seconds":17000},
+		{"vehicle":"v02","date":"2016-02-10","seconds":17000}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var res TelemetryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.RetrainStarted {
+		t.Fatal("threshold batch did not kick a retrain")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := eng.Status()
+		if !st.Retraining && st.LastError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("kicked build never failed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// One more vehicle changes — alone under the threshold, but with
+	// the failed kick's set rolled back it makes three.
+	failFetch.Store(false)
+	_, body = postJSON(t, srv, "/telemetry", `{"reports":[{"vehicle":"v03","date":"2016-02-10","seconds":17000}]}`)
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.RetrainStarted {
+		t.Fatal("dirty set of the failed kick was consumed: follow-up batch did not re-trigger")
+	}
+	for eng.Snapshot().Generation < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery retrain never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestTelemetryDisabledWithoutStore(t *testing.T) {
+	srv := buildServer(t) // no ingest store
+	rec, _ := postJSON(t, srv, "/telemetry", `{"reports":[]}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	if rec, _ := get(t, srv, "/admin/ingest"); rec.Code != http.StatusNotFound {
+		t.Fatalf("ingest stats status %d, want 404", rec.Code)
+	}
+}
+
+// TestRetrainFullQuery: ?full=1 is the escape hatch that rebuilds
+// every vehicle from scratch.
+func TestRetrainFullQuery(t *testing.T) {
+	srv, eng, _ := ingestServer(t, 0)
+	if snap, err := eng.RetrainFromSource(context.Background()); err != nil || snap.Reused != 3 {
+		t.Fatalf("clean incremental retrain: snap=%+v err=%v", snap, err)
+	}
+	rec, body := do(t, srv, http.MethodPost, "/admin/retrain?wait=1&full=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	snap := eng.Snapshot()
+	if snap.Reused != 0 || snap.Retrained != 3 {
+		t.Fatalf("full rebuild reused=%d retrained=%d, want 0/3", snap.Reused, snap.Retrained)
+	}
+}
+
+func TestRetrainBadFullQuery(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	rec, _ := do(t, srv, http.MethodPost, "/admin/retrain?full=maybe")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+func TestNewWithOptionsValidation(t *testing.T) {
+	cfg := testEngineConfig()
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithOptions(eng, Options{RetrainDirty: 2}); err == nil {
+		t.Fatal("RetrainDirty without a store accepted")
+	}
+}

@@ -8,15 +8,23 @@
 //	GET  /fleet/forecast              all forecasts
 //	GET  /fleet/plan?capacity=2&horizon=240&maxlead=7
 //	                                  workshop schedule from the forecasts
-//	POST /admin/retrain[?wait=1]      re-ingest telemetry, rebuild in the
-//	                                  background, swap snapshots
+//	POST /telemetry                   batched per-vehicle daily-usage
+//	                                  reports into the ingest store
+//	                                  (when one is configured)
+//	POST /admin/retrain[?wait=1][&full=1]
+//	                                  re-ingest telemetry, rebuild in the
+//	                                  background, swap snapshots; full=1
+//	                                  disables incremental model reuse
 //	GET  /admin/status                engine state (generation, workers, ...)
+//	GET  /admin/ingest                ingest-store stats (when configured)
 //
 // Every read endpoint serves from the engine's current immutable
 // snapshot: one atomic pointer load, no locks, no model math (forecasts
 // are precomputed at snapshot-build time). A retrain builds the next
 // snapshot off to the side and swaps it in when done, so reads are
-// never blocked and never observe a half-trained fleet.
+// never blocked and never observe a half-trained fleet. Retrains are
+// incremental — only vehicles whose telemetry changed retrain; the
+// rest carry their models forward (see internal/engine).
 //
 // The handler is a plain http.Handler built on the standard library,
 // so it embeds into any existing mux or server.
@@ -30,28 +38,77 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/sched"
 )
+
+// Options configures the optional live-ingestion surface of a Server.
+type Options struct {
+	// Ingest, when set, mounts POST /telemetry and GET /admin/ingest on
+	// the given store. The engine's Source should be the same store's
+	// Fleet method so retrains pick the ingested telemetry up.
+	Ingest *ingest.Store
+	// RetrainDirty, when > 0, kicks a background incremental retrain as
+	// soon as at least this many vehicles have changed since the last
+	// kick. 0 leaves retraining to /admin/retrain and the periodic
+	// loop.
+	RetrainDirty int
+}
 
 // Server wraps a fleet engine. All handlers are safe for arbitrary
 // concurrency, including concurrently with retrains.
 type Server struct {
 	engine *engine.Engine
 	mux    *http.ServeMux
+
+	ingest       *ingest.Store
+	retrainDirty int
+	// kickMu guards the dirty-threshold retrain policy: lastKickSeq is
+	// the store sequence the latest auto-retrain was kicked at;
+	// prevKickSeq is the baseline to roll back to if that build fails,
+	// so a failed build does not permanently consume its dirty set.
+	kickMu      sync.Mutex
+	lastKickSeq uint64
+	prevKickSeq uint64
+	// kickGen is the snapshot generation observed when the latest kick
+	// started; a later generation means some build has since succeeded
+	// (and, re-reading the same source, covered the kick's data).
+	kickGen uint64
 }
 
 // New builds the HTTP facade over an engine. The engine does not need a
 // snapshot yet — endpoints answer 503 until the first build lands — so
 // a server can accept traffic while the initial training runs.
 func New(eng *engine.Engine) (*Server, error) {
+	return NewWithOptions(eng, Options{})
+}
+
+// NewWithOptions is New plus the live-ingestion surface.
+func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 	if eng == nil {
 		return nil, errors.New("serve: nil engine")
 	}
-	s := &Server{engine: eng, mux: http.NewServeMux()}
+	if opts.RetrainDirty > 0 && opts.Ingest == nil {
+		return nil, errors.New("serve: RetrainDirty needs an ingest store")
+	}
+	s := &Server{
+		engine:       eng,
+		mux:          http.NewServeMux(),
+		ingest:       opts.Ingest,
+		retrainDirty: opts.RetrainDirty,
+	}
+	if s.ingest != nil {
+		// Baseline the dirty-threshold policy at the store's current
+		// state: boot-seeded telemetry is what the initial training
+		// covers, not pending changes the threshold should count.
+		s.lastKickSeq = s.ingest.Seq()
+		s.prevKickSeq = s.lastKickSeq
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /vehicles", s.handleVehicles)
 	s.mux.HandleFunc("GET /vehicles/{id}/forecast", s.handleForecast)
@@ -59,6 +116,10 @@ func New(eng *engine.Engine) (*Server, error) {
 	s.mux.HandleFunc("GET /fleet/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
 	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
+	if s.ingest != nil {
+		s.mux.HandleFunc("POST /telemetry", s.handleTelemetry)
+		s.mux.HandleFunc("GET /admin/ingest", s.handleIngestStats)
+	}
 	return s, nil
 }
 
@@ -99,6 +160,9 @@ type VehicleInfo struct {
 	Category string `json:"category"`
 	Strategy string `json:"strategy"`
 	Model    string `json:"model"`
+	// Error is set for vehicles whose training failed; the rest of the
+	// fleet serves normally around them.
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleVehicles(w http.ResponseWriter, _ *http.Request) {
@@ -113,6 +177,7 @@ func (s *Server) handleVehicles(w http.ResponseWriter, _ *http.Request) {
 			Category: st.Category.String(),
 			Strategy: st.Strategy,
 			Model:    string(st.Algorithm),
+			Error:    st.Err,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -254,23 +319,27 @@ type RetrainJSON struct {
 // handleRetrain re-ingests telemetry through the engine's fleet source
 // and rebuilds the snapshot. By default the rebuild runs in the
 // background and 202 is returned immediately; with ?wait=1 the handler
-// blocks until the new snapshot is live (or the build fails). Either
-// way at most one handler-initiated rebuild is in flight: further
-// kicks answer 409 instead of queueing redundant full trainings.
+// blocks until the new snapshot is live (or the build fails). Rebuilds
+// are incremental — unchanged vehicles carry their models forward —
+// unless ?full=1 requests the from-scratch escape hatch. Either way at
+// most one handler-initiated rebuild is in flight: further kicks
+// answer 409 instead of queueing redundant trainings.
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
-	wait := false
-	if raw := r.URL.Query().Get("wait"); raw != "" {
-		var err error
-		if wait, err = strconv.ParseBool(raw); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: query parameter %q must be a boolean, got %q", "wait", raw))
-			return
-		}
+	wait, err := boolQuery(r, "wait")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	full, err := boolQuery(r, "full")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	if wait {
 		// Deliberately detached from the request context: a client
 		// disconnect or timeout must not abort (and discard) a
 		// fleet-wide rebuild that is already underway.
-		snap, err := s.engine.TryRetrainFromSource(context.Background())
+		snap, err := s.engine.TryRetrainFromSource(context.Background(), full)
 		switch {
 		case errors.Is(err, engine.ErrRetrainInFlight):
 			writeError(w, http.StatusConflict, err.Error())
@@ -284,7 +353,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	// The engine's single-flight covers every initiator — handler
 	// kicks and the periodic retrain loop alike. Failures of the
 	// detached rebuild land in /admin/status.
-	if !s.engine.BeginRetrainFromSource() {
+	if !s.engine.BeginRetrainFromSource(full) {
 		writeError(w, http.StatusConflict, engine.ErrRetrainInFlight.Error())
 		return
 	}
@@ -293,6 +362,142 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Status())
+}
+
+// ReportJSON is the wire form of one telemetry report.
+type ReportJSON struct {
+	Vehicle string  `json:"vehicle"`
+	Date    string  `json:"date"` // "2006-01-02"
+	Seconds float64 `json:"seconds"`
+}
+
+// TelemetryRequest is the POST /telemetry body.
+type TelemetryRequest struct {
+	Reports []ReportJSON `json:"reports"`
+}
+
+// TelemetryResponse is the per-batch accept/reject report plus whether
+// the batch tripped the dirty-retrain threshold.
+type TelemetryResponse struct {
+	ingest.BatchResult
+	RetrainStarted bool `json:"retrain_started"`
+}
+
+// maxTelemetryBody bounds a telemetry batch (32 MiB ≈ several years of
+// daily reports for a thousand-vehicle fleet).
+const maxTelemetryBody = 32 << 20
+
+// maxTelemetryReports bounds the per-batch report count independently
+// of body size.
+const maxTelemetryReports = 500_000
+
+// handleTelemetry ingests one batch of per-vehicle daily-usage
+// reports. Validation is per report: a malformed JSON body is rejected
+// wholesale with 400, but individually invalid reports only mark their
+// own vehicle's slice of the accept/reject response — one bad sensor
+// must not discard a whole fleet upload. Re-delivering a batch is
+// harmless (idempotent upserts).
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxTelemetryBody)
+	var req TelemetryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: telemetry batch exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
+		return
+	}
+	if len(req.Reports) > maxTelemetryReports {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
+		return
+	}
+	reports := make([]ingest.Report, len(req.Reports))
+	for i, rj := range req.Reports {
+		rep := ingest.Report{VehicleID: rj.Vehicle, Seconds: rj.Seconds}
+		// A bad date leaves Date zero; the store rejects the report
+		// with a per-report error, keeping one bookkeeping path.
+		if d, err := time.Parse("2006-01-02", rj.Date); err == nil {
+			rep.Date = d
+		}
+		reports[i] = rep
+	}
+	res := s.ingest.UpsertBatch(reports)
+	out := TelemetryResponse{BatchResult: res}
+	if res.Changed > 0 {
+		out.RetrainStarted = s.maybeKickRetrain()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// maybeKickRetrain starts a background incremental retrain when the
+// number of vehicles changed since the last kick reaches the
+// configured threshold. The sequence point only advances when a
+// rebuild actually starts, so dirtiness observed while a build is in
+// flight re-triggers on the next batch instead of getting lost — and
+// if a kicked build *fails*, the baseline rolls back so the failed
+// build's dirty set counts again instead of being silently consumed.
+func (s *Server) maybeKickRetrain() bool {
+	if s.retrainDirty <= 0 {
+		return false
+	}
+	s.kickMu.Lock()
+	defer s.kickMu.Unlock()
+	st := s.engine.Status()
+	if !st.Retraining && st.LastError != "" && st.Generation == s.kickGen && s.lastKickSeq > s.prevKickSeq {
+		// No build has succeeded since the kick (the generation is
+		// unchanged) and the last one failed: restore the pre-kick
+		// baseline so the vehicles that kick covered re-trigger on
+		// this or a later batch. Any successful build from the shared
+		// source would have covered them already.
+		s.lastKickSeq = s.prevKickSeq
+	}
+	if len(s.ingest.DirtySince(s.lastKickSeq)) < s.retrainDirty {
+		return false
+	}
+	seq := s.ingest.Seq()
+	if !s.engine.BeginRetrainFromSource(false) {
+		return false
+	}
+	s.prevKickSeq, s.lastKickSeq = s.lastKickSeq, seq
+	s.kickGen = st.Generation
+	return true
+}
+
+// IngestStatsJSON is the GET /admin/ingest response: store stats plus
+// the dirty set the retrain threshold is currently judging.
+type IngestStatsJSON struct {
+	ingest.Stats
+	// RetrainDirtyThreshold echoes the configured threshold (0 =
+	// disabled).
+	RetrainDirtyThreshold int `json:"retrain_dirty_threshold"`
+	// DirtySinceLastRetrain lists vehicles changed since the last
+	// threshold-triggered retrain kick.
+	DirtySinceLastRetrain []string `json:"dirty_since_last_retrain,omitempty"`
+}
+
+func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
+	s.kickMu.Lock()
+	lastKick := s.lastKickSeq
+	s.kickMu.Unlock()
+	writeJSON(w, http.StatusOK, IngestStatsJSON{
+		Stats:                 s.ingest.Stats(),
+		RetrainDirtyThreshold: s.retrainDirty,
+		DirtySinceLastRetrain: s.ingest.DirtySince(lastKick),
+	})
+}
+
+func boolQuery(r *http.Request, key string) (bool, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("serve: query parameter %q must be a boolean, got %q", key, raw)
+	}
+	return v, nil
 }
 
 func sortedKeys(m map[string]string) []string {
