@@ -1,0 +1,20 @@
+# Developer entry points. CI runs the same commands.
+
+.PHONY: build test race bench-ml
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench-ml measures the tree-learner split engine (micro fits at
+# n ∈ {200, 2000, 20000} plus the paper-level RF/XGB/grid-search
+# benchmarks) and emits BENCH_ml.json. Override the budget with
+# BENCHTIME, e.g. `make bench-ml BENCHTIME=2s`.
+BENCHTIME ?= 1s
+bench-ml:
+	BENCHTIME=$(BENCHTIME) ./scripts/bench_ml.sh BENCH_ml.json

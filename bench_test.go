@@ -19,6 +19,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/gbm"
+	"repro/internal/ml/tree"
 	"repro/internal/rng"
 	"repro/internal/similarity"
 	"repro/internal/telematics"
@@ -335,6 +338,86 @@ func BenchmarkDerive(b *testing.B) {
 		if _, err := timeseries.Derive("v", u, timeseries.DefaultAllowance); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// mlBenchSizes are the training-set sizes the split-engine
+// micro-benchmarks sweep; 200 is roughly one vehicle's restricted
+// training set, 20000 a pooled multi-vehicle one.
+var mlBenchSizes = []int{200, 2000, 20000}
+
+// mlBenchData draws a deterministic synthetic regression dataset with a
+// realistic mix of column shapes: quantized (tie-heavy), continuous,
+// and low-cardinality features.
+func mlBenchData(n, p int, seed uint64) ([][]float64, []float64) {
+	rnd := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			switch j % 3 {
+			case 0:
+				x[i][j] = rnd.Float64() * 10
+			case 1:
+				x[i][j] = float64(rnd.Intn(50)) / 5
+			default:
+				x[i][j] = float64(rnd.Intn(7))
+			}
+		}
+		y[i] = 3*x[i][0] - 2*x[i][1%p] + rnd.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkTreeFit measures a single exact-engine CART fit across
+// training-set sizes (the unit of work both ensembles multiply).
+func BenchmarkTreeFit(b *testing.B) {
+	for _, n := range mlBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := mlBenchData(n, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := tree.New(tree.Config{MaxDepth: 12, MinSamplesLeaf: 2})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestFit measures a 20-tree forest fit: all trees share one
+// presorted matrix and train from bootstrap multiplicities.
+func BenchmarkForestFit(b *testing.B) {
+	for _, n := range mlBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := mlBenchData(n, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := forest.New(forest.Config{NEstimators: 20, MaxDepth: 12, MinSamplesLeaf: 2, Seed: 7})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGBMFit measures a 50-round boosted fit: binning happens once,
+// every round reuses the trainer's buffers.
+func BenchmarkGBMFit(b *testing.B) {
+	for _, n := range mlBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := mlBenchData(n, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := gbm.New(gbm.Config{NEstimators: 50, MaxDepth: 6, Seed: 7})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -67,7 +67,11 @@ func Build(alg Algorithm, p ml.Params, seed uint64) (ml.Regressor, error) {
 			NEstimators:    int(get("estimators", 100)),
 			MaxDepth:       int(get("depth", 0)),
 			MinSamplesLeaf: int(get("min_leaf", 1)),
-			Seed:           seed,
+			// bins > 1 opts the member trees into the approximate
+			// histogram split engine; 0 keeps the exact presorted
+			// engine (the default, bit-identical to classic CART).
+			Bins: int(get("bins", 0)),
+			Seed: seed,
 		}), nil
 	case XGB:
 		return gbm.New(gbm.Config{
@@ -76,7 +80,10 @@ func Build(alg Algorithm, p ml.Params, seed uint64) (ml.Regressor, error) {
 			MaxDepth:        int(get("depth", 6)),
 			MinChildSamples: int(get("min_child", 5)),
 			Lambda:          get("lambda", 1.0),
-			Seed:            seed,
+			// bins caps the histogram resolution; 0 falls back to the
+			// package default (256).
+			MaxBins: int(get("bins", 0)),
+			Seed:    seed,
 		}), nil
 	case BL:
 		return nil, fmt.Errorf("core: the baseline is built from the utilization series (BaselineFromSeries), not from parameters")

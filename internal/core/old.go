@@ -174,12 +174,17 @@ func EvaluateOld(vs *timeseries.VehicleSeries, alg Algorithm, cfg OldConfig) (*O
 		return nil, fmt.Errorf("core: vehicle %s fitting %s: %w", vs.ID, alg, err)
 	}
 
+	xTest := make([][]float64, len(testRecs))
+	for i, r := range testRecs {
+		xTest[i] = r.X
+	}
+	preds := ml.PredictBatch(model, xTest)
 	report := &ErrorReport{VehicleID: vs.ID, Model: string(alg)}
-	for _, r := range testRecs {
+	for i, r := range testRecs {
 		report.Predictions = append(report.Predictions, Prediction{
 			Day:       r.Day,
 			Actual:    r.Y,
-			Predicted: model.Predict(r.X),
+			Predicted: preds[i],
 		})
 	}
 	return &OldResult{Report: report, Params: params, TrainRecords: len(trainRecs), Model: model}, nil

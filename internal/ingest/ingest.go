@@ -105,6 +105,22 @@ type Store struct {
 	rejected  uint64
 	changed   uint64
 	allowance float64
+
+	// prepMu guards the prepared-vehicle cache. Lock ordering: prepMu
+	// may be taken while holding mu (read side); never the reverse.
+	prepMu     sync.Mutex
+	prepCache  map[string]preparedEntry
+	prepHits   uint64
+	prepMisses uint64
+}
+
+// preparedEntry caches one vehicle's §3 preparation output keyed by the
+// content hash it was derived from, making Fleet's source fetch
+// O(changed vehicles): clean vehicles reuse their prepared series
+// across retrains instead of re-running the pipeline.
+type preparedEntry struct {
+	hash    uint64
+	vehicle engine.Vehicle
 }
 
 // New returns an empty store whose derived series use the given
@@ -311,25 +327,41 @@ func (s *Store) Hash(vehicleID string) (uint64, bool) {
 // so an engine configured with Source: store.Fleet re-reads live
 // telemetry on every retrain.
 //
-// Only the raw-series copy happens under the store lock; the O(fleet x
-// history) preparation pipeline runs outside it, so a retrain fetch
+// Preparation is O(changed vehicles): each vehicle's prepared output is
+// cached keyed by its incremental content hash, so a retrain after one
+// vehicle's telemetry update only re-runs the pipeline for that
+// vehicle — every clean vehicle reuses its cached (immutable) prepared
+// series. Only the raw-series copy of dirty vehicles happens under the
+// store lock; the pipeline itself runs outside it, so a retrain fetch
 // never stalls concurrent telemetry writes for more than the copy.
 func (s *Store) Fleet(ctx context.Context) ([]engine.Vehicle, error) {
 	type rawVehicle struct {
-		id    string
-		start time.Time
-		u     timeseries.Series
+		id     string
+		hash   uint64
+		start  time.Time
+		u      timeseries.Series // nil when the cache already covers hash
+		cached engine.Vehicle
 	}
 
 	s.mu.RLock()
+	s.prepMu.Lock()
 	raw := make([]rawVehicle, 0, len(s.vehicles))
 	for id, rec := range s.vehicles {
-		u := make(timeseries.Series, rec.maxDay-rec.minDay+1)
-		for day, sec := range rec.days {
-			u[day-rec.minDay] = sec
+		rv := rawVehicle{id: id, hash: rec.hash}
+		if ent, ok := s.prepCache[id]; ok && ent.hash == rec.hash {
+			rv.cached = ent.vehicle
+			s.prepHits++
+		} else {
+			s.prepMisses++
+			rv.start = time.Unix(rec.minDay*86400, 0).UTC()
+			rv.u = make(timeseries.Series, rec.maxDay-rec.minDay+1)
+			for day, sec := range rec.days {
+				rv.u[day-rec.minDay] = sec
+			}
 		}
-		raw = append(raw, rawVehicle{id: id, start: time.Unix(rec.minDay*86400, 0).UTC(), u: u})
+		raw = append(raw, rv)
 	}
+	s.prepMu.Unlock()
 	s.mu.RUnlock()
 	sort.Slice(raw, func(i, j int) bool { return raw[i].id < raw[j].id })
 
@@ -338,11 +370,22 @@ func (s *Store) Fleet(ctx context.Context) ([]engine.Vehicle, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if rv.u == nil {
+			out = append(out, rv.cached)
+			continue
+		}
 		prep, err := dataprep.Prepare(rv.id, rv.start, rv.u, s.allowance)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: preparing vehicle %s: %w", rv.id, err)
 		}
-		out = append(out, engine.Vehicle{Series: prep.Series, Start: prep.Start})
+		v := engine.Vehicle{Series: prep.Series, Start: prep.Start}
+		s.prepMu.Lock()
+		if s.prepCache == nil {
+			s.prepCache = make(map[string]preparedEntry)
+		}
+		s.prepCache[rv.id] = preparedEntry{hash: rv.hash, vehicle: v}
+		s.prepMu.Unlock()
+		out = append(out, v)
 	}
 	return out, nil
 }
@@ -420,6 +463,11 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	Changed  uint64 `json:"changed"`
 	Seq      uint64 `json:"seq"`
+	// PrepCacheHits / PrepCacheMisses count per-vehicle outcomes of
+	// Fleet's prepared-series cache: a retrain after one dirty vehicle
+	// should add fleet−1 hits and 1 miss.
+	PrepCacheHits   uint64 `json:"prep_cache_hits"`
+	PrepCacheMisses uint64 `json:"prep_cache_misses"`
 	// PerVehicle is sorted by vehicle ID.
 	PerVehicle []VehicleStats `json:"per_vehicle"`
 }
@@ -437,6 +485,9 @@ func (s *Store) Stats() Stats {
 		Changed:  s.changed,
 		Seq:      s.seq,
 	}
+	s.prepMu.Lock()
+	st.PrepCacheHits, st.PrepCacheMisses = s.prepHits, s.prepMisses
+	s.prepMu.Unlock()
 	for id, rec := range s.vehicles {
 		st.PerVehicle = append(st.PerVehicle, VehicleStats{
 			ID:         id,

@@ -343,3 +343,55 @@ func TestDrainCollector(t *testing.T) {
 		t.Fatalf("re-drain changed %d, want 0", res.Changed)
 	}
 }
+
+// TestFleetPreparedCache: Fleet caches each vehicle's prepared series
+// keyed by its content hash — an unchanged vehicle is returned
+// pointer-identical (no re-preparation), a dirty vehicle is re-prepared,
+// and the hit/miss counters account for both.
+func TestFleetPreparedCache(t *testing.T) {
+	s := New(0)
+	s.UpsertBatch([]Report{
+		report("v01", 0, 1000), report("v01", 1, 2000), report("v01", 2, 3000),
+		report("v02", 0, 4000), report("v02", 1, 5000),
+	})
+
+	first, err := s.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PrepCacheHits != 0 || st.PrepCacheMisses != 2 {
+		t.Fatalf("after first fetch: hits=%d misses=%d, want 0/2", st.PrepCacheHits, st.PrepCacheMisses)
+	}
+
+	second, err := s.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].Series != second[i].Series {
+			t.Fatalf("vehicle %d re-prepared despite clean content", i)
+		}
+	}
+	if st := s.Stats(); st.PrepCacheHits != 2 || st.PrepCacheMisses != 2 {
+		t.Fatalf("after clean refetch: hits=%d misses=%d, want 2/2", st.PrepCacheHits, st.PrepCacheMisses)
+	}
+
+	// Dirty one vehicle: only it is re-prepared.
+	s.UpsertBatch([]Report{report("v02", 2, 6000)})
+	third, err := s.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third[0].Series != first[0].Series {
+		t.Fatal("clean vehicle v01 was re-prepared")
+	}
+	if third[1].Series == first[1].Series {
+		t.Fatal("dirty vehicle v02 was served from a stale cache")
+	}
+	if got := len(third[1].Series.U); got != 3 {
+		t.Fatalf("v02 span after update = %d days, want 3", got)
+	}
+	if st := s.Stats(); st.PrepCacheHits != 3 || st.PrepCacheMisses != 3 {
+		t.Fatalf("after dirty refetch: hits=%d misses=%d, want 3/3", st.PrepCacheHits, st.PrepCacheMisses)
+	}
+}

@@ -5,7 +5,11 @@
 //
 // Trees are CART regressors from internal/ml/tree, decorrelated through
 // bootstrap resampling and per-split feature subsampling, and trained
-// concurrently with one deterministic RNG sub-stream per tree.
+// concurrently with one deterministic RNG sub-stream per tree. All
+// trees share one column-major matrix (ml.ColMatrix): features are
+// presorted (or binned) exactly once per Fit, and each bootstrap is
+// expressed as per-row multiplicities instead of materialized duplicate
+// rows.
 package forest
 
 import (
@@ -39,6 +43,10 @@ type Config struct {
 	// sample is scored by the trees whose bootstrap missed it, giving
 	// a generalization estimate without a holdout set.
 	ComputeOOB bool
+	// Bins opts every member tree into the approximate histogram split
+	// engine with at most Bins quantile buckets (2..256); 0 keeps the
+	// exact presorted engine.
+	Bins int
 }
 
 // DefaultConfig returns a balanced forest configuration.
@@ -60,6 +68,8 @@ type Model struct {
 }
 
 var _ ml.Regressor = (*Model)(nil)
+var _ ml.MatrixFitter = (*Model)(nil)
+var _ ml.BatchPredictor = (*Model)(nil)
 
 // New returns an unfitted forest with the given configuration.
 func New(cfg Config) *Model {
@@ -77,13 +87,36 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 	if err := ml.ValidateXY(x, y); err != nil {
 		return err
 	}
-	n, p := len(x), len(x[0])
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		return err
+	}
+	return m.FitMatrix(cm, y)
+}
+
+// FitMatrix trains the forest from a prebuilt column matrix, reusing
+// its cached presorted orders (or binnings) across every tree — and,
+// when the matrix is shared further (grid search folds), across every
+// configuration evaluated on it.
+func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
+	if cm.Len() != len(y) {
+		return fmt.Errorf("forest: %d rows but %d targets", cm.Len(), len(y))
+	}
+	n, p := cm.Len(), cm.Width()
 	maxFeat := m.MaxFeatures
 	if maxFeat <= 0 {
 		maxFeat = p
 	}
 	if maxFeat > p {
 		return fmt.Errorf("forest: MaxFeatures %d exceeds feature count %d", maxFeat, p)
+	}
+
+	// Force the shared derived representation once, before the workers
+	// race to read it.
+	if m.Bins > 1 {
+		cm.Bin(m.Bins)
+	} else {
+		cm.Order()
 	}
 
 	// One deterministic sub-stream per tree, derived sequentially.
@@ -112,32 +145,29 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			rnd := seeds[t]
-			bx := make([][]float64, n)
-			by := make([]float64, n)
-			var bag []bool
-			if m.ComputeOOB {
-				bag = make([]bool, n)
-			}
+			// The bootstrap as multiplicities: w[j] counts how often
+			// row j was drawn.
+			w := make([]float64, n)
 			for i := 0; i < n; i++ {
-				j := rnd.Intn(n)
-				bx[i] = x[j]
-				by[i] = y[j]
-				if bag != nil {
-					bag[j] = true
-				}
+				w[rnd.Intn(n)]++
 			}
 			tr := tree.New(tree.Config{
 				MaxDepth:       m.MaxDepth,
 				MinSamplesLeaf: m.MinSamplesLeaf,
 				MaxFeatures:    maxFeat,
 				Seed:           rnd.Uint64(),
+				Bins:           m.Bins,
 			})
-			if err := tr.Fit(bx, by); err != nil {
+			if err := tr.FitWeighted(cm, y, w); err != nil {
 				errs[t] = err
 				return
 			}
 			trees[t] = tr
-			if bag != nil {
+			if m.ComputeOOB {
+				bag := make([]bool, n)
+				for j, wj := range w {
+					bag[j] = wj > 0
+				}
 				inBag[t] = bag
 			}
 		}(t)
@@ -153,23 +183,28 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 	m.fitted = true
 	m.hasOOB = false
 	if m.ComputeOOB {
-		m.computeOOB(x, y, inBag)
+		m.computeOOB(cm, y, inBag)
 	}
 	return nil
 }
 
 // computeOOB scores every sample with the trees that did not see it.
-func (m *Model) computeOOB(x [][]float64, y []float64, inBag [][]bool) {
+func (m *Model) computeOOB(cm *ml.ColMatrix, y []float64, inBag [][]bool) {
+	n := cm.Len()
+	row := make([]float64, m.width)
 	var absSum float64
 	covered := 0
-	for i := range x {
+	for i := 0; i < n; i++ {
+		for j := 0; j < m.width; j++ {
+			row[j] = cm.Col(j)[i]
+		}
 		var sum float64
 		votes := 0
 		for t, tr := range m.trees {
 			if inBag[t][i] {
 				continue
 			}
-			sum += tr.Predict(x[i])
+			sum += tr.Predict(row)
 			votes++
 		}
 		if votes == 0 {
@@ -239,6 +274,22 @@ func (m *Model) Predict(x []float64) float64 {
 		s += t.Predict(x)
 	}
 	return s / float64(len(m.trees))
+}
+
+// PredictBatch averages the member trees over all rows, iterating trees
+// in the outer loop so each tree's nodes stay cache-hot across rows.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	if !m.fitted {
+		panic("forest: Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	for _, t := range m.trees {
+		t.PredictSumInto(x, out)
+	}
+	for i := range out {
+		out[i] /= float64(len(m.trees))
+	}
+	return out
 }
 
 // TreeCount returns the number of fitted trees.

@@ -9,12 +9,22 @@
 // per feature), with L2 leaf regularization, shrinkage, and optional row
 // subsampling. Histogram binning makes split search O(bins) per feature
 // per node instead of O(n log n).
+//
+// The features are binned exactly once per Fit through the shared
+// ml.ColMatrix — and when a matrix is handed in via FitMatrix (grid
+// search folds), not even once, since the binning is cached on the
+// matrix. Inside a round, node scans sweep only the bins actually
+// present in the node (a 256-bit occupancy mask), rows are partitioned
+// in place through reusable segment buffers, and training-row
+// predictions are updated directly from the leaves they land in, so the
+// boosting loop allocates nothing per round.
 package gbm
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/ml"
 	"repro/internal/rng"
@@ -66,30 +76,35 @@ type Model struct {
 	Config
 
 	baseScore float64
-	trees     []boostTree
-	edges     [][]float64 // per-feature bin upper edges
-	width     int
-	fitted    bool
+	// nodes stores every stage's tree in one flat array (cache-dense
+	// inference); stage t owns nodes[stageStart[t]:stageStart[t+1]]
+	// with child links relative to the stage's base.
+	nodes      []bnode
+	stageStart []int32
+	edges      [][]float64 // per-feature bin upper edges
+
+	width  int
+	fitted bool
 }
 
-// boostTree is one fitted booster stage, stored with raw-space
-// thresholds so prediction needs no binning.
-type boostTree struct {
-	nodes []bnode
-}
-
+// bnode is one node of a booster stage, stored with raw-space
+// thresholds so prediction needs no binning. The layout packs into 32
+// bytes so a cache line holds two nodes during tree walks.
 type bnode struct {
-	feature int // -1 for leaf
 	// threshold is the raw-space split value (upper edge of bin); bin is
 	// the same split in bin space, used during training where rows are
 	// already binned. bin(x) ≤ bin ⟺ x ≤ threshold by construction.
-	threshold   float64
-	bin         uint8
-	left, right int32
-	value       float64
+	threshold float64
+	value     float64
+	// kids[0] is the left (<=) child, kids[1] the right one.
+	kids    [2]int32
+	feature int16 // -1 for leaf
+	bin     uint8
 }
 
 var _ ml.Regressor = (*Model)(nil)
+var _ ml.MatrixFitter = (*Model)(nil)
+var _ ml.BatchPredictor = (*Model)(nil)
 
 // New returns an unfitted model, normalizing invalid config fields to
 // the defaults.
@@ -122,25 +137,70 @@ func New(cfg Config) *Model {
 	return &Model{Config: cfg}
 }
 
+// trainer carries the per-Fit working state of the boosting loop; every
+// buffer is allocated once and reused across rounds.
+type trainer struct {
+	m    *Model
+	bins [][]uint8 // column-major bin codes
+	grad []float64
+	pred []float64
+
+	rows    []int32 // current round's rows, segment-partitioned in place
+	scratch []int32
+	base    int    // index of the current stage's root in m.nodes
+	inTree  []bool // round membership, only maintained when partial
+
+	permBuf []int // subsample permutation reuse
+
+	// recip[k] = 1/(k+λ): the gain sweep multiplies by precomputed
+	// reciprocals instead of dividing per candidate bin — two DIVSDs
+	// per bin would otherwise dominate split finding. Gains drift from
+	// long division at the last-ulp level, which is why the pinned GBM
+	// regression values are the engine's own, not the seed's.
+	recip []float64
+
+	hist [256]histCell
+	mask [4]uint64
+	// valTab maps bin → leaf value for the stage just grown, used by
+	// the single-feature fast path to apply a stage to its rows
+	// without walking (a univariate stage is a function of the bin).
+	valTab [256]float64
+}
+
+// histCell packs one bin's gradient sum and row count into a single
+// cache line touch per accumulated row.
+type histCell struct {
+	g float64
+	n int32
+}
+
 // Fit trains the boosted ensemble with squared loss.
 func (m *Model) Fit(x [][]float64, y []float64) error {
 	if err := ml.ValidateXY(x, y); err != nil {
 		return err
 	}
-	n, p := len(x), len(x[0])
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		return err
+	}
+	return m.FitMatrix(cm, y)
+}
 
-	m.edges = make([][]float64, p)
-	binned := make([][]uint8, n)
-	for i := range binned {
-		binned[i] = make([]uint8, p)
+// FitMatrix trains from a prebuilt column matrix, reusing its cached
+// quantile binning (features never change across boosting rounds, and
+// across grid-search configurations sharing the matrix they never
+// change either — only gradients do).
+func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
+	if cm.Len() != len(y) {
+		return fmt.Errorf("gbm: %d rows but %d targets", cm.Len(), len(y))
 	}
-	for j := 0; j < p; j++ {
-		edges := quantileEdges(x, j, m.MaxBins)
-		m.edges[j] = edges
-		for i := 0; i < n; i++ {
-			binned[i][j] = binOf(x[i][j], edges)
-		}
+	n, p := cm.Len(), cm.Width()
+	if p > 32767 {
+		return fmt.Errorf("gbm: %d features exceed the int16 feature index space", p)
 	}
+
+	bn := cm.Bin(m.MaxBins)
+	m.edges = bn.Edges
 
 	// Base score: the target mean.
 	var base float64
@@ -150,16 +210,26 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 	base /= float64(n)
 	m.baseScore = base
 
-	pred := make([]float64, n)
-	for i := range pred {
-		pred[i] = base
+	t := &trainer{
+		m:       m,
+		bins:    bn.Cols,
+		grad:    make([]float64, n),
+		pred:    make([]float64, n),
+		rows:    make([]int32, n),
+		scratch: make([]int32, n),
+		recip:   make([]float64, n+1),
 	}
-	grad := make([]float64, n)
+	for k := range t.recip {
+		t.recip[k] = 1 / (float64(k) + m.Lambda)
+	}
+	for i := range t.pred {
+		t.pred[i] = base
+	}
 	rnd := rng.New(m.Seed ^ 0xbb67ae8584caa73b)
 
 	// Early stopping: hold out a random validation subset that trees
 	// never fit on, and monitor its MAE round by round.
-	var trainRows, valRows []int
+	var trainRows, valRows []int32
 	if m.EarlyStoppingRounds > 0 {
 		perm := rnd.Perm(n)
 		nVal := int(float64(n) * m.ValidationFraction)
@@ -169,37 +239,89 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 		if nVal >= n {
 			nVal = n - 1
 		}
-		valRows = append(valRows, perm[:nVal]...)
-		trainRows = append(trainRows, perm[nVal:]...)
-		sort.Ints(trainRows)
-		sort.Ints(valRows)
+		for _, i := range perm[:nVal] {
+			valRows = append(valRows, int32(i))
+		}
+		for _, i := range perm[nVal:] {
+			trainRows = append(trainRows, int32(i))
+		}
+		slices.Sort(trainRows)
+		slices.Sort(valRows)
 	} else {
-		trainRows = allRows(n)
+		trainRows = make([]int32, n)
+		for i := range trainRows {
+			trainRows[i] = int32(i)
+		}
+	}
+	partialRounds := m.Subsample < 1 || len(trainRows) < n
+	if partialRounds {
+		t.inTree = make([]bool, n)
+		t.permBuf = make([]int, len(trainRows))
 	}
 
 	bestLoss := math.Inf(1)
 	bestRound := 0
 	stale := 0
 
-	m.trees = m.trees[:0]
+	m.nodes = m.nodes[:0]
+	m.stageStart = append(m.stageStart[:0], 0)
+	m.width = p
 	for round := 0; round < m.NEstimators; round++ {
-		for i := range grad {
-			grad[i] = pred[i] - y[i] // d/dF ½(F−y)²
+		var gRoot float64
+		if partialRounds {
+			for i := range t.grad {
+				t.grad[i] = t.pred[i] - y[i] // d/dF ½(F−y)²
+			}
+		} else {
+			// Full-batch round: the root's gradient sum falls out of
+			// the same pass (identical accumulation order).
+			for i := range t.grad {
+				g := t.pred[i] - y[i]
+				t.grad[i] = g
+				gRoot += g
+			}
 		}
-		rows := trainRows
+		rows := t.rows[:copy(t.rows, trainRows)]
 		if m.Subsample < 1 {
-			rows = sampleFrom(trainRows, m.Subsample, rnd)
+			rows = t.sampleFrom(trainRows, m.Subsample, rnd)
 		}
-		bt := m.growTree(binned, grad, rows)
-		m.trees = append(m.trees, bt)
-		// Update predictions on all rows (not only the subsample).
-		for i := 0; i < n; i++ {
-			pred[i] += predictTreeBinned(&bt, binned[i])
+		if partialRounds {
+			for _, i := range rows {
+				gRoot += t.grad[i]
+			}
+		}
+		stageBase := len(m.nodes)
+		t.growTree(rows, gRoot)
+		m.stageStart = append(m.stageStart, int32(len(m.nodes)))
+		if round == 0 {
+			// Reserve room for the remaining stages in one step,
+			// assuming they stay about the first stage's size.
+			if est := len(m.nodes) * m.NEstimators; cap(m.nodes) < est {
+				grown := make([]bnode, len(m.nodes), est+est/8)
+				copy(grown, m.nodes)
+				m.nodes = grown
+			}
+		}
+		// Training rows got their prediction update directly from the
+		// leaf they landed in; rows outside this round's tree (held-out
+		// validation rows, subsampled-out rows) walk the new stage.
+		if partialRounds {
+			for _, i := range rows {
+				t.inTree[i] = true
+			}
+			for i := 0; i < n; i++ {
+				if !t.inTree[i] {
+					t.pred[i] += m.predictStageBinned(stageBase, t.bins, i)
+				}
+			}
+			for _, i := range rows {
+				t.inTree[i] = false
+			}
 		}
 		if m.EarlyStoppingRounds > 0 {
 			var loss float64
 			for _, i := range valRows {
-				loss += math.Abs(pred[i] - y[i])
+				loss += math.Abs(t.pred[i] - y[i])
 			}
 			loss /= float64(len(valRows))
 			if loss < bestLoss-1e-12 {
@@ -215,147 +337,348 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 		}
 	}
 	if m.EarlyStoppingRounds > 0 {
-		m.trees = m.trees[:bestRound+1]
+		m.stageStart = m.stageStart[:bestRound+2]
+		m.nodes = m.nodes[:m.stageStart[bestRound+1]]
 	}
-	m.width = p
 	m.fitted = true
 	return nil
 }
 
 // growTree builds one depth-limited tree on the gradient targets using
-// per-node histograms. Leaf values are −G/(H+λ)·η where H is the sample
-// count (unit hessian for squared loss) and η the learning rate.
-func (m *Model) growTree(binned [][]uint8, grad []float64, rows []int) boostTree {
-	bt := boostTree{}
-	newLeaf := func(rows []int) int32 {
-		var g float64
-		for _, i := range rows {
-			g += grad[i]
-		}
-		val := -g / (float64(len(rows)) + m.Lambda) * m.LearningRate
-		bt.nodes = append(bt.nodes, bnode{feature: -1, value: val})
-		return int32(len(bt.nodes) - 1)
+// per-node histograms, appending its nodes to m.nodes with stage-local
+// child links. Leaf values are −G/(H+λ)·η where H is the sample count
+// (unit hessian for squared loss) and η the learning rate; rows landing
+// in a final leaf get their running prediction bumped immediately.
+func (t *trainer) growTree(rows []int32, gRoot float64) {
+	t.base = len(t.m.nodes)
+	if len(t.bins) == 1 {
+		t.growTree1D(rows, gRoot)
+		return
 	}
-
-	var build func(rows []int, depth int) int32
-	build = func(rows []int, depth int) int32 {
-		self := newLeaf(rows)
-		if depth >= m.MaxDepth || len(rows) < 2*m.MinChildSamples {
-			return self
-		}
-		feat, bin, gain := m.bestHistSplit(binned, grad, rows)
-		if gain <= 1e-12 {
-			return self
-		}
-		left := make([]int, 0, len(rows))
-		right := make([]int, 0, len(rows))
-		for _, i := range rows {
-			if binned[i][feat] <= bin {
-				left = append(left, i)
-			} else {
-				right = append(right, i)
-			}
-		}
-		if len(left) < m.MinChildSamples || len(right) < m.MinChildSamples {
-			return self
-		}
-		bt.nodes[self].feature = feat
-		// Raw-space threshold: the upper edge of the split bin, so that
-		// raw x ≤ edge routes left exactly like bin ≤ b.
-		bt.nodes[self].threshold = m.edges[feat][bin]
-		bt.nodes[self].bin = bin
-		l := build(left, depth+1)
-		r := build(right, depth+1)
-		bt.nodes[self].left = l
-		bt.nodes[self].right = r
-		return self
-	}
-	build(rows, 0)
-	return bt
+	t.build(0, len(rows), 0, gRoot)
 }
 
-// bestHistSplit scans per-feature histograms for the split with the best
-// regularized gain.
-func (m *Model) bestHistSplit(binned [][]uint8, grad []float64, rows []int) (feature int, bin uint8, gain float64) {
-	p := len(binned[rows[0]])
-	var gTot float64
+// growTree1D grows a stage over a single-feature matrix (the paper's
+// W = 0 univariate models). With one feature, every node's histogram is
+// a bin sub-range of the root's, so the stage needs exactly one
+// histogram fill and zero row partitioning: the tree is built by
+// range-recursive sweeps, and leaf values reach the rows through a
+// bin → value table. Gains, counts, leaf values and node layout are
+// bit-identical to the general path's — per-bin sums aggregate the
+// same rows in the same order, and each sub-range sweep visits exactly
+// the occupied bins the refilled child histogram would contain.
+func (t *trainer) growTree1D(rows []int32, gRoot float64) {
+	m := t.m
+	codes := t.bins[0]
+	grad := t.grad
 	for _, i := range rows {
-		gTot += grad[i]
+		c := codes[i]
+		t.hist[c].g += grad[i]
+		t.hist[c].n++
 	}
-	hTot := float64(len(rows))
-	parent := gTot * gTot / (hTot + m.Lambda)
+	nb := len(m.edges[0]) + 1
+	recip := t.recip
+	minChild := m.MinChildSamples
+
+	// buildRange grows the subtree over bin range [lo, hi], which holds
+	// cnt rows with gradient sum g.
+	var buildRange func(lo, hi, depth, cnt int, g float64) int32
+	buildRange = func(lo, hi, depth, cnt int, g float64) int32 {
+		val := -g / (float64(cnt) + m.Lambda) * m.LearningRate
+		self := int32(len(m.nodes) - t.base)
+		m.nodes = append(m.nodes, bnode{feature: -1, value: val})
+		if depth < m.MaxDepth && cnt >= 2*minChild {
+			bestGain := 0.0
+			bestBin := -1
+			bestGL := 0.0
+			bestNL := 0
+			parent := g * g * recip[cnt]
+			var gl float64
+			var nl int
+			end := hi
+			if end > nb-2 {
+				end = nb - 2
+			}
+			for c := lo; c <= end; c++ {
+				cell := t.hist[c]
+				if cell.n == 0 {
+					continue
+				}
+				gl += cell.g
+				nl += int(cell.n)
+				nr := cnt - nl
+				if nl >= minChild && nr >= minChild {
+					gr := g - gl
+					gn := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+					if gn > bestGain {
+						bestGain = gn
+						bestBin = c
+						bestGL = gl
+						bestNL = nl
+					}
+				}
+			}
+			if bestGain > 1e-12 {
+				nd := &m.nodes[t.base+int(self)]
+				nd.feature = 0
+				nd.threshold = m.edges[0][bestBin]
+				nd.bin = uint8(bestBin)
+				l := buildRange(lo, bestBin, depth+1, bestNL, bestGL)
+				r := buildRange(bestBin+1, hi, depth+1, cnt-bestNL, g-bestGL)
+				m.nodes[t.base+int(self)].kids = [2]int32{l, r}
+				return self
+			}
+		}
+		// Leaf: every bin in the range resolves to this value.
+		for c := lo; c <= hi; c++ {
+			t.valTab[c] = val
+		}
+		return self
+	}
+	buildRange(0, nb-1, 0, len(rows), gRoot)
+
+	// Apply the stage to its rows through the bin table and reset the
+	// histogram for the next round.
+	for _, i := range rows {
+		t.pred[i] += t.valTab[codes[i]]
+	}
+	for c := 0; c < nb; c++ {
+		t.hist[c] = histCell{}
+	}
+}
+
+// build grows the subtree over segment [lo, hi) of the round's rows.
+// g threads the segment's gradient sum down the recursion: the root
+// computes it once, children receive the sums accumulated during the
+// parent's partition pass — the same float sequence a per-node pass
+// over the child's segment would produce.
+func (t *trainer) build(lo, hi, depth int, g float64) int32 {
+	m := t.m
+	val := -g / (float64(hi-lo) + m.Lambda) * m.LearningRate
+	self := int32(len(m.nodes) - t.base)
+	m.nodes = append(m.nodes, bnode{feature: -1, value: val})
+
+	if depth < m.MaxDepth && hi-lo >= 2*m.MinChildSamples {
+		feat, bin, gl, gain := t.bestHistSplit(lo, hi, g)
+		if gain > 1e-12 {
+			// The winning candidate's cumulative gradient sum IS the
+			// left child's total (same row set, summed in bin order);
+			// the right child gets the complement. Neither needs
+			// another pass over the rows.
+			gr := g - gl
+			mid := t.partition(lo, hi, t.bins[feat], bin)
+			if mid-lo >= m.MinChildSamples && hi-mid >= m.MinChildSamples {
+				nd := &m.nodes[t.base+int(self)]
+				nd.feature = int16(feat)
+				// Raw-space threshold: the upper edge of the split
+				// bin, so raw x ≤ edge routes left like bin ≤ b.
+				nd.threshold = m.edges[feat][bin]
+				nd.bin = bin
+				l := t.build(lo, mid, depth+1, gl)
+				r := t.build(mid, hi, depth+1, gr)
+				m.nodes[t.base+int(self)].kids = [2]int32{l, r}
+				return self
+			}
+		}
+	}
+	// The node stays a leaf: its segment's rows take the leaf value
+	// into their running prediction (bit-identical to walking the
+	// finished tree, without the walk).
+	for _, i := range t.rows[lo:hi] {
+		t.pred[i] += val
+	}
+	return self
+}
+
+// partition stably splits segment [lo, hi) of the round's rows around
+// codes[i] <= bin and returns the boundary. The reorder is branchless:
+// both target slots are written every row and the comparison only
+// picks which counter advances — the near-50/50 split branch would
+// mispredict half the segment.
+func (t *trainer) partition(lo, hi int, codes []uint8, bin uint8) int {
+	seg := t.rows[lo:hi]
+	nl, nr := 0, 0
+	for pos := 0; pos < len(seg); pos++ {
+		i := seg[pos]
+		isR := 0
+		if codes[i] > bin {
+			isR = 1
+		}
+		seg[nl] = i
+		t.scratch[nr] = i
+		nl += 1 - isR
+		nr += isR
+	}
+	copy(seg[nl:], t.scratch[:nr])
+	return lo + nl
+}
+
+// bestHistSplit scans per-feature histograms of segment [lo, hi) for
+// the split with the best regularized gain. Only bins occupied by the
+// segment are swept and reset, tracked in a 256-bit mask; sweeping
+// occupied bins is exactly equivalent to the dense sweep because empty
+// bins contribute zero mass and can never strictly improve the gain.
+func (t *trainer) bestHistSplit(lo, hi int, gTot float64) (feature int, bin uint8, glBest, gain float64) {
+	m := t.m
+	seg := t.rows[lo:hi]
+	parent := gTot * gTot * t.recip[len(seg)]
 
 	bestGain := 0.0
 	bestFeat, bestBin := -1, uint8(0)
-	var histG [256]float64
-	var histN [256]int
+	bestGL := 0.0
 
-	for f := 0; f < p; f++ {
+	grad := t.grad
+	recip := t.recip
+	minChild := m.MinChildSamples
+	for f := 0; f < len(t.bins); f++ {
 		nb := len(m.edges[f]) + 1
 		if nb < 2 {
 			continue
 		}
-		for b := 0; b < nb; b++ {
-			histG[b] = 0
-			histN[b] = 0
+		codes := t.bins[f]
+		if len(seg)*2 >= nb {
+			// Dense path: the segment touches most bins anyway, so the
+			// occupancy mask costs more than it saves — fill without
+			// mask maintenance, tracking only the occupied envelope
+			// (tight for children of a split on the same feature), and
+			// sweep it (empty bins add zero mass and can never
+			// strictly improve the gain).
+			cmin, cmax := 255, 0
+			for _, i := range seg {
+				c := int(codes[i])
+				t.hist[c].g += grad[i]
+				t.hist[c].n++
+				if c < cmin {
+					cmin = c
+				}
+				if c > cmax {
+					cmax = c
+				}
+			}
+			var gl float64
+			var nl int
+			for c := cmin; c <= cmax; c++ {
+				cell := t.hist[c]
+				if cell.n == 0 {
+					continue
+				}
+				t.hist[c] = histCell{}
+				if c > nb-2 {
+					continue
+				}
+				gl += cell.g
+				nl += int(cell.n)
+				nr := len(seg) - nl
+				if nl >= minChild && nr >= minChild {
+					gr := gTot - gl
+					g := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+					if g > bestGain {
+						bestGain = g
+						bestFeat = f
+						bestBin = uint8(c)
+						bestGL = gl
+					}
+				}
+			}
+			continue
 		}
-		for _, i := range rows {
-			b := binned[i][f]
-			histG[b] += grad[i]
-			histN[b]++
+		// Sparse path: few rows over a wide bin range — track occupied
+		// bins in a 256-bit mask and sweep only those.
+		for _, i := range seg {
+			c := codes[i]
+			t.hist[c].g += grad[i]
+			t.hist[c].n++
+			t.mask[c>>6] |= 1 << (c & 63)
 		}
 		var gl float64
 		var nl int
-		for b := 0; b < nb-1; b++ {
-			gl += histG[b]
-			nl += histN[b]
-			nr := len(rows) - nl
-			if nl < m.MinChildSamples || nr < m.MinChildSamples {
-				continue
+		for word := 0; word < 4; word++ {
+			w := t.mask[word]
+			for w != 0 {
+				c := word<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				cell := t.hist[c]
+				t.hist[c] = histCell{}
+				if c <= nb-2 {
+					gl += cell.g
+					nl += int(cell.n)
+					nr := len(seg) - nl
+					if nl >= minChild && nr >= minChild {
+						gr := gTot - gl
+						g := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+						if g > bestGain {
+							bestGain = g
+							bestFeat = f
+							bestBin = uint8(c)
+							bestGL = gl
+						}
+					}
+				}
 			}
-			gr := gTot - gl
-			g := gl*gl/(float64(nl)+m.Lambda) + gr*gr/(float64(nr)+m.Lambda) - parent
-			if g > bestGain {
-				bestGain = g
-				bestFeat = f
-				bestBin = uint8(b)
-			}
+			t.mask[word] = 0
 		}
 	}
 	if bestFeat < 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	return bestFeat, bestBin, bestGain
+	return bestFeat, bestBin, bestGL, bestGain
 }
 
-// predictTreeBinned walks one stage in bin space (training-time rows).
-func predictTreeBinned(bt *boostTree, row []uint8) float64 {
+// sampleFrom draws a without-replacement subsample of the given rows
+// (at least 2 rows are kept so a split stays possible) into the
+// trainer's reusable row buffer.
+func (t *trainer) sampleFrom(rows []int32, fraction float64, rnd *rng.Source) []int32 {
+	n := len(rows)
+	k := int(float64(n) * fraction)
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	rnd.PermInto(t.permBuf)
+	out := t.rows[:k]
+	for i := 0; i < k; i++ {
+		out[i] = rows[t.permBuf[i]]
+	}
+	slices.Sort(out)
+	return out
+}
+
+// predictStageBinned walks one stage in bin space (training-time rows),
+// reading the row's codes from the column-major binned matrix. The
+// walk branches on the comparison — tree routing is skewed enough in
+// practice that speculation ahead of the loads beats a serialized
+// branch-free select.
+func (m *Model) predictStageBinned(base int, bins [][]uint8, row int) float64 {
+	nds := m.nodes[base:]
 	i := int32(0)
 	for {
-		nd := &bt.nodes[i]
+		nd := &nds[i]
 		if nd.feature < 0 {
 			return nd.value
 		}
-		if row[nd.feature] <= nd.bin {
-			i = nd.left
+		if bins[nd.feature][row] <= nd.bin {
+			i = nd.kids[0]
 		} else {
-			i = nd.right
+			i = nd.kids[1]
 		}
 	}
 }
 
-// predictTreeRaw walks one stage in raw feature space (inference).
-func predictTreeRaw(bt *boostTree, x []float64) float64 {
+// predictStageRaw walks one stage's nodes in raw feature space
+// (inference).
+func predictStageRaw(nds []bnode, x []float64) float64 {
 	i := int32(0)
 	for {
-		nd := &bt.nodes[i]
+		nd := &nds[i]
 		if nd.feature < 0 {
 			return nd.value
 		}
 		if x[nd.feature] <= nd.threshold {
-			i = nd.left
+			i = nd.kids[0]
 		} else {
-			i = nd.right
+			i = nd.kids[1]
 		}
 	}
 }
@@ -369,95 +692,63 @@ func (m *Model) Predict(x []float64) float64 {
 		panic(fmt.Sprintf("gbm: feature width %d, model width %d", len(x), m.width))
 	}
 	s := m.baseScore
-	for t := range m.trees {
-		s += predictTreeRaw(&m.trees[t], x)
+	for t := 0; t+1 < len(m.stageStart); t++ {
+		s += predictStageRaw(m.nodes[m.stageStart[t]:m.stageStart[t+1]], x)
 	}
 	return s
 }
 
-// TreeCount returns the number of boosting stages fitted.
-func (m *Model) TreeCount() int { return len(m.trees) }
-
-// allRows returns the identity index set [0, n).
-func allRows(n int) []int {
-	rows := make([]int, n)
-	for i := range rows {
-		rows[i] = i
+// PredictBatch evaluates the ensemble over all rows, iterating stages
+// in the outer loop so one stage's nodes stay cache-hot across rows.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	if !m.fitted {
+		panic("gbm: Predict before Fit")
 	}
-	return rows
-}
-
-// sampleFrom draws a without-replacement subsample of the given rows
-// (at least 2 rows are kept so a split stays possible).
-func sampleFrom(rows []int, fraction float64, rnd *rng.Source) []int {
-	n := len(rows)
-	k := int(float64(n) * fraction)
-	if k < 2 {
-		k = 2
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if len(row) != m.width {
+			panic(fmt.Sprintf("gbm: feature width %d, model width %d", len(row), m.width))
+		}
+		out[i] = m.baseScore
 	}
-	if k > n {
-		k = n
+	if m.width == 1 {
+		// Univariate fast path (the paper's W = 0 models): the single
+		// feature value lives in a register for the whole walk, so a
+		// hop is one node load and one compare.
+		for t := 0; t+1 < len(m.stageStart); t++ {
+			nds := m.nodes[m.stageStart[t]:m.stageStart[t+1]]
+			for r, row := range x {
+				v := row[0]
+				i := int32(0)
+				for {
+					nd := &nds[i]
+					if nd.feature < 0 {
+						out[r] += nd.value
+						break
+					}
+					if v <= nd.threshold {
+						i = nd.kids[0]
+					} else {
+						i = nd.kids[1]
+					}
+				}
+			}
+		}
+		return out
 	}
-	perm := rnd.Perm(n)
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = rows[perm[i]]
+	for t := 0; t+1 < len(m.stageStart); t++ {
+		nds := m.nodes[m.stageStart[t]:m.stageStart[t+1]]
+		for r, row := range x {
+			out[r] += predictStageRaw(nds, row)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
-// quantileEdges computes ≤ maxBins−1 ascending unique bin upper edges for
-// column j from the training data.
-func quantileEdges(x [][]float64, j, maxBins int) []float64 {
-	vals := make([]float64, len(x))
-	for i := range x {
-		vals[i] = x[i][j]
+// TreeCount returns the number of boosting stages fitted.
+func (m *Model) TreeCount() int {
+	if len(m.stageStart) == 0 {
+		return 0
 	}
-	sort.Float64s(vals)
-	// Deduplicate.
-	uniq := vals[:0]
-	for i, v := range vals {
-		if i == 0 || v != uniq[len(uniq)-1] {
-			uniq = append(uniq, v)
-		}
-	}
-	if len(uniq) <= 1 {
-		return nil // constant column: no edges, single bin
-	}
-	nEdges := maxBins - 1
-	if nEdges > len(uniq)-1 {
-		nEdges = len(uniq) - 1
-	}
-	edges := make([]float64, 0, nEdges)
-	for k := 1; k <= nEdges; k++ {
-		pos := k * len(uniq) / (nEdges + 1)
-		if pos >= len(uniq)-1 {
-			pos = len(uniq) - 2
-		}
-		// Midpoint between consecutive unique values, like exact CART.
-		e := uniq[pos] + (uniq[pos+1]-uniq[pos])/2
-		if len(edges) == 0 || e > edges[len(edges)-1] {
-			edges = append(edges, e)
-		}
-	}
-	return edges
-}
-
-// binOf maps a raw value to its bin: the smallest k with v ≤ edges[k],
-// or len(edges) when v exceeds every edge.
-func binOf(v float64, edges []float64) uint8 {
-	lo, hi := 0, len(edges)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if v <= edges[mid] {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	if lo > 255 {
-		lo = 255
-	}
-	return uint8(lo)
+	return len(m.stageStart) - 1
 }

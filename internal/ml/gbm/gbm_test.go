@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/ml"
 	"repro/internal/rng"
 )
 
@@ -81,13 +82,17 @@ func TestBinningRoundTripProperty(t *testing.T) {
 		for i := range x {
 			x[i] = []float64{rnd.Range(-100, 100)}
 		}
-		edges := quantileEdges(x, 0, 16)
+		cm, err := ml.NewColMatrix(x)
+		if err != nil {
+			return false
+		}
+		edges := cm.Bin(16).Edges[0]
 		if !sort.Float64sAreSorted(edges) {
 			return false
 		}
 		for i := range x {
 			v := x[i][0]
-			b := binOf(v, edges)
+			b := ml.BinOf(v, edges)
 			if int(b) > len(edges) {
 				return false
 			}

@@ -1,0 +1,178 @@
+package gbm
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// pinDataset is the fixed synthetic dataset shared by the pinned
+// regression tests across the tree, forest and gbm packages (quantized
+// features force ties).
+func pinDataset(n, p int, seed uint64) ([][]float64, []float64) {
+	rnd := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			x[i][j] = float64(rnd.Intn(20)) / 4
+		}
+		y[i] = 3*x[i][0] - 2*x[i][1] + rnd.NormFloat64()*0.5
+	}
+	return x, y
+}
+
+// TestGBMPinnedPredictions pins the boosted model so future engine
+// changes cannot silently drift it. The exact pins are the split
+// engine's own values; they differ from the seed implementation only
+// at the last-ulp level (the gain sweep multiplies by precomputed
+// reciprocals and reuses the winning candidate's cumulative gradient
+// sum for the children, rather than re-dividing and re-summing), so
+// the test also checks the seed values hold to 1e-9 — the model is
+// semantically the seed model.
+func TestGBMPinnedPredictions(t *testing.T) {
+	x, y := pinDataset(120, 4, 42)
+	probes, _ := pinDataset(8, 4, 99)
+	want := []float64{
+		2.0972249424831473,
+		2.4056025923038358,
+		-1.3772857007275907,
+		5.7001255456708559,
+		7.6818097596592132,
+		-4.1291181301751783,
+		-1.3339083465393242,
+		4.9696537958244251,
+	}
+	seed := []float64{
+		2.0972249424831482,
+		2.4056025923038358,
+		-1.3772857007275912,
+		5.7001255456708559,
+		7.6818097596592132,
+		-4.1291181301751774,
+		-1.3339083465393242,
+		4.9696537958244242,
+	}
+	m := New(Config{NEstimators: 40, MaxDepth: 4, LearningRate: 0.1, Seed: 7})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, probe := range probes {
+		got := m.Predict(probe)
+		if got != want[i] {
+			t.Fatalf("probe %d: Predict = %.17g, want pinned %.17g", i, got, want[i])
+		}
+		if d := got - seed[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("probe %d: Predict = %.17g drifted from seed value %.17g", i, got, seed[i])
+		}
+	}
+}
+
+// TestUnivariateFastPathMatchesGeneral: a single-feature fit must be
+// bit-identical to the general multi-feature engine on the same data —
+// forced here by padding a constant second column, which the general
+// path scans but can never split on.
+func TestUnivariateFastPathMatchesGeneral(t *testing.T) {
+	rnd := rng.New(11)
+	n := 150
+	x1 := make([][]float64, n)
+	x2 := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x1 {
+		v := float64(rnd.Intn(40)) / 4
+		x1[i] = []float64{v}
+		x2[i] = []float64{v, 42}
+		y[i] = 3*v + rnd.NormFloat64()
+	}
+	a := New(Config{NEstimators: 60, MaxDepth: 5, Seed: 3})
+	if err := a.Fit(x1, y); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{NEstimators: 60, MaxDepth: 5, Seed: 3})
+	if err := b.Fit(x2, y); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 30; k++ {
+		v := rnd.Range(-2, 12)
+		pa := a.Predict([]float64{v})
+		pb := b.Predict([]float64{v, 42})
+		if pa != pb {
+			t.Fatalf("probe %d: univariate %v, general %v", k, pa, pb)
+		}
+	}
+}
+
+// TestFitMatrixEqualsFit: training from a prebuilt shared matrix must
+// be bit-identical to training from rows.
+func TestFitMatrixEqualsFit(t *testing.T) {
+	x, y := pinDataset(100, 3, 5)
+	a := New(Config{NEstimators: 30, MaxDepth: 4, Seed: 3})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{NEstimators: 30, MaxDepth: 4, Seed: 3})
+	if err := b.FitMatrix(cm, y); err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := pinDataset(20, 3, 77)
+	for i, probe := range probes {
+		if pa, pb := a.Predict(probe), b.Predict(probe); pa != pb {
+			t.Fatalf("probe %d: Fit %v, FitMatrix %v", i, pa, pb)
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict: the stage-outer batch path must agree
+// with the scalar path bit for bit.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := pinDataset(100, 3, 6)
+	m := New(Config{NEstimators: 25, MaxDepth: 4, Seed: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := pinDataset(25, 3, 88)
+	batch := m.PredictBatch(probes)
+	for i, probe := range probes {
+		if got := m.Predict(probe); got != batch[i] {
+			t.Fatalf("probe %d: Predict %v, batch %v", i, got, batch[i])
+		}
+	}
+}
+
+// TestSubsampledRefitDeterministic: per-round subsampling reuses
+// buffers; refitting the same model must stay deterministic and the
+// rows outside each round's tree must still receive their prediction
+// updates (training converges).
+func TestSubsampledRefitDeterministic(t *testing.T) {
+	x, y := pinDataset(150, 3, 8)
+	a := New(Config{NEstimators: 60, MaxDepth: 4, Subsample: 0.7, Seed: 5})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{NEstimators: 60, MaxDepth: 4, Subsample: 0.7, Seed: 5})
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range x {
+		pa, pb := a.Predict(x[i]), b.Predict(x[i])
+		if pa != pb {
+			t.Fatalf("row %d: refit drifted: %v vs %v", i, pa, pb)
+		}
+		d := pa - y[i]
+		if d < 0 {
+			d = -d
+		}
+		mae += d
+	}
+	mae /= float64(len(x))
+	if mae > 1.0 {
+		t.Fatalf("subsampled training MAE %v, want < 1.0", mae)
+	}
+}

@@ -78,22 +78,52 @@ type SearchResult struct {
 	Evaluated int
 }
 
+// foldEval is one CV fold materialized once and shared read-only by
+// every grid configuration: the train/validation subsets plus a column
+// matrix over the training rows. The matrix's presorted orders and
+// binnings are computed lazily on first use and then reused by every
+// configuration whose model understands matrices (MatrixFitter), so a
+// 5×5×2 grid over 5 folds derives each fold's matrices once instead of
+// 250 times.
+type foldEval struct {
+	trainX [][]float64
+	trainY []float64
+	cm     *ColMatrix
+	valX   [][]float64
+	valY   []float64
+}
+
 // GridSearchCV exhaustively evaluates the grid with k-fold
 // cross-validation (the paper: "a grid search using a 5-fold cross
 // validation") and returns the configuration with the lowest mean
 // validation loss. Ties break toward the earlier configuration in
-// deterministic expansion order. Configurations are evaluated
-// concurrently; determinism is preserved by deriving one RNG sub-stream
-// per configuration up front.
+// deterministic expansion order.
+//
+// All configurations are scored on the same fold partition (one
+// shuffle, drawn from rnd), which both makes the comparison across
+// configurations paired — lower-variance than re-partitioning per
+// configuration — and lets every configuration share the per-fold
+// column matrices. Configurations are evaluated concurrently;
+// determinism is preserved because the only random draw happens up
+// front.
 func GridSearchCV(b Builder, grid Grid, d *Dataset, k int, score Scorer, rnd *rng.Source) (SearchResult, error) {
 	configs := grid.Expand()
 	if len(configs) == 0 {
 		return SearchResult{}, fmt.Errorf("ml: empty parameter grid")
 	}
-	// Pre-derive per-config RNGs sequentially for determinism.
-	seeds := make([]*rng.Source, len(configs))
-	for i := range configs {
-		seeds[i] = rnd.Split()
+	folds, err := KFold(d.Len(), k, true, rnd)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	shared := make([]foldEval, len(folds))
+	for i, f := range folds {
+		train := d.Subset(f.Train)
+		val := d.Subset(f.Val)
+		cm, err := NewColMatrix(train.X)
+		if err != nil {
+			return SearchResult{}, fmt.Errorf("ml: fold %d: %w", i, err)
+		}
+		shared[i] = foldEval{trainX: train.X, trainY: train.Y, cm: cm, valX: val.X, valY: val.Y}
 	}
 
 	scores := make([]float64, len(configs))
@@ -107,8 +137,28 @@ func GridSearchCV(b Builder, grid Grid, d *Dataset, k int, score Scorer, rnd *rn
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := configs[i]
-			s, err := CrossValidate(func() Regressor { return b(cfg) }, d, k, score, seeds[i])
-			scores[i], errs[i] = s, err
+			var total float64
+			for fi := range shared {
+				f := &shared[fi]
+				model := b(cfg)
+				var ferr error
+				if mf, ok := model.(MatrixFitter); ok {
+					ferr = mf.FitMatrix(f.cm, f.trainY)
+				} else {
+					ferr = model.Fit(f.trainX, f.trainY)
+				}
+				if ferr != nil {
+					errs[i] = fmt.Errorf("fold %d fit: %w", fi, ferr)
+					return
+				}
+				s, serr := score(f.valY, PredictBatch(model, f.valX))
+				if serr != nil {
+					errs[i] = fmt.Errorf("fold %d score: %w", fi, serr)
+					return
+				}
+				total += s
+			}
+			scores[i] = total / float64(len(shared))
 		}(i)
 	}
 	wg.Wait()

@@ -32,6 +32,23 @@ type Regressor interface {
 // search clone models through factories so folds never share state.
 type Factory func() Regressor
 
+// MatrixFitter is implemented by regressors that can train directly
+// from a shared ColMatrix, reusing its cached presorted orders and
+// binnings instead of re-deriving them from row-major data. Grid search
+// builds one matrix per CV fold and feeds it to every configuration
+// that implements this interface.
+type MatrixFitter interface {
+	FitMatrix(cm *ColMatrix, y []float64) error
+}
+
+// BatchPredictor is implemented by regressors with a prediction path
+// that is faster over many rows than repeated Predict calls (ensembles
+// iterate members in the outer loop so each member's nodes stay
+// cache-hot). PredictBatch prefers it when available.
+type BatchPredictor interface {
+	PredictBatch(x [][]float64) []float64
+}
+
 // ErrNoData is returned when fitting on an empty dataset.
 var ErrNoData = errors.New("ml: empty training set")
 
@@ -124,8 +141,12 @@ func (d *Dataset) SplitHoldout(trainFraction float64) (train, test *Dataset, err
 	return d.Subset(idxTrain), d.Subset(idxTest), nil
 }
 
-// PredictBatch evaluates a fitted regressor over all rows.
+// PredictBatch evaluates a fitted regressor over all rows, using the
+// model's batch path when it has one.
 func PredictBatch(r Regressor, x [][]float64) []float64 {
+	if bp, ok := r.(BatchPredictor); ok {
+		return bp.PredictBatch(x)
+	}
 	out := make([]float64, len(x))
 	for i, row := range x {
 		out[i] = r.Predict(row)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -274,5 +275,140 @@ func TestPredictBatch(t *testing.T) {
 	out := PredictBatch(&paramModel{v: 3}, [][]float64{{1}, {2}})
 	if len(out) != 2 || out[0] != 3 || out[1] != 3 {
 		t.Fatalf("batch = %v", out)
+	}
+}
+
+// matrixSpy counts which fit path grid search takes and which matrices
+// it passes, to verify fold-level matrix sharing.
+type matrixSpy struct {
+	mu       *sync.Mutex
+	matrices map[*ColMatrix]int
+	rowFits  *int
+	v        float64
+}
+
+func (m *matrixSpy) Fit([][]float64, []float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*m.rowFits++
+	return nil
+}
+
+func (m *matrixSpy) FitMatrix(cm *ColMatrix, y []float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.matrices[cm]++
+	return nil
+}
+
+func (m *matrixSpy) Predict([]float64) float64 { return m.v }
+
+// TestGridSearchSharesFoldMatrices: every configuration of the grid
+// must be fed the same k column matrices (one per fold), and the
+// row-major Fit path must never run for a MatrixFitter.
+func TestGridSearchSharesFoldMatrices(t *testing.T) {
+	x := make([][]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = 7
+	}
+	d, _ := NewDataset(nil, x, y)
+	var mu sync.Mutex
+	matrices := make(map[*ColMatrix]int)
+	rowFits := 0
+	res, err := GridSearchCV(func(p Params) Regressor {
+		return &matrixSpy{mu: &mu, matrices: matrices, rowFits: &rowFits, v: p["v"]}
+	}, Grid{"v": {1, 7, 9, 30}}, d, 5, MAE, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["v"] != 7 {
+		t.Fatalf("best = %v, want v=7", res.Best)
+	}
+	if rowFits != 0 {
+		t.Fatalf("%d row-major fits for a MatrixFitter model", rowFits)
+	}
+	if len(matrices) != 5 {
+		t.Fatalf("%d distinct fold matrices, want 5 (one per fold)", len(matrices))
+	}
+	for cm, uses := range matrices {
+		if uses != 4 {
+			t.Fatalf("fold matrix %p fit %d times, want once per config (4)", cm, uses)
+		}
+	}
+}
+
+// TestGridSearchDeterministic: equal seeds must yield equal winners and
+// scores — the single up-front fold shuffle is the only random draw.
+func TestGridSearchDeterministic(t *testing.T) {
+	rnd := rng.New(42)
+	x := make([][]float64, 40)
+	y := make([]float64, 40)
+	for i := range x {
+		x[i] = []float64{rnd.Float64(), rnd.Float64()}
+		y[i] = 3*x[i][0] + rnd.NormFloat64()
+	}
+	d, _ := NewDataset(nil, x, y)
+	run := func() SearchResult {
+		res, err := GridSearchCV(func(p Params) Regressor {
+			return &meanModel{}
+		}, Grid{"a": {1, 2}, "b": {1, 2, 3}}, d, 4, MAE, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BestScore != b.BestScore || a.Best.String() != b.Best.String() || a.Evaluated != 6 {
+		t.Fatalf("non-deterministic grid search: %+v vs %+v", a, b)
+	}
+}
+
+// TestColMatrixOrderAndBins: the cached presorted orders are stable by
+// (value, row) and bin codes respect the edge semantics.
+func TestColMatrixOrderAndBins(t *testing.T) {
+	x := [][]float64{{3, 1}, {1, 1}, {3, 1}, {2, 1}, {1, 1}}
+	cm, err := NewColMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Len() != 5 || cm.Width() != 2 {
+		t.Fatalf("shape %dx%d", cm.Len(), cm.Width())
+	}
+	ord := cm.Order()[0]
+	want := []int32{1, 4, 3, 0, 2} // values 1,1,2,3,3 with row-id ties ascending
+	for i := range want {
+		if ord[i] != want[i] {
+			t.Fatalf("order = %v, want %v", ord, want)
+		}
+	}
+	if got := cm.Order(); &got[0][0] != &ord[0] {
+		t.Fatal("Order not cached")
+	}
+	bn := cm.Bin(4)
+	if len(bn.Edges[1]) != 0 {
+		t.Fatalf("constant column grew %d edges", len(bn.Edges[1]))
+	}
+	for i := range x {
+		if got := bn.Cols[0][i]; got != BinOf(x[i][0], bn.Edges[0]) {
+			t.Fatalf("row %d: bin code %d inconsistent with BinOf", i, got)
+		}
+	}
+	if cm.Bin(4) != bn {
+		t.Fatal("Bin not cached per resolution")
+	}
+}
+
+// TestColMatrixValidation mirrors ValidateXY's structural checks.
+func TestColMatrixValidation(t *testing.T) {
+	if _, err := NewColMatrix(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := NewColMatrix([][]float64{{}}); err == nil {
+		t.Fatal("zero-width matrix accepted")
+	}
+	if _, err := NewColMatrix([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
 	}
 }

@@ -1,0 +1,352 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// randomDataset draws a dataset exercising the split engine's edge
+// cases: quantized columns (heavy ties), one constant column, and a
+// continuous column.
+func randomDataset(rnd *rng.Source, n, p int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	constCol := rnd.Intn(p)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			switch {
+			case j == constCol:
+				x[i][j] = 3.25
+			case j%2 == 0:
+				x[i][j] = float64(rnd.Intn(8)) / 2 // quantized: ties
+			default:
+				x[i][j] = rnd.Float64() * 10
+			}
+		}
+		y[i] = 2*x[i][0] - x[i][p-1] + rnd.NormFloat64()
+	}
+	// Occasionally make the target constant too (single-leaf case).
+	if rnd.Intn(7) == 0 {
+		for i := range y {
+			y[i] = 4
+		}
+	}
+	return x, y
+}
+
+func nodesEqual(a, b []node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExactEngineMatchesNaiveOracle is the oracle property test of the
+// tentpole: the presorted exact engine must grow trees bit-identical to
+// the retained naive reference (per-node re-sorting) on randomized
+// datasets including ties, constant columns, feature subsampling and
+// leaf-size floors — node arrays, importances and predictions all
+// compare exactly.
+func TestExactEngineMatchesNaiveOracle(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rnd := rng.New(uint64(100 + trial))
+		n := 5 + rnd.Intn(120)
+		p := 1 + rnd.Intn(5)
+		x, y := randomDataset(rnd, n, p)
+		cfg := Config{
+			MaxDepth:       rnd.Intn(9), // 0 = unlimited
+			MinSamplesLeaf: 1 + rnd.Intn(4),
+			Seed:           rnd.Uint64(),
+		}
+		if rnd.Intn(2) == 0 && p > 1 {
+			cfg.MaxFeatures = 1 + rnd.Intn(p)
+		}
+
+		engine := New(cfg)
+		if err := engine.Fit(x, y); err != nil {
+			t.Fatalf("trial %d: engine fit: %v", trial, err)
+		}
+		oracle := New(cfg)
+		oracle.fitNaive(x, y)
+
+		if !nodesEqual(engine.nodes, oracle.nodes) {
+			t.Fatalf("trial %d (n=%d p=%d cfg=%+v): engine tree differs from naive oracle:\nengine %d nodes, oracle %d nodes",
+				trial, n, p, cfg, len(engine.nodes), len(oracle.nodes))
+		}
+		for i := range engine.importances {
+			if engine.importances[i] != oracle.importances[i] {
+				t.Fatalf("trial %d: importance %d: engine %v, oracle %v", trial, i, engine.importances[i], oracle.importances[i])
+			}
+		}
+		for k := 0; k < 25; k++ {
+			probe := make([]float64, p)
+			for j := range probe {
+				probe[j] = rnd.Range(-2, 12)
+			}
+			if pe, po := engine.Predict(probe), oracle.Predict(probe); pe != po {
+				t.Fatalf("trial %d: Predict(%v): engine %v, oracle %v", trial, probe, pe, po)
+			}
+		}
+	}
+}
+
+// TestWeightedMatchesMaterializedBag: fitting with integer row
+// multiplicities must be bit-identical to fitting on the materialized
+// multiset (rows repeated in ascending order) — the property the forest
+// relies on to share one presorted matrix across bootstraps.
+func TestWeightedMatchesMaterializedBag(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rnd := rng.New(uint64(7000 + trial))
+		n := 10 + rnd.Intn(90)
+		p := 1 + rnd.Intn(4)
+		x, y := randomDataset(rnd, n, p)
+		w := make([]float64, n)
+		var bx [][]float64
+		var by []float64
+		for i := 0; i < n; i++ {
+			w[rnd.Intn(n)]++
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < int(w[j]); k++ {
+				bx = append(bx, x[j])
+				by = append(by, y[j])
+			}
+		}
+		cfg := Config{MaxDepth: 1 + rnd.Intn(8), MinSamplesLeaf: 1 + rnd.Intn(3)}
+
+		weighted := New(cfg)
+		cm, err := ml.NewColMatrix(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := weighted.FitWeighted(cm, y, w); err != nil {
+			t.Fatalf("trial %d: weighted fit: %v", trial, err)
+		}
+		materialized := New(cfg)
+		if err := materialized.Fit(bx, by); err != nil {
+			t.Fatalf("trial %d: materialized fit: %v", trial, err)
+		}
+		for k := 0; k < 25; k++ {
+			probe := make([]float64, p)
+			for j := range probe {
+				probe[j] = rnd.Range(-2, 12)
+			}
+			if pw, pm := weighted.Predict(probe), materialized.Predict(probe); pw != pm {
+				t.Fatalf("trial %d: Predict(%v): weighted %v, materialized %v", trial, probe, pw, pm)
+			}
+		}
+	}
+}
+
+// TestFitMatrixSharedAcrossTrees: many trees fit from one shared matrix
+// must equal trees fit independently — the matrix's cached orders are
+// read-only.
+func TestFitMatrixSharedAcrossTrees(t *testing.T) {
+	rnd := rng.New(99)
+	x, y := randomDataset(rnd, 80, 3)
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		cfg := Config{MaxDepth: 3 + trial, MinSamplesLeaf: 2}
+		a := New(cfg)
+		if err := a.FitMatrix(cm, y); err != nil {
+			t.Fatal(err)
+		}
+		b := New(cfg)
+		if err := b.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if !nodesEqual(a.nodes, b.nodes) {
+			t.Fatalf("trial %d: shared-matrix tree differs from standalone tree", trial)
+		}
+	}
+}
+
+// TestHistogramEngineClose: the opt-in histogram strategy is
+// approximate, but with as many bins as unique values it must still
+// find high-quality splits — on cleanly separable data it recovers the
+// same predictions as the exact engine.
+func TestHistogramEngineClose(t *testing.T) {
+	x := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		if i < 30 {
+			y[i] = 10
+		} else {
+			y[i] = 20
+		}
+	}
+	m := New(Config{MaxDepth: 1, Bins: 64})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0}); got != 10 {
+		t.Fatalf("left leaf = %v, want 10", got)
+	}
+	if got := m.Predict([]float64{59}); got != 20 {
+		t.Fatalf("right leaf = %v, want 20", got)
+	}
+}
+
+// TestHistogramEngineAccuracy: on smooth data the histogram tree's MAE
+// must stay close to the exact tree's.
+func TestHistogramEngineAccuracy(t *testing.T) {
+	rnd := rng.New(123)
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rnd.Range(0, 2*math.Pi)
+		x[i] = []float64{v}
+		y[i] = math.Sin(v) * 5
+	}
+	mae := func(m *Model) float64 {
+		var s float64
+		for i := range x {
+			s += math.Abs(m.Predict(x[i]) - y[i])
+		}
+		return s / float64(n)
+	}
+	exact := New(Config{MaxDepth: 6})
+	if err := exact.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	hist := New(Config{MaxDepth: 6, Bins: 128})
+	if err := hist.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	me, mh := mae(exact), mae(hist)
+	if mh > me+0.25 {
+		t.Fatalf("histogram MAE %v far above exact MAE %v", mh, me)
+	}
+}
+
+// TestHistogramConstantColumns: constant features must never split
+// under the histogram engine.
+func TestHistogramConstantColumns(t *testing.T) {
+	x := [][]float64{{3}, {3}, {3}, {3}}
+	y := []float64{1, 2, 3, 4}
+	m := New(Config{Bins: 16})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeCount() != 1 {
+		t.Fatalf("grew %d nodes on a constant column", m.NodeCount())
+	}
+	if got := m.Predict([]float64{3}); got != 2.5 {
+		t.Fatalf("mean prediction = %v", got)
+	}
+}
+
+// TestHistogramDeterministic: same seed, same data — same tree,
+// including under feature subsampling.
+func TestHistogramDeterministic(t *testing.T) {
+	rnd := rng.New(5)
+	x, y := randomDataset(rnd, 150, 4)
+	cfg := Config{MaxDepth: 7, MaxFeatures: 2, Bins: 32, Seed: 11}
+	a := New(cfg)
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg)
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !nodesEqual(a.nodes, b.nodes) {
+		t.Fatal("same seed produced different histogram trees")
+	}
+}
+
+// TestBinsClamped: resolutions above 256 are clamped, not rejected —
+// bin codes are uint8.
+func TestBinsClamped(t *testing.T) {
+	m := New(Config{Bins: 4096})
+	if m.Bins != 256 {
+		t.Fatalf("Bins = %d, want 256", m.Bins)
+	}
+}
+
+// TestTreePinnedPredictions pins the exact engine against values
+// captured from the seed implementation (pre-engine, per-node
+// re-sorting): the default strategy must reproduce them bit for bit.
+func TestTreePinnedPredictions(t *testing.T) {
+	x, y := pinDataset(120, 4, 42)
+	probes, _ := pinDataset(8, 4, 99)
+	want := []float64{
+		-0.077157441675128724,
+		1.4060244039891978,
+		-2.8780557822320976,
+		6.7933560449612163,
+		7.5318745866182795,
+		-2.8780557822320976,
+		-0.53394798169713642,
+		9.033749865941866,
+	}
+	m := New(Config{MaxDepth: 6, MinSamplesLeaf: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, probe := range probes {
+		if got := m.Predict(probe); got != want[i] {
+			t.Fatalf("probe %d: Predict = %.17g, want seed value %.17g", i, got, want[i])
+		}
+	}
+}
+
+// pinDataset is the fixed synthetic dataset shared by the pinned
+// regression tests here and in the forest and gbm packages (quantized
+// features force ties).
+func pinDataset(n, p int, seed uint64) ([][]float64, []float64) {
+	rnd := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			x[i][j] = float64(rnd.Intn(20)) / 4
+		}
+		y[i] = 3*x[i][0] - 2*x[i][1] + rnd.NormFloat64()*0.5
+	}
+	return x, y
+}
+
+// TestWeightValidation: weights are multiplicities — fractional or
+// otherwise invalid weights must be rejected, and a zero-value Model
+// (MinSamplesLeaf 0) must still fit without panicking.
+func TestWeightValidation(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{})
+	if err := m.FitWeighted(cm, y, []float64{0.5, 0.5, 0.5, 0.5}); err == nil {
+		t.Fatal("fractional weights accepted")
+	}
+	if err := m.FitWeighted(cm, y, []float64{1, -1, 1, 1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := m.FitWeighted(cm, y, []float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	var zero Model // not built via New: MinSamplesLeaf is 0
+	if err := zero.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.Predict([]float64{1}); math.IsNaN(got) {
+		t.Fatal("zero-value model predicted NaN")
+	}
+}

@@ -2,16 +2,34 @@
 // exhaustive variance-reduction splitting. Decision trees are the
 // non-linear mapping the paper's ensemble methods (random forest and
 // gradient boosting) are built from.
+//
+// Split finding runs on one of two engines over a shared column-major
+// matrix (ml.ColMatrix):
+//
+//   - exact (default): each feature is sorted once per matrix; the
+//     per-feature orders are stably partitioned down the tree, so a
+//     node scan is O(F·n) with no per-node sorting or allocation. The
+//     grown tree is bit-identical to the retained naive reference
+//     (naive.go), which re-sorts at every node.
+//   - histogram (opt-in via Config.Bins): features are quantile-binned
+//     once per matrix into ≤256 uint8 buckets; node scans accumulate
+//     per-bin sums and sweep them cumulatively, costing O(F·(n+bins))
+//     with much smaller constants on wide nodes.
+//
+// Both engines accept per-row multiplicities (weights), which lets a
+// random forest share one presorted matrix across all bootstraps.
 package tree
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/ml"
-	"repro/internal/rng"
 )
+
+// treeSeedMix decorrelates the tree's feature-subsampling stream from
+// the raw user seed.
+const treeSeedMix = 0x9e3779b97f4a7c15
 
 // Config controls tree growth.
 type Config struct {
@@ -28,6 +46,11 @@ type Config struct {
 	MaxFeatures int
 	// Seed drives feature subsampling when MaxFeatures is active.
 	Seed uint64
+	// Bins selects the split-finding strategy: 0 (or 1) grows with the
+	// exact presorted engine; 2..256 opts into the approximate
+	// histogram engine with at most Bins quantile buckets per feature.
+	// Values above 256 are clamped to 256 (bin codes are uint8).
+	Bins int
 }
 
 // Model is a fitted CART regression tree.
@@ -40,15 +63,17 @@ type Model struct {
 	fitted      bool
 }
 
-// node is one tree node; leaves have feature == -1.
+// node is one tree node; leaves have feature == -1. kids[0] is the
+// left (<=) child, kids[1] the right one.
 type node struct {
-	feature     int
-	threshold   float64
-	left, right int32
-	value       float64
+	feature   int
+	threshold float64
+	kids      [2]int32
+	value     float64
 }
 
 var _ ml.Regressor = (*Model)(nil)
+var _ ml.MatrixFitter = (*Model)(nil)
 
 // New returns a tree with the given config, applying defaults for unset
 // minimums.
@@ -59,22 +84,10 @@ func New(cfg Config) *Model {
 	if cfg.MinSamplesLeaf < 1 {
 		cfg.MinSamplesLeaf = 1
 	}
+	if cfg.Bins > 256 {
+		cfg.Bins = 256
+	}
 	return &Model{Config: cfg}
-}
-
-// builder carries the per-Fit working state.
-type builder struct {
-	x       [][]float64
-	y       []float64
-	cfg     Config
-	rnd     *rng.Source
-	feats   []int
-	nodes   []node
-	sorted  []int // scratch index buffer
-	minLeaf int
-	// gains accumulates per-feature split improvement (SSE reduction)
-	// for feature importances.
-	gains []float64
 }
 
 // Fit grows the tree on (x, y).
@@ -82,31 +95,60 @@ func (m *Model) Fit(x [][]float64, y []float64) error {
 	if err := ml.ValidateXY(x, y); err != nil {
 		return err
 	}
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		return err
+	}
+	return m.fit(cm, y, nil)
+}
+
+// FitMatrix grows the tree from a prebuilt column matrix, reusing its
+// cached presorted orders (exact engine) or binnings (histogram
+// engine). The matrix is not mutated and may be shared concurrently.
+func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
+	return m.FitWeighted(cm, y, nil)
+}
+
+// FitWeighted grows the tree with per-row multiplicities: w[i] counts
+// how many times row i occurs (0 excludes it). A nil w means every row
+// once. Weighted growth mirrors fitting on the materialized multiset —
+// node sizes, leaf means and split gains use Σw — which lets a forest
+// train every bootstrap from one shared matrix.
+func (m *Model) FitWeighted(cm *ml.ColMatrix, y []float64, w []float64) error {
+	if cm.Len() != len(y) {
+		return fmt.Errorf("tree: %d rows but %d targets", cm.Len(), len(y))
+	}
+	if w != nil {
+		if len(w) != cm.Len() {
+			return fmt.Errorf("tree: %d rows but %d weights", cm.Len(), len(w))
+		}
+		var total float64
+		for i, wi := range w {
+			if wi < 0 || math.IsNaN(wi) || math.IsInf(wi, 0) {
+				return fmt.Errorf("tree: invalid weight %v at row %d", wi, i)
+			}
+			if wi != math.Trunc(wi) {
+				return fmt.Errorf("tree: weight %v at row %d is not an integer multiplicity", wi, i)
+			}
+			total += wi
+		}
+		if total == 0 {
+			return fmt.Errorf("tree: all-zero weights")
+		}
+	}
+	return m.fit(cm, y, w)
+}
+
+// fit dispatches to the configured split-finding engine.
+func (m *Model) fit(cm *ml.ColMatrix, y []float64, w []float64) error {
 	if m.MaxFeatures < 0 {
 		return fmt.Errorf("tree: negative MaxFeatures %d", m.MaxFeatures)
 	}
-	p := len(x[0])
-	b := &builder{
-		x:       x,
-		y:       y,
-		cfg:     m.Config,
-		rnd:     rng.New(m.Seed ^ 0x9e3779b97f4a7c15),
-		minLeaf: m.MinSamplesLeaf,
+	if m.Bins > 1 {
+		m.fitHist(cm, y, w)
+	} else {
+		m.fitExact(cm, y, w)
 	}
-	b.feats = make([]int, p)
-	for j := range b.feats {
-		b.feats[j] = j
-	}
-	b.gains = make([]float64, p)
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
-	}
-	b.grow(idx, 0)
-	m.nodes = b.nodes
-	m.width = p
-	m.importances = b.gains
-	m.fitted = true
 	return nil
 }
 
@@ -131,112 +173,6 @@ func (m *Model) Importances() ([]float64, error) {
 	return out, nil
 }
 
-// grow builds the subtree over idx and returns its node index.
-func (b *builder) grow(idx []int, depth int) int32 {
-	self := int32(len(b.nodes))
-	b.nodes = append(b.nodes, node{feature: -1, value: mean(b.y, idx)})
-
-	if len(idx) < b.cfg.MinSamplesSplit {
-		return self
-	}
-	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
-		return self
-	}
-	feat, thr, improvement, ok := b.bestSplit(idx)
-	if !ok {
-		return self
-	}
-	left := make([]int, 0, len(idx))
-	right := make([]int, 0, len(idx))
-	for _, i := range idx {
-		if b.x[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < b.minLeaf || len(right) < b.minLeaf {
-		return self
-	}
-	b.gains[feat] += improvement
-	b.nodes[self].feature = feat
-	b.nodes[self].threshold = thr
-	l := b.grow(left, depth+1)
-	r := b.grow(right, depth+1)
-	b.nodes[self].left = l
-	b.nodes[self].right = r
-	return self
-}
-
-// bestSplit scans candidate features for the split maximizing the
-// variance reduction; returns ok=false when no valid split exists.
-// improvement is the SSE reduction of the winning split.
-func (b *builder) bestSplit(idx []int) (feature int, threshold float64, improvement float64, ok bool) {
-	candidates := b.feats
-	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < len(b.feats) {
-		b.rnd.Shuffle(len(b.feats), func(i, j int) { b.feats[i], b.feats[j] = b.feats[j], b.feats[i] })
-		candidates = b.feats[:b.cfg.MaxFeatures]
-	}
-
-	n := len(idx)
-	if cap(b.sorted) < n {
-		b.sorted = make([]int, n)
-	}
-	order := b.sorted[:n]
-
-	var total float64
-	for _, i := range idx {
-		total += b.y[i]
-	}
-	// A split must strictly reduce the within-node SSE: its score
-	// Σ_L²/n_L + Σ_R²/n_R must exceed the parent's Σ²/n. Without this
-	// guard a constant-target node would split arbitrarily (every
-	// split ties the parent score exactly).
-	parentScore := total * total / float64(n)
-	bestGain := parentScore + 1e-9*(1+math.Abs(parentScore))
-	for _, f := range candidates {
-		copy(order, idx)
-		sort.Slice(order, func(a, c int) bool { return b.x[order[a]][f] < b.x[order[c]][f] })
-
-		var sumL float64
-		for pos := 0; pos < n-1; pos++ {
-			i := order[pos]
-			sumL += b.y[i]
-			nl := pos + 1
-			nr := n - nl
-			if nl < b.minLeaf || nr < b.minLeaf {
-				continue
-			}
-			xi, xnext := b.x[i][f], b.x[order[pos+1]][f]
-			if xi == xnext {
-				continue // cannot separate equal values
-			}
-			sumR := total - sumL
-			// Maximizing Σ_L²/n_L + Σ_R²/n_R is equivalent to
-			// minimizing within-child SSE for a fixed node.
-			gain := sumL*sumL/float64(nl) + sumR*sumR/float64(nr)
-			if gain > bestGain {
-				bestGain = gain
-				feature = f
-				threshold = xi + (xnext-xi)/2
-				ok = true
-			}
-		}
-	}
-	if ok {
-		improvement = bestGain - parentScore
-	}
-	return feature, threshold, improvement, ok
-}
-
-func mean(y []float64, idx []int) float64 {
-	var s float64
-	for _, i := range idx {
-		s += y[i]
-	}
-	return s / float64(len(idx))
-}
-
 // Predict routes x through the tree to a leaf value.
 func (m *Model) Predict(x []float64) float64 {
 	if !m.fitted {
@@ -252,9 +188,70 @@ func (m *Model) Predict(x []float64) float64 {
 			return nd.value
 		}
 		if x[nd.feature] <= nd.threshold {
-			i = nd.left
+			i = nd.kids[0]
 		} else {
-			i = nd.right
+			i = nd.kids[1]
+		}
+	}
+}
+
+// PredictBatch evaluates the tree over all rows.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// PredictSumInto adds the tree's prediction for each row into out —
+// the ensemble accumulation path, hoisting the per-call checks out of
+// the row loop. len(out) must equal len(x).
+func (m *Model) PredictSumInto(x [][]float64, out []float64) {
+	if !m.fitted {
+		panic("tree: Predict before Fit")
+	}
+	nodes := m.nodes
+	if m.width == 1 {
+		// Univariate fast path (the paper's W = 0 models): the single
+		// feature value lives in a register for the whole walk.
+		for r, row := range x {
+			if len(row) != 1 {
+				panic(fmt.Sprintf("tree: feature width %d, model width 1", len(row)))
+			}
+			v := row[0]
+			i := int32(0)
+			for {
+				nd := &nodes[i]
+				if nd.feature < 0 {
+					out[r] += nd.value
+					break
+				}
+				if v <= nd.threshold {
+					i = nd.kids[0]
+				} else {
+					i = nd.kids[1]
+				}
+			}
+		}
+		return
+	}
+	for r, row := range x {
+		if len(row) != m.width {
+			panic(fmt.Sprintf("tree: feature width %d, model width %d", len(row), m.width))
+		}
+		i := int32(0)
+		for {
+			nd := &nodes[i]
+			if nd.feature < 0 {
+				out[r] += nd.value
+				break
+			}
+			if row[nd.feature] <= nd.threshold {
+				i = nd.kids[0]
+			} else {
+				i = nd.kids[1]
+			}
 		}
 	}
 }
@@ -273,7 +270,7 @@ func (m *Model) Depth() int {
 		if nd.feature < 0 {
 			return 0
 		}
-		l, r := walk(nd.left), walk(nd.right)
+		l, r := walk(nd.kids[0]), walk(nd.kids[1])
 		if l > r {
 			return l + 1
 		}

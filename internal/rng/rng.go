@@ -125,11 +125,18 @@ func (s *Source) ExpFloat64() float64 {
 // Perm returns a uniformly random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// drawing exactly the same stream as Perm(len(p)) but without
+// allocating — hot loops (GBM per-round subsampling) reuse one buffer.
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
 }
 
 // Shuffle performs a Fisher-Yates shuffle over n elements using swap.

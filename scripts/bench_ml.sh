@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the ML split-engine benchmarks and emits the results as JSON, so
+# the perf trajectory of the tree learners is tracked from PR 3 on.
+#
+# Usage:  scripts/bench_ml.sh [output.json]
+#   BENCHTIME=2s scripts/bench_ml.sh BENCH_ml.json
+#
+# The output is one JSON run record:
+#   {"benchtime": "...", "goos": "...", "results": [{"name": ...,
+#    "iterations": N, "ns_per_op": ..., "b_per_op": ..., "allocs_per_op": ...}]}
+# The committed BENCH_ml.json keeps an array of such records (one per
+# measurement point, e.g. pre/post an optimization PR); CI uploads the
+# current run as an artifact.
+set -eu
+
+OUT=${1:-BENCH_ml.json}
+BENCHTIME=${BENCHTIME:-1x}
+PATTERN='^(BenchmarkTreeFit|BenchmarkForestFit|BenchmarkGBMFit|BenchmarkTrainRF|BenchmarkTrainXGB|BenchmarkGridSearchCV)$'
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+
+awk -v benchtime="$BENCHTIME" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+    b = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") b = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) results = results ",\n"
+    results = results sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, b == "" ? "null" : b, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n", benchtime, goos, goarch, cpu, results
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
