@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same commands.
 
-.PHONY: build test race bench-ml
+.PHONY: build test race bench-ml cluster-smoke
 
 build:
 	go build ./...
@@ -18,3 +18,11 @@ race:
 BENCHTIME ?= 1s
 bench-ml:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench_ml.sh BENCH_ml.json
+
+# cluster-smoke spins up 3 shard fleetservers + a router, replays
+# fleetgen telemetry through the guarded router, and asserts the merged
+# fleet forecasts are byte-identical to a single unsharded process —
+# then restarts a shard from its snapshot spill and requires it to
+# serve its prior generation without cold-training.
+cluster-smoke:
+	./scripts/cluster_smoke.sh

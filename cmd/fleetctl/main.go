@@ -7,8 +7,10 @@
 //
 //	fleetctl -data fleet.csv status            # categories + cycles
 //	fleetctl -data fleet.csv cycles -vehicle v01
-//	fleetctl -data fleet.csv predict [-w 6] [-workers 8]
+//	fleetctl -data fleet.csv predict [-w 6] [-workers 8] [-shards 4]
 //	                                           # train + forecast fleet
+//	                                           # (-shards N partitions
+//	                                           # training; same output)
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataprep"
 	"repro/internal/engine"
@@ -36,6 +39,7 @@ func main() {
 		vehicle = flag.String("vehicle", "", "vehicle ID filter (cycles)")
 		window  = flag.Int("w", 6, "feature window W for predict")
 		workers = flag.Int("workers", 0, "training pool size for predict (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 1, "train predict on this many consistent-hash engine shards (output is bit-identical to -shards 1)")
 	)
 	flag.Parse()
 	if *data == "" || flag.NArg() != 1 {
@@ -70,7 +74,7 @@ func main() {
 	case "cycles":
 		cycles(prepared, *vehicle)
 	case "predict":
-		predict(prepared, *window, *workers)
+		predict(prepared, *window, *workers, *shards)
 	default:
 		log.Fatalf("unknown subcommand %q (want status, cycles or predict)", flag.Arg(0))
 	}
@@ -102,32 +106,71 @@ func cycles(prepared []*dataprep.PreparedVehicle, vehicle string) {
 	}
 }
 
-func predict(prepared []*dataprep.PreparedVehicle, window, workers int) {
+func predict(prepared []*dataprep.PreparedVehicle, window, workers, shards int) {
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = window
-	eng, err := engine.New(engine.Config{Predictor: cfg, Workers: workers})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fleet := make([]engine.Vehicle, 0, len(prepared))
 	for _, p := range prepared {
 		fleet = append(fleet, engine.Vehicle{Series: p.Series, Start: p.Start})
 	}
-	snap, err := eng.Retrain(context.Background(), fleet)
-	if err != nil {
-		log.Fatal(err)
+
+	// Gather (forecasts, statuses, errors) from one engine or from a
+	// sharded group; the sharded path merges by vehicle ID and is
+	// bit-identical to the unsharded one (per-vehicle seeds are
+	// ID-derived and the donor pool is fleet-wide on every shard).
+	var (
+		forecasts []core.Forecast
+		statuses  = make(map[string]core.VehicleStatus)
+		fcErrors  = make(map[string]string)
+	)
+	if shards <= 1 {
+		eng, err := engine.New(engine.Config{Predictor: cfg, Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := eng.Retrain(context.Background(), fleet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		forecasts = snap.Forecasts
+		statuses = snap.StatusByID
+		fcErrors = snap.ForecastErrors
+	} else {
+		sharded, err := cluster.NewSharded(cluster.ShardedConfig{
+			Engine: engine.Config{Predictor: cfg, Workers: workers},
+			Base:   func(context.Context) ([]engine.Vehicle, error) { return fleet, nil },
+			Shards: shards,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sharded.RetrainAll(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		for _, sh := range sharded.Shards() {
+			snap := sh.Engine.Snapshot()
+			forecasts = append(forecasts, snap.Forecasts...)
+			for id, st := range snap.StatusByID {
+				statuses[id] = st
+			}
+			for id, msg := range snap.ForecastErrors {
+				fcErrors[id] = msg
+			}
+		}
+		sort.Slice(forecasts, func(i, j int) bool { return forecasts[i].VehicleID < forecasts[j].VehicleID })
 	}
-	ids := make([]string, 0, len(snap.ForecastErrors))
-	for id := range snap.ForecastErrors {
+
+	ids := make([]string, 0, len(fcErrors))
+	for id := range fcErrors {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		log.Printf("no forecast for %s: %s", id, snap.ForecastErrors[id])
+		log.Printf("no forecast for %s: %s", id, fcErrors[id])
 	}
 	fmt.Printf("%-6s %-10s %-12s %-5s %10s %12s %10s\n", "veh", "category", "strategy", "alg", "days-left", "due-date", "val-MRE")
-	for _, fc := range snap.Forecasts {
-		st := snap.StatusByID[fc.VehicleID]
+	for _, fc := range forecasts {
+		st := statuses[fc.VehicleID]
 		val := "-"
 		if !math.IsNaN(st.ValidationMRE) {
 			val = fmt.Sprintf("%.2f", st.ValidationMRE)

@@ -15,7 +15,8 @@
 // Usage:
 //
 //	fleetgen [-vehicles 24] [-days 1735] [-seed 42] [-corrupt]
-//	         [-o fleet.csv | -post http://host:8080 [-batch-days 90]]
+//	         [-o fleet.csv | -post http://host:8080 [-batch-days 90]
+//	          [-auth-token SECRET]]
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 		out       = flag.String("o", "-", "output file ('-' = stdout)")
 		post      = flag.String("post", "", "replay the fleet as POST /telemetry batches against this fleetserver base URL instead of writing CSV")
 		batchDays = flag.Int("batch-days", 90, "with -post: days of fleet-wide telemetry per batch")
+		authToken = flag.String("auth-token", "", "with -post: bearer token for a guarded /telemetry endpoint")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func main() {
 	}
 
 	if *post != "" {
-		if err := replay(fleet, *post, *batchDays); err != nil {
+		if err := replay(fleet, *post, *batchDays, *authToken); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -91,7 +93,7 @@ func main() {
 // collector uploads. NaN days (simulated missing reports) are skipped —
 // a collector that never reported a day sends nothing, it does not
 // send NaN over the wire.
-func replay(fleet *telematics.Fleet, baseURL string, batchDays int) error {
+func replay(fleet *telematics.Fleet, baseURL string, batchDays int, authToken string) error {
 	if batchDays <= 0 {
 		return fmt.Errorf("batch-days must be positive, got %d", batchDays)
 	}
@@ -136,7 +138,7 @@ func replay(fleet *telematics.Fleet, baseURL string, batchDays int) error {
 			if end > len(reports) {
 				end = len(reports)
 			}
-			res, err := postBatch(client, url, reports[off:end])
+			res, err := postBatch(client, url, authToken, reports[off:end])
 			if err != nil {
 				return fmt.Errorf("batch days [%d,%d): %w", from, to, err)
 			}
@@ -156,12 +158,20 @@ func replay(fleet *telematics.Fleet, baseURL string, batchDays int) error {
 	return nil
 }
 
-func postBatch(client *http.Client, url string, reports []serve.ReportJSON) (serve.TelemetryResponse, error) {
+func postBatch(client *http.Client, url, authToken string, reports []serve.ReportJSON) (serve.TelemetryResponse, error) {
 	body, err := json.Marshal(serve.TelemetryRequest{Reports: reports})
 	if err != nil {
 		return serve.TelemetryResponse{}, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return serve.TelemetryResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+authToken)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return serve.TelemetryResponse{}, err
 	}

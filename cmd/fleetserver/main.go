@@ -1,8 +1,9 @@
-// Command fleetserver boots the concurrent fleet engine and serves
+// Command fleetserver boots the fleet engine — unsharded, sharded
+// in-process, or as one member of a multi-process cluster — and serves
 // next-maintenance forecasts and workshop plans over HTTP (see
 // internal/serve for the endpoints).
 //
-// Two ingestion modes:
+// Ingestion modes:
 //
 //   - CSV mode (default): the fleet CSV (as produced by fleetgen) is
 //     re-read on every retrain, so appended telemetry is picked up with
@@ -10,14 +11,40 @@
 //   - Live mode (-ingest): a concurrent telemetry store accepts batched
 //     POST /telemetry reports; the CSV (now optional) only seeds the
 //     store at boot. With -retrain-dirty N, an incremental retrain
-//     kicks automatically once N vehicles have changed — and because
-//     retrains reuse unchanged vehicles' models, its cost is
-//     O(changed vehicles), not O(fleet).
+//     kicks automatically once N vehicles have changed.
+//
+// Cluster topologies (see internal/cluster and ARCHITECTURE.md):
+//
+//   - -shards N: one process, N engine shards behind a consistent-hash
+//     ring and a fan-out router. Bit-identical to the unsharded engine
+//     on the same data; training parallelizes per shard.
+//   - -join NAME -peers LIST: this process is shard NAME of a
+//     multi-process cluster; LIST ("name=url,name=url,...") fixes the
+//     ring membership. The process trains and serves only the vehicles
+//     the ring assigns to NAME (plus donor-only copies of the other
+//     shards' old vehicles).
+//   - -peers LIST without -join: a pure router. No engine runs here;
+//     requests fan out to the peers and merge.
+//
+// Snapshot persistence: with -snapshot-dir every published generation
+// is spilled to disk (atomic rename) and restored at the next boot, so
+// a restarted server answers from its last generation immediately and
+// retrains incrementally from the persisted fingerprints instead of
+// cold-training.
+//
+// Telemetry protection (enforce at the fleet's front door — the
+// router in a sharded deployment): -telemetry-rps/-telemetry-burst
+// shed excess POST /telemetry load with 429 + Retry-After, and
+// -telemetry-token requires a bearer token.
 //
 // Usage:
 //
 //	fleetserver -data fleet.csv [-addr :8080] [-w 6] [-workers 8]
 //	            [-retrain-interval 1h] [-ingest] [-retrain-dirty 1]
+//	            [-shards 4] [-snapshot-dir /var/lib/fleet]
+//	            [-telemetry-rps 50] [-telemetry-token SECRET]
+//	fleetserver -join shard0 -peers shard0=http://h0:8080,shard1=http://h1:8080 ...
+//	fleetserver -peers shard0=http://h0:8080,shard1=http://h1:8080 [-addr :8000]
 package main
 
 import (
@@ -28,13 +55,17 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataprep"
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/serve"
+	"repro/internal/snapstore"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
 )
@@ -44,26 +75,46 @@ func main() {
 	log.SetPrefix("fleetserver: ")
 
 	var (
-		data        = flag.String("data", "", "fleet CSV file (required unless -ingest)")
+		data        = flag.String("data", "", "fleet CSV file (required unless -ingest or router mode)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		window      = flag.Int("w", 6, "feature window W")
-		workers     = flag.Int("workers", 0, "training pool size (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "training pool size per engine (0 = GOMAXPROCS)")
 		interval    = flag.Duration("retrain-interval", 0, "periodic retrain interval (0 disables)")
 		liveIngest  = flag.Bool("ingest", false, "enable live telemetry ingestion (POST /telemetry); -data becomes seed data")
 		retrainDirt = flag.Int("retrain-dirty", 0, "with -ingest: auto-retrain once this many vehicles changed (0 disables)")
+
+		shards  = flag.Int("shards", 1, "in-process engine shards behind a consistent-hash ring")
+		join    = flag.String("join", "", "multi-process mode: this process's shard name (must appear in -peers)")
+		peers   = flag.String("peers", "", "cluster membership as name=url[,name=url...]; with -join names the ring, without -join runs a pure router")
+		snapDir = flag.String("snapshot-dir", "", "spill each generation here and restore it at boot instead of cold-training")
+
+		telToken = flag.String("telemetry-token", "", "require 'Authorization: Bearer <token>' on POST /telemetry")
+		telRPS   = flag.Float64("telemetry-rps", 0, "rate-limit POST /telemetry at this many requests/second (0 = unlimited)")
+		telBurst = flag.Int("telemetry-burst", 0, "token-bucket burst for -telemetry-rps (0 = ceil(rps))")
 	)
 	flag.Parse()
+
+	guard := serve.GuardOptions{Token: *telToken, RPS: *telRPS, Burst: *telBurst}
+
+	// Pure router: no engine, no data — just the ring and the peers.
+	if *peers != "" && *join == "" {
+		runRouter(*addr, *peers, guard)
+		return
+	}
+
 	if *data == "" && !*liveIngest {
-		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080] [-workers 8] [-retrain-interval 1h] [-ingest] [-retrain-dirty 1]")
+		fmt.Fprintln(os.Stderr, "usage: fleetserver -data fleet.csv [-addr :8080] [-workers 8] [-retrain-interval 1h] [-ingest] [-retrain-dirty 1] [-shards N] [-snapshot-dir DIR]")
+		fmt.Fprintln(os.Stderr, "       fleetserver -join NAME -peers LIST ...   (cluster shard)")
+		fmt.Fprintln(os.Stderr, "       fleetserver -peers LIST [-addr :8000]    (cluster router)")
 		os.Exit(2)
 	}
 	if *retrainDirt > 0 && !*liveIngest {
 		log.Fatal("-retrain-dirty needs -ingest")
 	}
+	if *shards > 1 && *join != "" {
+		log.Fatal("-shards and -join are mutually exclusive")
+	}
 	if *liveIngest && *retrainDirt <= 0 && *interval <= 0 {
-		// Live mode with no retrain trigger would ingest forever
-		// without ever training; default to retraining as soon as any
-		// vehicle changes.
 		*retrainDirt = 1
 		log.Printf("-ingest without -retrain-dirty/-retrain-interval: defaulting -retrain-dirty to 1")
 	}
@@ -71,9 +122,10 @@ func main() {
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = *window
 
+	// Base fleet source: live store or CSV re-read.
 	var (
 		store *ingest.Store
-		src   engine.Source
+		base  engine.Source
 	)
 	if *liveIngest {
 		store = ingest.New(timeseries.DefaultAllowance)
@@ -88,40 +140,78 @@ func main() {
 			}
 			log.Printf("seeded ingest store from %s: %d vehicles, %d daily reports", *data, len(res.Vehicles), res.Accepted)
 		}
-		src = store.Fleet
+		base = store.Fleet
 	} else {
-		src = csvSource(*data)
+		base = csvSource(*data)
 	}
 
-	eng, err := engine.New(engine.Config{
-		Predictor: cfg,
-		Workers:   *workers,
-		Source:    src,
-	})
+	var snaps *snapstore.Store
+	if *snapDir != "" {
+		var err error
+		if snaps, err = snapstore.New(*snapDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	waitForTelemetry := *liveIngest && len(store.Vehicles()) == 0
+	ecfg := engine.Config{Predictor: cfg, Workers: *workers}
+
+	if *shards > 1 {
+		runSharded(*addr, *shards, ecfg, base, store, snaps, *retrainDirt, *interval, waitForTelemetry, guard)
+		return
+	}
+
+	// Single engine: the whole fleet, or — with -join — this shard's
+	// partition of it.
+	shardName := "default"
+	src := base
+	if *join != "" {
+		members := peerNames(*peers)
+		ring, err := cluster.NewRingOf(0, members...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		found := false
+		for _, m := range members {
+			if m == *join {
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("-join %s does not appear in -peers %s", *join, *peers)
+		}
+		shardName = *join
+		src = cluster.PartitionSource(base, ring, *join)
+		log.Printf("cluster shard %s of %d (ring members: %s)", *join, len(members), strings.Join(members, ", "))
+	}
+
+	ecfg.Source = src
+	ecfg.OnSnapshot = snapshotSaver(snaps, shardName)
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	restored := restoreSnapshot(eng, snaps, shardName)
 
-	srv, err := serve.NewWithOptions(eng, serve.Options{Ingest: store, RetrainDirty: *retrainDirt})
+	srv, err := serve.NewWithOptions(eng, serve.Options{Ingest: store, RetrainDirty: *retrainDirt, Telemetry: guard})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Bind before the cold training finishes: the server answers
 	// /healthz and /admin/status immediately and 503s data endpoints
-	// until the first snapshot lands, so orchestrator probes never see
-	// a refused connection during a long initial train.
-	if *liveIngest && len(store.Vehicles()) == 0 {
+	// until the first snapshot lands. A restored snapshot serves at
+	// once; retrains stay incremental against it, so the eager cold
+	// train is skipped.
+	switch {
+	case restored:
+		log.Printf("serving restored generation %d; retrains will be incremental", eng.Snapshot().Generation)
+	case waitForTelemetry:
 		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
-	} else {
+	default:
 		go func() {
 			snap, err := eng.RetrainFromSource(context.Background())
 			if err != nil {
-				// Without any later retrain trigger nothing would ever
-				// recover a failed cold train — keep the old fail-fast
-				// boot there. With one (periodic loop, or the dirty
-				// threshold kicking retrains on ingest), stay up
-				// serving 503s.
 				if *interval <= 0 && *retrainDirt <= 0 {
 					log.Fatalf("initial training failed: %v", err)
 				}
@@ -134,7 +224,7 @@ func main() {
 	}
 
 	if *interval > 0 {
-		go retrainLoop(eng, *interval)
+		go retrainLoop([]*engine.Engine{eng}, *interval)
 		log.Printf("retraining every %s", *interval)
 	}
 	if *retrainDirt > 0 {
@@ -143,6 +233,172 @@ func main() {
 
 	log.Printf("listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// runSharded boots the in-process cluster: N partitioned engines, one
+// serve.Server each over the shared store, and the fan-out router in
+// front.
+func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source, store *ingest.Store, snaps *snapstore.Store, retrainDirty int, interval time.Duration, waitForTelemetry bool, guard serve.GuardOptions) {
+	var onSnap func(string, *engine.Snapshot)
+	if snaps != nil {
+		onSnap = func(shard string, snap *engine.Snapshot) {
+			if err := snaps.Save(shard, snap); err != nil {
+				log.Printf("shard %s: spilling generation %d: %v", shard, snap.Generation, err)
+			}
+		}
+	}
+	sharded, err := cluster.NewSharded(cluster.ShardedConfig{
+		Engine:     ecfg,
+		Base:       base,
+		Shards:     shards,
+		OnSnapshot: onSnap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	backends := make([]serve.ShardBackend, 0, shards)
+	var engines []*engine.Engine
+	for _, sh := range sharded.Shards() {
+		// Shards are trusted-internal behind the router: the guard is
+		// enforced once, at the router below.
+		srv, err := serve.NewWithOptions(sh.Engine, serve.Options{Ingest: store, RetrainDirty: retrainDirty})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backends = append(backends, serve.ShardBackend{Name: sh.Name, Handler: srv})
+		engines = append(engines, sh.Engine)
+
+		if restoreSnapshot(sh.Engine, snaps, sh.Name) {
+			log.Printf("shard %s: serving restored generation %d", sh.Name, sh.Engine.Snapshot().Generation)
+		} else if !waitForTelemetry {
+			go func(sh cluster.Shard) {
+				snap, err := sh.Engine.RetrainFromSource(context.Background())
+				if err != nil {
+					// Same contract as the unsharded boot: without any
+					// later retrain trigger nothing would ever recover a
+					// failed cold train, so fail fast for the
+					// orchestrator; with one, stay up serving 503s.
+					if interval <= 0 && retrainDirty <= 0 {
+						log.Fatalf("shard %s: initial training failed: %v", sh.Name, err)
+					}
+					log.Printf("shard %s: initial training failed: %v (serving 503s until a retrain succeeds)", sh.Name, err)
+					return
+				}
+				log.Printf("shard %s: trained %d vehicles in %.1fs", sh.Name, len(snap.Statuses), snap.TrainDuration.Seconds())
+			}(sh)
+		}
+	}
+	router, err := serve.NewRouter(sharded.Ring(), backends, serve.RouterOptions{
+		Telemetry: guard,
+		// CSV-mode shards mount no ingest surface; have the router 404
+		// those routes itself instead of relaying per-shard 404s.
+		DisableIngest: store == nil,
+		// All in-process shards wrap this one store: upsert batches
+		// once at the router instead of N broadcast copies.
+		SharedIngest: store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if waitForTelemetry {
+		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
+	}
+	if interval > 0 {
+		go retrainLoop(engines, interval)
+		log.Printf("retraining every %s", interval)
+	}
+	log.Printf("serving %d in-process shards on %s", shards, addr)
+	log.Fatal(http.ListenAndServe(addr, router))
+}
+
+// runRouter boots the engine-less front door of a multi-process
+// cluster.
+func runRouter(addr, peers string, guard serve.GuardOptions) {
+	members := parsePeers(peers)
+	if len(members) == 0 {
+		log.Fatalf("router mode needs -peers name=url[,name=url...], got %q", peers)
+	}
+	names := make([]string, 0, len(members))
+	backends := make([]serve.ShardBackend, 0, len(members))
+	for _, p := range members {
+		if p.url == "" {
+			log.Fatalf("router mode needs a URL for every peer; %q has none", p.name)
+		}
+		names = append(names, p.name)
+		backends = append(backends, serve.NewRemoteBackend(p.name, p.url, nil))
+	}
+	ring, err := cluster.NewRingOf(0, names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := serve.NewRouter(ring, backends, serve.RouterOptions{Telemetry: guard})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing for shards %s on %s", strings.Join(names, ", "), addr)
+	log.Fatal(http.ListenAndServe(addr, router))
+}
+
+// peer is one -peers entry.
+type peer struct{ name, url string }
+
+// parsePeers parses "name=url,name=url,..." (the url is optional for
+// shard processes, which only need the names for the ring).
+func parsePeers(s string) []peer {
+	var out []peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, _ := strings.Cut(part, "=")
+		out = append(out, peer{name: name, url: url})
+	}
+	return out
+}
+
+func peerNames(s string) []string {
+	ps := parsePeers(s)
+	names := make([]string, 0, len(ps))
+	for _, p := range ps {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// snapshotSaver returns the OnSnapshot spill hook, or nil without a
+// store.
+func snapshotSaver(snaps *snapstore.Store, shard string) func(*engine.Snapshot) {
+	if snaps == nil {
+		return nil
+	}
+	return func(snap *engine.Snapshot) {
+		if err := snaps.Save(shard, snap); err != nil {
+			log.Printf("spilling generation %d: %v", snap.Generation, err)
+		}
+	}
+}
+
+// restoreSnapshot loads and installs a persisted generation, reporting
+// whether the engine now serves it. Missing spills are normal (first
+// boot); anything else is logged and treated as cold boot.
+func restoreSnapshot(eng *engine.Engine, snaps *snapstore.Store, shard string) bool {
+	if snaps == nil {
+		return false
+	}
+	snap, err := snaps.Load(shard)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("ignoring unrestorable snapshot for %s: %v", shard, err)
+		}
+		return false
+	}
+	if err := eng.Restore(snap); err != nil {
+		log.Printf("ignoring unrestorable snapshot for %s: %v", shard, err)
+		return false
+	}
+	return true
 }
 
 // readFleetCSV loads a fleetgen CSV.
@@ -178,24 +434,32 @@ func csvSource(path string) engine.Source {
 	}
 }
 
-// retrainLoop rebuilds the snapshot on a fixed cadence. A tick that
-// fires while another build is in flight is skipped — not queued —
-// so the loop never trains the fleet back-to-back on the same data.
-// Failures keep the previous snapshot serving and are retried at the
-// next tick.
-func retrainLoop(eng *engine.Engine, interval time.Duration) {
+// retrainLoop rebuilds every engine's snapshot on a fixed cadence,
+// engines in parallel so the cadence is bounded by the slowest shard,
+// not the sum of all shards. A tick that fires while a given engine is
+// already building is skipped for that engine — not queued. Failures
+// keep the previous snapshot serving and are retried at the next tick.
+func retrainLoop(engines []*engine.Engine, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for range ticker.C {
-		snap, err := eng.TryRetrainFromSource(context.Background(), false)
-		if errors.Is(err, engine.ErrRetrainInFlight) {
-			continue
+		var wg sync.WaitGroup
+		for _, eng := range engines {
+			wg.Add(1)
+			go func(eng *engine.Engine) {
+				defer wg.Done()
+				snap, err := eng.TryRetrainFromSource(context.Background(), false)
+				if errors.Is(err, engine.ErrRetrainInFlight) {
+					return
+				}
+				if err != nil {
+					log.Printf("retrain failed (still serving generation %d): %v", eng.Status().Generation, err)
+					return
+				}
+				log.Printf("retrained: generation %d, %d vehicles (%d reused, %d retrained) in %.1fs",
+					snap.Generation, len(snap.Statuses), snap.Reused, snap.Retrained, snap.TrainDuration.Seconds())
+			}(eng)
 		}
-		if err != nil {
-			log.Printf("retrain failed (still serving generation %d): %v", eng.Status().Generation, err)
-			continue
-		}
-		log.Printf("retrained: generation %d, %d vehicles (%d reused, %d retrained) in %.1fs",
-			snap.Generation, len(snap.Statuses), snap.Reused, snap.Retrained, snap.TrainDuration.Seconds())
+		wg.Wait()
 	}
 }

@@ -1,10 +1,18 @@
-// Package cluster implements vehicle-usage clustering — the paper's
+// Package cluster covers both senses of "cluster" in the deployed
+// system.
+//
+// Statistical clustering: vehicle-usage k-means — the paper's
 // introduction lists "aggregat[ing] vehicles with similar
 // characteristics using clustering techniques" as one of the three
 // CAN-data analyses the platform supports (refs [1, 4]). The deployed
 // system uses it to group vehicles into usage archetypes: cluster
 // centroids summarize the fleet, and cluster membership is an
 // alternative donor-selection rule for the §4.4 similarity models.
+//
+// Serving cluster: the consistent-hash Ring and the Sharded engine
+// group partition the fleet across N engine shards (ring.go,
+// sharded.go) so training and snapshot memory scale horizontally; the
+// HTTP fan-out router over the shards lives in internal/serve.
 package cluster
 
 import (

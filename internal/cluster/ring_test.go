@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("vehicle-%05d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossJoinOrder: ownership must be a pure
+// function of the membership *set*, not the join sequence — that is
+// what lets every process of a multi-node deployment compute owners
+// locally.
+func TestRingDeterministicAcrossJoinOrder(t *testing.T) {
+	a, err := NewRingOf(0, "alpha", "beta", "gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRingOf(0, "gamma", "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s owned by %s vs %s depending on join order", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no shard should own a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r, err := NewRingOf(0, ShardNames(shards)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, k := range ringKeys(keys) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("keys landed on %d shards, want %d", len(counts), shards)
+	}
+	want := float64(keys) / shards
+	for s, c := range counts {
+		if float64(c) < want*0.5 || float64(c) > want*1.5 {
+			t.Errorf("shard %s owns %d keys, want within 50%% of %.0f (counts %v)", s, c, want, counts)
+		}
+	}
+}
+
+// TestRingRebalanceMovesOnlyFraction is the consistent-hashing
+// property: a shard joining (or leaving) an N-shard ring must move
+// only ~K/N keys — keys whose owner is an unaffected shard stay put.
+func TestRingRebalanceMovesOnlyFraction(t *testing.T) {
+	const keys = 20000
+	names := ShardNames(4)
+	keysList := ringKeys(keys)
+
+	t.Run("join", func(t *testing.T) {
+		before, err := NewRingOf(0, names[:3]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := make(map[string]string, keys)
+		for _, k := range keysList {
+			owners[k] = before.Owner(k)
+		}
+		if err := before.Add(names[3]); err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keysList {
+			after := before.Owner(k)
+			if after != owners[k] {
+				moved++
+				// Every moved key must have moved TO the joiner; a key
+				// hopping between old shards would mean the ring
+				// reshuffled instead of rebalanced.
+				if after != names[3] {
+					t.Fatalf("key %s moved %s -> %s, not to the joining shard", k, owners[k], after)
+				}
+			}
+		}
+		// Expect ~K/N = 1/4 moved; allow generous slack for FNV point
+		// placement variance.
+		if lo, hi := keys/8, keys/2; moved < lo || moved > hi {
+			t.Errorf("join moved %d of %d keys, want within [%d, %d] (~K/N)", moved, keys, lo, hi)
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		r, err := NewRingOf(0, names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := make(map[string]string, keys)
+		for _, k := range keysList {
+			owners[k] = r.Owner(k)
+		}
+		if err := r.Remove(names[1]); err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keysList {
+			after := r.Owner(k)
+			if owners[k] == names[1] {
+				if after == names[1] {
+					t.Fatalf("key %s still owned by removed shard", k)
+				}
+				moved++
+				continue
+			}
+			// Keys not owned by the leaver must not move at all.
+			if after != owners[k] {
+				t.Fatalf("key %s moved %s -> %s although %s left", k, owners[k], after, names[1])
+			}
+		}
+		if lo, hi := keys/8, keys/2; moved < lo || moved > hi {
+			t.Errorf("leave moved %d of %d keys, want within [%d, %d] (~K/N)", moved, keys, lo, hi)
+		}
+	})
+}
+
+// TestRingEdgeCases: empty ring, duplicate joins, unknown removals.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Owner("v01"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty shard name accepted")
+	}
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a"); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if err := r.Remove("ghost"); err == nil {
+		t.Error("removing unknown shard succeeded")
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Errorf("single-shard ring owner = %q, want a", got)
+	}
+	if got := r.Size(); got != 1 {
+		t.Errorf("Size = %d, want 1", got)
+	}
+}

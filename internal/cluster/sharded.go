@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// PartitionSource wraps a fleet source into one shard's view of the
+// fleet: vehicles the ring assigns to `shard` pass through owned, old
+// vehicles owned elsewhere become donor-only (so the shard's cold-start
+// models train against the fleet-wide donor pool, exactly as an
+// unsharded engine would), and everything else is dropped. Because
+// per-vehicle training seeds are derived from (config seed, vehicle
+// ID) and the donor pool is membership-complete, a sharded build is
+// bit-identical to an unsharded one on the same fleet.
+func PartitionSource(base engine.Source, ring *Ring, shard string) engine.Source {
+	return func(ctx context.Context) ([]engine.Vehicle, error) {
+		fleet, err := base(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]engine.Vehicle, 0, len(fleet))
+		for _, v := range fleet {
+			switch {
+			case ring.Owner(v.Series.ID) == shard:
+				v.DonorOnly = false
+				out = append(out, v)
+			case core.Categorize(v.Series) == core.Old:
+				v.DonorOnly = true
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+}
+
+// Shard is one member of a sharded fleet: a name on the ring plus the
+// engine training and serving that partition.
+type Shard struct {
+	Name   string
+	Engine *engine.Engine
+}
+
+// Sharded is the in-process sharded fleet engine: N engines behind one
+// consistent-hash ring, each owning a partition of the fleet and
+// sharing the unsharded engine's semantics on it. The multi-process
+// deployment runs the same partitioning with one fleetserver per shard
+// (see cmd/fleetserver -join/-peers); Sharded is the single-binary
+// form used by `fleetserver -shards N`, tests and fleetctl.
+type Sharded struct {
+	ring   *Ring
+	shards []Shard
+}
+
+// ShardedConfig configures NewSharded.
+type ShardedConfig struct {
+	// Engine is the per-shard engine configuration (predictor, workers).
+	// Engine.Source and Engine.OnSnapshot are ignored: the source is
+	// derived per shard from Base, and snapshot hooks are installed via
+	// OnSnapshot below.
+	Engine engine.Config
+	// Base is the fleet-wide source each shard's partitioned view wraps.
+	Base engine.Source
+	// Names are the shard names; empty selects "shard00".."shardNN" via
+	// Shards.
+	Names []string
+	// Shards is the shard count when Names is empty.
+	Shards int
+	// Replicas is the virtual-node count per shard (0 =
+	// DefaultReplicas).
+	Replicas int
+	// OnSnapshot, when set, is installed on every shard engine, called
+	// with the shard name — the per-shard persistence hook.
+	OnSnapshot func(shard string, snap *engine.Snapshot)
+}
+
+// ShardNames returns the default names for n shards: "shard00"...
+func ShardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard%02d", i)
+	}
+	return names
+}
+
+// NewSharded builds one engine per shard, each reading its partition of
+// cfg.Base through the ring.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	names := cfg.Names
+	if len(names) == 0 {
+		if cfg.Shards < 1 {
+			return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", cfg.Shards)
+		}
+		names = ShardNames(cfg.Shards)
+	}
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("cluster: no base fleet source")
+	}
+	ring, err := NewRingOf(cfg.Replicas, names...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{ring: ring, shards: make([]Shard, 0, len(names))}
+	for _, name := range names {
+		ecfg := cfg.Engine
+		ecfg.Source = PartitionSource(cfg.Base, ring, name)
+		if cfg.OnSnapshot != nil {
+			shardName := name
+			ecfg.OnSnapshot = func(snap *engine.Snapshot) { cfg.OnSnapshot(shardName, snap) }
+		} else {
+			ecfg.OnSnapshot = nil
+		}
+		eng, err := engine.New(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %s: %w", name, err)
+		}
+		s.shards = append(s.shards, Shard{Name: name, Engine: eng})
+	}
+	return s, nil
+}
+
+// Ring exposes the ownership ring (read-only use expected).
+func (s *Sharded) Ring() *Ring { return s.ring }
+
+// Shards lists the shards in name order.
+func (s *Sharded) Shards() []Shard { return s.shards }
+
+// Shard returns the named shard, or nil.
+func (s *Sharded) Shard(name string) *Shard {
+	for i := range s.shards {
+		if s.shards[i].Name == name {
+			return &s.shards[i]
+		}
+	}
+	return nil
+}
+
+// Owner returns the shard owning a vehicle ID.
+func (s *Sharded) Owner(vehicleID string) *Shard {
+	return s.Shard(s.ring.Owner(vehicleID))
+}
+
+// RetrainAll retrains every shard from its partitioned source
+// concurrently and returns the first error. Each shard's retrain is
+// incremental and zero-downtime exactly as on a single engine.
+func (s *Sharded) RetrainAll(ctx context.Context) error {
+	errs := make(chan error, len(s.shards))
+	for i := range s.shards {
+		go func(sh *Shard) {
+			_, err := sh.Engine.RetrainFromSource(ctx)
+			if err != nil {
+				err = fmt.Errorf("cluster: shard %s: %w", sh.Name, err)
+			}
+			errs <- err
+		}(&s.shards[i])
+	}
+	var first error
+	for range s.shards {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataprep"
+	"repro/internal/engine"
+	"repro/internal/telematics"
+)
+
+// genFleet synthesizes a prepared fleet with the telematics generator,
+// mirroring the deployed ingestion path (same idiom as internal/engine
+// tests).
+func genFleet(t testing.TB, vehicles, days int) []engine.Vehicle {
+	t.Helper()
+	cfg := telematics.DefaultFleetConfig()
+	cfg.Vehicles = vehicles
+	cfg.Days = days
+	fleet, err := telematics.GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]engine.Vehicle, 0, len(fleet.Vehicles))
+	for _, v := range fleet.Vehicles {
+		prep, err := dataprep.Prepare(v.Profile.ID, v.Start, v.RawU, cfg.Allowance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, engine.Vehicle{Series: prep.Series, Start: prep.Start})
+	}
+	return out
+}
+
+func fastPredictorConfig() core.PredictorConfig {
+	cfg := core.DefaultPredictorConfig()
+	cfg.Window = 3
+	cfg.Candidates = []core.Algorithm{core.LR, core.LSVR}
+	cfg.ColdStartAlgorithm = core.LR
+	return cfg
+}
+
+func staticSource(fleet []engine.Vehicle) engine.Source {
+	return func(context.Context) ([]engine.Vehicle, error) { return fleet, nil }
+}
+
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// mergedForecasts gathers every shard's forecasts sorted by vehicle ID
+// — the router's deterministic scatter-gather merge, at the engine
+// level.
+func mergedForecasts(t *testing.T, s *Sharded) []core.Forecast {
+	t.Helper()
+	var out []core.Forecast
+	for _, sh := range s.Shards() {
+		snap := sh.Engine.Snapshot()
+		if snap == nil {
+			t.Fatalf("shard %s has no snapshot", sh.Name)
+		}
+		out = append(out, snap.Forecasts...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VehicleID < out[j].VehicleID })
+	return out
+}
+
+// TestShardedBitIdentical is the PR's acceptance contract: the
+// in-process sharded engine over 4 shards must produce bit-identical
+// forecasts and statuses to one unsharded engine on the same
+// 24-vehicle fleet.
+func TestShardedBitIdentical(t *testing.T) {
+	fleet := genFleet(t, 24, 900)
+
+	single, err := engine.New(engine.Config{Predictor: fastPredictorConfig(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Retrain(context.Background(), fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded, err := NewSharded(ShardedConfig{
+		Engine: engine.Config{Predictor: fastPredictorConfig(), Workers: 2},
+		Base:   staticSource(fleet),
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.RetrainAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every vehicle is owned by exactly one shard.
+	ownedBy := make(map[string]string)
+	for _, sh := range sharded.Shards() {
+		for _, st := range sh.Engine.Snapshot().Statuses {
+			if prev, dup := ownedBy[st.ID]; dup {
+				t.Fatalf("vehicle %s served by both %s and %s", st.ID, prev, sh.Name)
+			}
+			ownedBy[st.ID] = sh.Name
+		}
+	}
+	if len(ownedBy) != len(fleet) {
+		t.Fatalf("shards cover %d vehicles, want %d", len(ownedBy), len(fleet))
+	}
+
+	got := mergedForecasts(t, sharded)
+	if len(got) != len(want.Forecasts) {
+		t.Fatalf("merged forecasts %d, want %d", len(got), len(want.Forecasts))
+	}
+	for i, f := range got {
+		w := want.Forecasts[i]
+		if f.VehicleID != w.VehicleID || f.AsOfDay != w.AsOfDay ||
+			!sameFloat(f.DaysLeft, w.DaysLeft) || !f.DueDate.Equal(w.DueDate) ||
+			f.Category != w.Category || f.Strategy != w.Strategy {
+			t.Errorf("forecast %d differs:\nsharded   %+v\nunsharded %+v", i, f, w)
+		}
+	}
+
+	// Statuses match per vehicle (strategy, algorithm, score).
+	for _, sh := range sharded.Shards() {
+		for _, st := range sh.Engine.Snapshot().Statuses {
+			w, ok := want.StatusByID[st.ID]
+			if !ok {
+				t.Errorf("shard %s serves unknown vehicle %s", sh.Name, st.ID)
+				continue
+			}
+			if st.Category != w.Category || st.Strategy != w.Strategy || st.Algorithm != w.Algorithm ||
+				st.Donor != w.Donor || !sameFloat(st.ValidationMRE, w.ValidationMRE) || st.Err != w.Err {
+				t.Errorf("vehicle %s status differs:\nsharded   %+v\nunsharded %+v", st.ID, st, w)
+			}
+		}
+	}
+
+	// Forecast errors union-match.
+	gotErrs := make(map[string]string)
+	for _, sh := range sharded.Shards() {
+		for id, msg := range sh.Engine.Snapshot().ForecastErrors {
+			gotErrs[id] = msg
+		}
+	}
+	if len(gotErrs) != len(want.ForecastErrors) {
+		t.Errorf("forecast errors %v, want %v", gotErrs, want.ForecastErrors)
+	}
+	for id, msg := range want.ForecastErrors {
+		if gotErrs[id] != msg {
+			t.Errorf("forecast error %s: %q, want %q", id, gotErrs[id], msg)
+		}
+	}
+}
+
+// TestShardedIncrementalRetrain: retraining all shards on unchanged
+// telemetry reuses every vehicle on every shard.
+func TestShardedIncrementalRetrain(t *testing.T) {
+	fleet := genFleet(t, 12, 900)
+	sharded, err := NewSharded(ShardedConfig{
+		Engine: engine.Config{Predictor: fastPredictorConfig(), Workers: 2},
+		Base:   staticSource(fleet),
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.RetrainAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.RetrainAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range sharded.Shards() {
+		snap := sh.Engine.Snapshot()
+		if snap.Generation != 2 {
+			t.Errorf("shard %s at generation %d, want 2", sh.Name, snap.Generation)
+		}
+		if snap.Retrained != 0 || snap.Reused != len(snap.Statuses) {
+			t.Errorf("shard %s: reused=%d retrained=%d of %d, want full reuse",
+				sh.Name, snap.Reused, snap.Retrained, len(snap.Statuses))
+		}
+	}
+}
+
+// TestShardedZeroOwnedShard: a shard owning no vehicles must still
+// publish a valid (empty) snapshot rather than fail the build.
+func TestShardedZeroOwnedShard(t *testing.T) {
+	// A 2-vehicle fleet across 4 shards guarantees empty shards.
+	fleet := genFleet(t, 2, 900)
+	sharded, err := NewSharded(ShardedConfig{
+		Engine: engine.Config{Predictor: fastPredictorConfig(), Workers: 1},
+		Base:   staticSource(fleet),
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.RetrainAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	total, empty := 0, 0
+	for _, sh := range sharded.Shards() {
+		snap := sh.Engine.Snapshot()
+		if snap == nil {
+			t.Fatalf("shard %s has no snapshot", sh.Name)
+		}
+		total += len(snap.Statuses)
+		if len(snap.Statuses) == 0 {
+			empty++
+		}
+	}
+	if total != len(fleet) {
+		t.Fatalf("shards serve %d vehicles, want %d", total, len(fleet))
+	}
+	if empty == 0 {
+		t.Skip("ring placed vehicles on all 4 shards; empty-shard path not exercised")
+	}
+}

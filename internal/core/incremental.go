@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/ml"
@@ -52,6 +53,48 @@ func Fingerprint(vs *timeseries.VehicleSeries, start time.Time) uint64 {
 	h = fnvUint64(h, uint64(len(vs.U)))
 	for _, v := range vs.U {
 		h = fnvUint64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// Hash fingerprints everything about a predictor configuration that
+// changes what a trained model looks like. A persisted snapshot
+// records it (engine.Snapshot.ConfigHash) so a reboot under a changed
+// configuration — different window, candidates, seed, ... — refuses to
+// reuse the old models instead of silently serving a mixed-config
+// fleet: the series fingerprints alone cannot see a config change.
+func (c PredictorConfig) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(c.Window))
+	if c.Normalize {
+		h = fnvByte(h, 1)
+	} else {
+		h = fnvByte(h, 0)
+	}
+	h = fnvUint64(h, uint64(len(c.Candidates)))
+	for _, alg := range c.Candidates {
+		h = fnvString(h, string(alg))
+	}
+	h = fnvString(h, string(c.ColdStartAlgorithm))
+	h = fnvUint64(h, math.Float64bits(c.ValidationFraction))
+	h = fnvUint64(h, c.Seed)
+	// Normalize the evaluation set the same way NewFleetPredictor does
+	// (nil means the default D̃), then fold it in sorted order so two
+	// equal sets hash equally.
+	eval := c.Eval
+	if eval == nil {
+		eval = DefaultDTilde()
+	}
+	days := make([]int, 0, len(eval))
+	for d, ok := range eval {
+		if ok {
+			days = append(days, d)
+		}
+	}
+	sort.Ints(days)
+	h = fnvUint64(h, uint64(len(days)))
+	for _, d := range days {
+		h = fnvUint64(h, uint64(d))
 	}
 	return h
 }
@@ -145,6 +188,10 @@ func (fp *FleetPredictor) PlanTrainingWithReuse(prior *PriorGeneration) (*TrainP
 		Fingerprints: make(map[string]uint64, len(fp.vehicles)),
 	}
 
+	// Fingerprint and hash the pool over *every* registered vehicle,
+	// donor-only ones included: the pool hash must be a pure function of
+	// the fleet-wide old-vehicle contents so a shard (own partition +
+	// donors) and an unsharded build (everything owned) agree on it.
 	ids := fp.VehicleIDs()
 	categories := make(map[string]Category, len(ids))
 	poolHash := uint64(fnvOffset64)
@@ -153,7 +200,9 @@ func (fp *FleetPredictor) PlanTrainingWithReuse(prior *PriorGeneration) (*TrainP
 		cat := Categorize(vs)
 		categories[id] = cat
 		fpHash := Fingerprint(vs, fp.starts[id])
-		plan.Fingerprints[id] = fpHash
+		if !fp.donorOnly[id] {
+			plan.Fingerprints[id] = fpHash
+		}
 		if cat == Old {
 			poolHash = fnvString(poolHash, id)
 			poolHash = fnvUint64(poolHash, fpHash)
@@ -161,7 +210,12 @@ func (fp *FleetPredictor) PlanTrainingWithReuse(prior *PriorGeneration) (*TrainP
 	}
 	plan.PoolHash = poolHash
 
+	// Only owned vehicles are planned (trained or carried forward);
+	// donor-only ones exist solely for the shared context above.
 	for _, id := range ids {
+		if fp.donorOnly[id] {
+			continue
+		}
 		vs := fp.vehicles[id]
 		if reusable(prior, id, plan.Fingerprints[id], categories[id], poolHash) {
 			st := prior.Statuses[id]

@@ -71,9 +71,16 @@ type FleetPredictor struct {
 	cfg      PredictorConfig
 	vehicles map[string]*timeseries.VehicleSeries
 	starts   map[string]time.Time
-	models   map[string]ml.Regressor
-	status   map[string]VehicleStatus
-	trained  bool
+	// donorOnly marks vehicles registered for the cold-start donor pool
+	// only: they contribute to Olds()/PoolHash exactly as in an
+	// unsharded build but are never trained, statused or forecast. A
+	// cluster shard registers the rest of the fleet's old vehicles this
+	// way, which is what keeps its models bit-identical to an unsharded
+	// build's (see AddDonor).
+	donorOnly map[string]bool
+	models    map[string]ml.Regressor
+	status    map[string]VehicleStatus
+	trained   bool
 }
 
 // NewFleetPredictor returns an empty predictor.
@@ -91,16 +98,32 @@ func NewFleetPredictor(cfg PredictorConfig) (*FleetPredictor, error) {
 		cfg.Eval = DefaultDTilde()
 	}
 	return &FleetPredictor{
-		cfg:      cfg,
-		vehicles: make(map[string]*timeseries.VehicleSeries),
-		starts:   make(map[string]time.Time),
-		models:   make(map[string]ml.Regressor),
-		status:   make(map[string]VehicleStatus),
+		cfg:       cfg,
+		vehicles:  make(map[string]*timeseries.VehicleSeries),
+		starts:    make(map[string]time.Time),
+		donorOnly: make(map[string]bool),
+		models:    make(map[string]ml.Regressor),
+		status:    make(map[string]VehicleStatus),
 	}, nil
 }
 
 // AddVehicle registers a vehicle's derived series and acquisition start.
 func (fp *FleetPredictor) AddVehicle(vs *timeseries.VehicleSeries, start time.Time) error {
+	return fp.add(vs, start, false)
+}
+
+// AddDonor registers a vehicle for the cold-start donor pool only: it
+// joins Olds() and the pool hash exactly as a trained vehicle would,
+// but is never planned, trained or forecast. A cluster shard registers
+// its own partition with AddVehicle and every other shard's old
+// vehicles with AddDonor, so a semi-new or new vehicle trains against
+// the same fleet-wide donor pool — hence the same model, bit for bit —
+// no matter how the fleet is partitioned.
+func (fp *FleetPredictor) AddDonor(vs *timeseries.VehicleSeries, start time.Time) error {
+	return fp.add(vs, start, true)
+}
+
+func (fp *FleetPredictor) add(vs *timeseries.VehicleSeries, start time.Time, donorOnly bool) error {
 	if vs == nil || vs.ID == "" {
 		return fmt.Errorf("core: AddVehicle with nil or unidentified series")
 	}
@@ -109,11 +132,15 @@ func (fp *FleetPredictor) AddVehicle(vs *timeseries.VehicleSeries, start time.Ti
 	}
 	fp.vehicles[vs.ID] = vs
 	fp.starts[vs.ID] = start
+	if donorOnly {
+		fp.donorOnly[vs.ID] = true
+	}
 	fp.trained = false
 	return nil
 }
 
-// VehicleIDs lists registered vehicles, sorted.
+// VehicleIDs lists registered vehicles, sorted, including donor-only
+// ones (the donor pool and its hash are derived from this order).
 func (fp *FleetPredictor) VehicleIDs() []string {
 	ids := make([]string, 0, len(fp.vehicles))
 	for id := range fp.vehicles {
@@ -121,6 +148,24 @@ func (fp *FleetPredictor) VehicleIDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// OwnedVehicleIDs lists the vehicles this predictor trains and serves —
+// every registered vehicle that is not donor-only — sorted.
+func (fp *FleetPredictor) OwnedVehicleIDs() []string {
+	ids := make([]string, 0, len(fp.vehicles))
+	for id := range fp.vehicles {
+		if !fp.donorOnly[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ownedCount counts non-donor vehicles.
+func (fp *FleetPredictor) ownedCount() int {
+	return len(fp.vehicles) - len(fp.donorOnly)
 }
 
 // TrainTask is one vehicle's unit of training work. Tasks are produced
@@ -219,11 +264,11 @@ func TrainVehicle(task TrainTask, shared *TrainShared) (VehicleStatus, ml.Regres
 
 // InstallTrained installs externally computed training results (the
 // engine's worker-pool path) and marks the predictor trained. The
-// statuses must cover every registered vehicle exactly once; a vehicle
-// whose training failed (Err != "") needs no model.
+// statuses must cover every owned (non-donor) vehicle exactly once; a
+// vehicle whose training failed (Err != "") needs no model.
 func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[string]ml.Regressor) error {
-	if len(statuses) != len(fp.vehicles) {
-		return fmt.Errorf("core: InstallTrained with %d statuses for %d vehicles", len(statuses), len(fp.vehicles))
+	if len(statuses) != fp.ownedCount() {
+		return fmt.Errorf("core: InstallTrained with %d statuses for %d vehicles", len(statuses), fp.ownedCount())
 	}
 	seen := make(map[string]bool, len(statuses))
 	for _, st := range statuses {
@@ -233,6 +278,9 @@ func (fp *FleetPredictor) InstallTrained(statuses []VehicleStatus, models map[st
 		seen[st.ID] = true
 		if _, ok := fp.vehicles[st.ID]; !ok {
 			return fmt.Errorf("core: InstallTrained for unregistered vehicle %q", st.ID)
+		}
+		if fp.donorOnly[st.ID] {
+			return fmt.Errorf("core: InstallTrained for donor-only vehicle %q", st.ID)
 		}
 		if st.Err != "" {
 			continue
@@ -432,6 +480,9 @@ func (fp *FleetPredictor) Predict(vehicleID string) (Forecast, error) {
 	if !ok {
 		return Forecast{}, fmt.Errorf("core: unknown vehicle %q", vehicleID)
 	}
+	if fp.donorOnly[vehicleID] {
+		return Forecast{}, fmt.Errorf("core: vehicle %s is donor-only (owned by another shard)", vehicleID)
+	}
 	if st := fp.status[vehicleID]; st.Err != "" {
 		return Forecast{}, fmt.Errorf("core: vehicle %s failed training: %s", vehicleID, st.Err)
 	}
@@ -474,10 +525,10 @@ func (fp *FleetPredictor) Predict(vehicleID string) (Forecast, error) {
 	}, nil
 }
 
-// PredictAll forecasts every registered vehicle, in ID order.
+// PredictAll forecasts every owned vehicle, in ID order.
 func (fp *FleetPredictor) PredictAll() ([]Forecast, error) {
-	out := make([]Forecast, 0, len(fp.vehicles))
-	for _, id := range fp.VehicleIDs() {
+	out := make([]Forecast, 0, fp.ownedCount())
+	for _, id := range fp.OwnedVehicleIDs() {
 		f, err := fp.Predict(id)
 		if err != nil {
 			return nil, err

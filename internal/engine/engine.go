@@ -42,6 +42,12 @@ import (
 type Vehicle struct {
 	Series *timeseries.VehicleSeries
 	Start  time.Time
+	// DonorOnly marks a vehicle that joins the cold-start donor pool
+	// but is not trained, statused or forecast by this engine. A
+	// cluster shard's source marks every other shard's old vehicles
+	// donor-only, so partitioning the fleet cannot change which donors
+	// a semi-new or new vehicle trains against (see internal/cluster).
+	DonorOnly bool
 }
 
 // Source yields the current fleet — typically by re-reading the
@@ -60,6 +66,12 @@ type Config struct {
 	// endpoint) re-ingest telemetry without the caller shipping the
 	// fleet explicitly.
 	Source Source
+	// OnSnapshot, when set, is called synchronously after each new
+	// snapshot is published — the persistence hook: internal/snapstore
+	// spills the generation to disk here so a rebooted engine can
+	// Restore it. Failures inside the callback are the callback's
+	// problem; the snapshot is already live when it runs.
+	OnSnapshot func(*Snapshot)
 }
 
 // Engine owns the training pool and the current snapshot.
@@ -218,7 +230,38 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 	e.lastErrAt = time.Time{}
 	e.stateMu.Unlock()
 	e.snap.Store(snap)
+	if e.cfg.OnSnapshot != nil {
+		e.cfg.OnSnapshot(snap)
+	}
 	return snap, nil
+}
+
+// Restore installs a previously persisted snapshot (see
+// internal/snapstore) as the current generation, so a rebooted engine
+// serves its last build immediately instead of cold-training. The
+// restored snapshot carries the fingerprints, pool hash and models of
+// its build, so the next Retrain is incremental against it — only
+// vehicles whose telemetry changed since the snapshot retrain. Restore
+// is a boot-time operation: it refuses once the engine has any
+// snapshot.
+func (e *Engine) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("engine: Restore with a nil snapshot")
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.snap.Load() != nil {
+		return fmt.Errorf("engine: Restore after a snapshot is already live")
+	}
+	if want := e.cfg.Predictor.Hash(); snap.ConfigHash != want {
+		// Fingerprint-based reuse cannot see a config change; serving
+		// (and reusing) models trained under a different window, seed
+		// or candidate set would silently mix configurations.
+		return fmt.Errorf("engine: snapshot was trained under a different predictor configuration (hash %x, engine %x); cold-train instead", snap.ConfigHash, want)
+	}
+	e.generation = snap.Generation
+	e.snap.Store(snap)
+	return nil
 }
 
 // build trains the dirty vehicles on the worker pool, carries clean
@@ -237,7 +280,12 @@ func (e *Engine) build(ctx context.Context, fleet []Vehicle, full bool) (*Snapsh
 		return nil, err
 	}
 	for _, v := range fleet {
-		if err := fp.AddVehicle(v.Series, v.Start); err != nil {
+		if v.DonorOnly {
+			err = fp.AddDonor(v.Series, v.Start)
+		} else {
+			err = fp.AddVehicle(v.Series, v.Start)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -264,13 +312,16 @@ func (e *Engine) build(ctx context.Context, fleet []Vehicle, full bool) (*Snapsh
 			healthy++
 		}
 	}
-	if healthy == 0 {
+	// A shard that owns no vehicles (donor-only fleet) publishes a
+	// valid empty snapshot — it has nothing to serve, which is not a
+	// failure. Only a fleet where every *owned* vehicle failed aborts.
+	if healthy == 0 && len(statuses) > 0 {
 		return nil, fmt.Errorf("engine: all %d vehicles failed training; first error: %s", len(statuses), statuses[0].Err)
 	}
 	if err := fp.InstallTrained(statuses, models); err != nil {
 		return nil, err
 	}
-	return newSnapshot(fp, statuses, models, plan, time.Since(t0)), nil
+	return newSnapshot(fp, statuses, models, plan, e.cfg.Predictor.Hash(), time.Since(t0)), nil
 }
 
 // mergeStatuses interleaves the carried-forward and freshly trained

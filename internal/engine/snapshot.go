@@ -44,6 +44,12 @@ type Snapshot struct {
 	Fingerprints map[string]uint64
 	// PoolHash identifies the old-vehicle donor pool of this build.
 	PoolHash uint64
+	// ConfigHash fingerprints the predictor configuration this build
+	// trained under (core.PredictorConfig.Hash). Restore refuses a
+	// snapshot whose hash differs from the engine's — fingerprints
+	// alone cannot see a config change, so reusing across one would
+	// silently serve stale-config models.
+	ConfigHash uint64
 	// Reused counts the vehicles carried forward from the previous
 	// generation; Retrained counts the vehicles trained (or failed)
 	// this build. Reused+Retrained == len(Statuses).
@@ -72,7 +78,7 @@ func (s *Snapshot) prior() *core.PriorGeneration {
 // recomputed even for reused vehicles — a model prediction per vehicle
 // is trivial next to training — which keeps the bit-identical contract
 // trivially true for the served payloads.
-func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, models map[string]ml.Regressor, plan *core.TrainPlan, trainDur time.Duration) *Snapshot {
+func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, models map[string]ml.Regressor, plan *core.TrainPlan, cfgHash uint64, trainDur time.Duration) *Snapshot {
 	s := &Snapshot{
 		Statuses:       statuses,
 		StatusByID:     make(map[string]core.VehicleStatus, len(statuses)),
@@ -82,6 +88,7 @@ func newSnapshot(fp *core.FleetPredictor, statuses []core.VehicleStatus, models 
 		Models:         models,
 		Fingerprints:   plan.Fingerprints,
 		PoolHash:       plan.PoolHash,
+		ConfigHash:     cfgHash,
 		Reused:         len(plan.Reused),
 		Retrained:      len(plan.Tasks),
 		BuiltAt:        time.Now(),

@@ -1,0 +1,52 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/ml/tree"
+)
+
+// modelWire is the exported mirror of Model for gob round-trips (see
+// internal/snapstore). Member trees carry their own codec.
+type modelWire struct {
+	Config Config
+	Trees  []*tree.Model
+	Width  int
+	Fitted bool
+
+	OOBMAE     float64
+	OOBCovered int
+	HasOOB     bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelWire{
+		Config:     m.Config,
+		Trees:      m.trees,
+		Width:      m.width,
+		Fitted:     m.fitted,
+		OOBMAE:     m.oobMAE,
+		OOBCovered: m.oobCovered,
+		HasOOB:     m.hasOOB,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Config = w.Config
+	m.trees = w.Trees
+	m.width = w.Width
+	m.fitted = w.Fitted
+	m.oobMAE = w.OOBMAE
+	m.oobCovered = w.OOBCovered
+	m.hasOOB = w.HasOOB
+	return nil
+}

@@ -1,0 +1,66 @@
+package gbm
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// bnodeWire / modelWire are the exported mirrors of the unexported
+// booster internals for gob round-trips (see internal/snapstore). The
+// flat stage storage, stage offsets and per-feature bin edges are
+// persisted verbatim, so a decoded booster predicts bit-identically.
+type bnodeWire struct {
+	Threshold float64
+	Value     float64
+	Kids      [2]int32
+	Feature   int16
+	Bin       uint8
+}
+
+type modelWire struct {
+	Config     Config
+	BaseScore  float64
+	Nodes      []bnodeWire
+	StageStart []int32
+	Edges      [][]float64
+	Width      int
+	Fitted     bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := modelWire{
+		Config:     m.Config,
+		BaseScore:  m.baseScore,
+		Nodes:      make([]bnodeWire, len(m.nodes)),
+		StageStart: m.stageStart,
+		Edges:      m.edges,
+		Width:      m.width,
+		Fitted:     m.fitted,
+	}
+	for i, n := range m.nodes {
+		w.Nodes[i] = bnodeWire{Threshold: n.threshold, Value: n.value, Kids: n.kids, Feature: n.feature, Bin: n.bin}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Config = w.Config
+	m.baseScore = w.BaseScore
+	m.nodes = make([]bnode, len(w.Nodes))
+	for i, n := range w.Nodes {
+		m.nodes[i] = bnode{threshold: n.Threshold, value: n.Value, kids: n.Kids, feature: n.Feature, bin: n.Bin}
+	}
+	m.stageStart = w.StageStart
+	m.edges = w.Edges
+	m.width = w.Width
+	m.fitted = w.Fitted
+	return nil
+}

@@ -1,0 +1,41 @@
+package linreg
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// modelWire is the exported mirror of Model for gob round-trips: the
+// snapshot-persistence layer (internal/snapstore) spills trained fleet
+// models to disk, and gob only sees exported fields.
+type modelWire struct {
+	Ridge     float64
+	Weights   []float64
+	Intercept float64
+	Fitted    bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelWire{
+		Ridge:     m.Ridge,
+		Weights:   m.weights,
+		Intercept: m.intercept,
+		Fitted:    m.fitted,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Ridge = w.Ridge
+	m.weights = w.Weights
+	m.intercept = w.Intercept
+	m.fitted = w.Fitted
+	return nil
+}

@@ -1,0 +1,63 @@
+package svr
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// modelWire is the exported mirror of Model for gob round-trips (see
+// internal/snapstore). The standardization statistics are part of the
+// fitted state: Predict de-standardizes through them.
+type modelWire struct {
+	Epsilon   float64
+	C         float64
+	MaxEpochs int
+	Tol       float64
+	Seed      uint64
+
+	Weights   []float64
+	Intercept float64
+
+	XMean, XStd []float64
+	YMean, YStd float64
+	Fitted      bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelWire{
+		Epsilon:   m.Epsilon,
+		C:         m.C,
+		MaxEpochs: m.MaxEpochs,
+		Tol:       m.Tol,
+		Seed:      m.Seed,
+		Weights:   m.weights,
+		Intercept: m.intercept,
+		XMean:     m.xMean,
+		XStd:      m.xStd,
+		YMean:     m.yMean,
+		YStd:      m.yStd,
+		Fitted:    m.fitted,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Epsilon = w.Epsilon
+	m.C = w.C
+	m.MaxEpochs = w.MaxEpochs
+	m.Tol = w.Tol
+	m.Seed = w.Seed
+	m.weights = w.Weights
+	m.intercept = w.Intercept
+	m.xMean, m.xStd = w.XMean, w.XStd
+	m.yMean, m.yStd = w.YMean, w.YStd
+	m.fitted = w.Fitted
+	return nil
+}

@@ -1,0 +1,59 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// nodeWire / modelWire are the exported mirrors of the unexported tree
+// internals for gob round-trips (see internal/snapstore). The flat
+// node array and child links are persisted verbatim, so a decoded tree
+// predicts bit-identically to the one that was encoded.
+type nodeWire struct {
+	Feature   int
+	Threshold float64
+	Kids      [2]int32
+	Value     float64
+}
+
+type modelWire struct {
+	Config      Config
+	Nodes       []nodeWire
+	Width       int
+	Importances []float64
+	Fitted      bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := modelWire{
+		Config:      m.Config,
+		Nodes:       make([]nodeWire, len(m.nodes)),
+		Width:       m.width,
+		Importances: m.importances,
+		Fitted:      m.fitted,
+	}
+	for i, n := range m.nodes {
+		w.Nodes[i] = nodeWire{Feature: n.feature, Threshold: n.threshold, Kids: n.kids, Value: n.value}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	m.Config = w.Config
+	m.nodes = make([]node, len(w.Nodes))
+	for i, n := range w.Nodes {
+		m.nodes[i] = node{feature: n.Feature, threshold: n.Threshold, kids: n.Kids, value: n.Value}
+	}
+	m.width = w.Width
+	m.importances = w.Importances
+	m.fitted = w.Fitted
+	return nil
+}

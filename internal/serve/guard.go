@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// GuardOptions protects POST /telemetry at the fleet's front door (the
+// router in a sharded deployment, the server itself otherwise):
+// collectors in the field share one write path, so a misbehaving one
+// must be shed with backpressure, not allowed to melt the ingest
+// store; and an open write endpoint would let anyone feed the models.
+type GuardOptions struct {
+	// Token, when non-empty, requires `Authorization: Bearer <Token>`
+	// on POST /telemetry (compared in constant time). Read endpoints
+	// stay open.
+	Token string
+	// RPS, when > 0, rate-limits POST /telemetry with a token bucket
+	// refilled at RPS requests per second; over-limit requests get 429
+	// with a Retry-After hint instead of queueing.
+	RPS float64
+	// Burst is the bucket capacity (max requests absorbed at once);
+	// <= 0 defaults to max(1, ceil(RPS)).
+	Burst int
+}
+
+func (g GuardOptions) enabled() bool { return g.Token != "" || g.RPS > 0 }
+
+// tokenBucket is a monotonic-clock token bucket.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rps float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rps))
+	}
+	return &tokenBucket{rate: rps, burst: b, tokens: b, last: time.Now()}
+}
+
+// take consumes one token, or reports how long until one accrues.
+func (tb *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	need := (1 - tb.tokens) / tb.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// guard enforces GuardOptions on one endpoint.
+type guard struct {
+	token  string
+	bucket *tokenBucket
+}
+
+func newGuard(opts GuardOptions) *guard {
+	if !opts.enabled() {
+		return nil
+	}
+	g := &guard{token: opts.Token}
+	if opts.RPS > 0 {
+		g.bucket = newTokenBucket(opts.RPS, opts.Burst)
+	}
+	return g
+}
+
+// admit checks auth then rate; it writes the rejection response itself
+// and reports whether the request may proceed. A nil guard admits
+// everything.
+func (g *guard) admit(w http.ResponseWriter, r *http.Request) bool {
+	if g == nil {
+		return true
+	}
+	if g.token != "" {
+		auth := r.Header.Get("Authorization")
+		bearer, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(bearer), []byte(g.token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="telemetry"`)
+			writeError(w, http.StatusUnauthorized, "serve: telemetry requires a valid bearer token")
+			return false
+		}
+	}
+	if g.bucket != nil {
+		if ok, retry := g.bucket.take(); !ok {
+			// Ceil so "0.3s" never rounds down to "retry now".
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			writeError(w, http.StatusTooManyRequests, "serve: telemetry rate limit exceeded")
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const guardBatch = `{"reports":[{"vehicle":"v01","date":"2016-01-01","seconds":100}]}`
+
+func postTelemetry(t testing.TB, h http.Handler, body, token string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/telemetry", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTelemetryBearerAuth: with a token configured, POST /telemetry
+// rejects missing and wrong credentials with 401 and admits the right
+// one; read endpoints stay open.
+func TestTelemetryBearerAuth(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	srv.telemetry = newGuard(GuardOptions{Token: "s3cret"})
+
+	if rec := postTelemetry(t, srv, guardBatch, ""); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("no token = %d, want 401", rec.Code)
+	}
+	if rec := postTelemetry(t, srv, guardBatch, "wrong"); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("wrong token = %d, want 401", rec.Code)
+	}
+	if rec := postTelemetry(t, srv, guardBatch, "s3cret"); rec.Code != http.StatusOK {
+		t.Fatalf("right token = %d: %s", rec.Code, rec.Body)
+	}
+	// Reads are not guarded.
+	rec, _ := get(t, srv, "/fleet/forecast")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read endpoint guarded: %d", rec.Code)
+	}
+}
+
+// TestTelemetryRateLimit: the token bucket admits a burst, then sheds
+// with 429 + Retry-After.
+func TestTelemetryRateLimit(t *testing.T) {
+	srv, _, _ := ingestServer(t, 0)
+	// 0.1 rps: one token every 10s — nothing refills within the test.
+	srv.telemetry = newGuard(GuardOptions{RPS: 0.1, Burst: 3})
+
+	for i := 0; i < 3; i++ {
+		if rec := postTelemetry(t, srv, guardBatch, ""); rec.Code != http.StatusOK {
+			t.Fatalf("burst request %d = %d, want 200", i, rec.Code)
+		}
+	}
+	rec := postTelemetry(t, srv, guardBatch, "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst = %d, want 429", rec.Code)
+	}
+	retry, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", rec.Header().Get("Retry-After"))
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &msg); err != nil || msg["error"] == "" {
+		t.Fatalf("429 body %q lacks an error message", rec.Body)
+	}
+}
+
+// TestGuardDisabled: zero options guard nothing.
+func TestGuardDisabled(t *testing.T) {
+	if g := newGuard(GuardOptions{}); g != nil {
+		t.Fatal("zero GuardOptions built a guard")
+	}
+	srv, _, _ := ingestServer(t, 0)
+	for i := 0; i < 20; i++ {
+		if rec := postTelemetry(t, srv, guardBatch, ""); rec.Code != http.StatusOK {
+			t.Fatalf("unguarded request %d = %d", i, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,697 @@
+// Router: the cluster front door. One process owns the public
+// endpoints and fans them out to N engine shards, each an unchanged
+// single-fleet server over its partition of the vehicles (see
+// internal/cluster for the partitioning):
+//
+//   - per-vehicle routes (GET /vehicles/{id}/forecast) take the
+//     single-owner fast path: the consistent-hash ring names the one
+//     shard that owns the vehicle and the response streams through
+//     verbatim (plus an X-Fleet-Shard header naming the owner);
+//   - fleet-wide routes (GET /vehicles, /fleet/forecast, /fleet/plan,
+//     /admin/status, /admin/ingest, POST /admin/retrain) scatter to
+//     every shard and merge deterministically — forecasts and vehicle
+//     rows sort by vehicle ID, so the merged payload is byte-identical
+//     to a single unsharded server's;
+//   - POST /telemetry broadcasts the batch to every shard (each keeps
+//     the full telemetry store so its cold-start models see the
+//     fleet-wide donor pool) after the router-level guard (rate limit,
+//     bearer auth) admits it; the per-vehicle accept/reject report is
+//     taken from each vehicle's owner shard.
+//
+// Every scatter carries a per-shard deadline: a shard that is down or
+// wedged yields 503 naming the failing shards instead of hanging the
+// whole fan-out.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/sched"
+)
+
+// jsonDecode strictly decodes one shard's JSON payload.
+func jsonDecode(data []byte, v any) error {
+	return json.Unmarshal(data, v)
+}
+
+// ShardBackend is one shard as the router sees it: a name on the ring
+// plus an http.Handler serving that shard's endpoints. In-process
+// deployments pass the shard's *Server directly; multi-process
+// deployments pass NewRemoteBackend.
+type ShardBackend struct {
+	Name    string
+	Handler http.Handler
+}
+
+// NewRemoteBackend returns a backend that forwards each request to a
+// peer fleetserver at baseURL (e.g. "http://shard0:8080") and relays
+// the response. The outbound request inherits the inbound context, so
+// the router's per-shard deadline bounds the network call.
+func NewRemoteBackend(name, baseURL string, client *http.Client) ShardBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		url := base + r.URL.Path
+		if q := r.URL.RawQuery; q != "" {
+			url += "?" + q
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("serve: shard %s: %v", name, err))
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := client.Do(req)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("serve: shard %s: %v", name, err))
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	})
+	return ShardBackend{Name: name, Handler: h}
+}
+
+// RouterOptions configures the fan-out.
+type RouterOptions struct {
+	// ShardTimeout bounds each per-shard call of a scatter-gather (and
+	// the owner call of a fast-path route); 0 defaults to 15s. Retrain
+	// fan-outs with ?wait=1 are exempt — a fleet-wide rebuild may
+	// legitimately take longer.
+	ShardTimeout time.Duration
+	// Telemetry guards POST /telemetry at the router (shards behind it
+	// stay trusted-internal).
+	Telemetry GuardOptions
+	// DisableIngest omits POST /telemetry and GET /admin/ingest from
+	// the router. Set it when the shards run without an ingest store
+	// (CSV mode), so those routes 404 cleanly at the router instead of
+	// relaying per-shard 404s.
+	DisableIngest bool
+	// SharedIngest, set in the in-process topology where every shard
+	// wraps the same *ingest.Store, lets the router upsert a telemetry
+	// batch exactly once instead of broadcasting N redundant
+	// decode+upsert passes; shards are then scattered only an empty
+	// batch so each still evaluates its own dirty-retrain trigger.
+	// Leave nil in the multi-process topology (per-shard stores need
+	// the full broadcast).
+	SharedIngest *ingest.Store
+}
+
+// Router fans the public endpoints out over the shard backends.
+type Router struct {
+	ring      *cluster.Ring
+	backends  []ShardBackend
+	byName    map[string]*ShardBackend
+	mux       *http.ServeMux
+	timeout   time.Duration
+	telemetry *guard
+	ingest    *ingest.Store // shared store fast path; nil = broadcast
+}
+
+// NewRouter builds the cluster front door. Every ring shard must have
+// a backend and vice versa.
+func NewRouter(ring *cluster.Ring, backends []ShardBackend, opts RouterOptions) (*Router, error) {
+	if ring == nil {
+		return nil, errors.New("serve: nil ring")
+	}
+	if len(backends) == 0 {
+		return nil, errors.New("serve: no shard backends")
+	}
+	timeout := opts.ShardTimeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	rt := &Router{
+		ring:      ring,
+		backends:  backends,
+		byName:    make(map[string]*ShardBackend, len(backends)),
+		mux:       http.NewServeMux(),
+		timeout:   timeout,
+		telemetry: newGuard(opts.Telemetry),
+		ingest:    opts.SharedIngest,
+	}
+	for i := range backends {
+		b := &backends[i]
+		if b.Handler == nil {
+			return nil, fmt.Errorf("serve: shard %q has no handler", b.Name)
+		}
+		if _, dup := rt.byName[b.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate shard backend %q", b.Name)
+		}
+		rt.byName[b.Name] = b
+	}
+	shards := ring.Shards()
+	if len(shards) != len(backends) {
+		return nil, fmt.Errorf("serve: ring has %d shards but %d backends", len(shards), len(backends))
+	}
+	for _, s := range shards {
+		if _, ok := rt.byName[s]; !ok {
+			return nil, fmt.Errorf("serve: ring shard %q has no backend", s)
+		}
+	}
+
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /vehicles", rt.handleVehicles)
+	rt.mux.HandleFunc("GET /vehicles/{id}/forecast", rt.handleOwnerRoute)
+	rt.mux.HandleFunc("GET /fleet/forecast", rt.handleFleetForecast)
+	rt.mux.HandleFunc("GET /fleet/plan", rt.handlePlan)
+	rt.mux.HandleFunc("POST /admin/retrain", rt.handleRetrain)
+	rt.mux.HandleFunc("GET /admin/status", rt.handleStatus)
+	if !opts.DisableIngest {
+		rt.mux.HandleFunc("POST /telemetry", rt.handleTelemetry)
+		rt.mux.HandleFunc("GET /admin/ingest", rt.handleIngest)
+	}
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// shardResponse is one shard's captured reply.
+type shardResponse struct {
+	shard  string
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// memWriter is the in-memory http.ResponseWriter the router hands to
+// in-process shard handlers.
+type memWriter struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newMemWriter() *memWriter           { return &memWriter{status: http.StatusOK, header: make(http.Header)} }
+func (m *memWriter) Header() http.Header { return m.header }
+func (m *memWriter) WriteHeader(code int) {
+	m.status = code
+}
+func (m *memWriter) Write(p []byte) (int, error) { return m.body.Write(p) }
+
+// call invokes one shard with a deadline. The handler runs in its own
+// goroutine; on timeout the call abandons it (the goroutine finishes
+// against its private writer) and reports the error, so one wedged
+// shard cannot hang a scatter-gather.
+func (rt *Router) call(ctx context.Context, b *ShardBackend, method, target string, body []byte, hdr http.Header, timeout time.Duration) shardResponse {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, rdr)
+	if err != nil {
+		return shardResponse{shard: b.Name, err: err}
+	}
+	if hdr != nil {
+		req.Header = hdr.Clone()
+	}
+	mem := newMemWriter()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Handler.ServeHTTP(mem, req)
+	}()
+	select {
+	case <-done:
+		return shardResponse{shard: b.Name, status: mem.status, header: mem.header, body: mem.body.Bytes()}
+	case <-ctx.Done():
+		return shardResponse{shard: b.Name, err: fmt.Errorf("shard %s: %w", b.Name, ctx.Err())}
+	}
+}
+
+// scatter calls every shard concurrently and returns the responses in
+// backend order.
+func (rt *Router) scatter(ctx context.Context, method, target string, body []byte, hdr http.Header, timeout time.Duration) []shardResponse {
+	out := make([]shardResponse, len(rt.backends))
+	var wg sync.WaitGroup
+	for i := range rt.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = rt.call(ctx, &rt.backends[i], method, target, body, hdr, timeout)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// gatherJSON scatters a GET and decodes every shard's 200 response
+// into fresh values of type T. Any transport error or non-200 fails
+// the gather with the offending shards listed.
+func gatherJSON[T any](rt *Router, ctx context.Context, target string) (map[string]T, *fanoutError) {
+	resps := rt.scatter(ctx, http.MethodGet, target, nil, nil, rt.timeout)
+	out := make(map[string]T, len(resps))
+	var fail fanoutError
+	for _, resp := range resps {
+		if resp.err != nil {
+			fail.add(resp.shard, resp.err.Error())
+			continue
+		}
+		if resp.status != http.StatusOK {
+			fail.add(resp.shard, fmt.Sprintf("status %d: %s", resp.status, strings.TrimSpace(string(resp.body))))
+			continue
+		}
+		var v T
+		if err := jsonDecode(resp.body, &v); err != nil {
+			fail.add(resp.shard, err.Error())
+			continue
+		}
+		out[resp.shard] = v
+	}
+	if len(fail.Shards) > 0 {
+		return nil, &fail
+	}
+	return out, nil
+}
+
+// fanoutError is the 503 payload naming the shards a scatter lost.
+type fanoutError struct {
+	Error string `json:"error"`
+	// Shards maps each failing shard to why.
+	Shards map[string]string `json:"shards"`
+}
+
+func (f *fanoutError) add(shard, msg string) {
+	if f.Shards == nil {
+		f.Shards = make(map[string]string)
+	}
+	f.Shards[shard] = msg
+}
+
+func (f *fanoutError) write(w http.ResponseWriter) {
+	f.Error = "shard fan-out failed"
+	writeJSON(w, http.StatusServiceUnavailable, f)
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if _, fail := gatherJSON[map[string]string](rt, r.Context(), "/healthz"); fail != nil {
+		fail.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// RouterReadyJSON is the router's GET /readyz payload.
+type RouterReadyJSON struct {
+	Ready bool `json:"ready"`
+	// Shards maps each shard to its readiness.
+	Shards map[string]ReadyJSON `json:"shards"`
+	// Unready lists the shards without a live snapshot, sorted.
+	Unready []string `json:"unready,omitempty"`
+}
+
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	// Readiness needs the per-shard payload even on 503, so scatter by
+	// hand instead of through gatherJSON's all-200 contract.
+	resps := rt.scatter(r.Context(), http.MethodGet, "/readyz", nil, nil, rt.timeout)
+	out := RouterReadyJSON{Ready: true, Shards: make(map[string]ReadyJSON, len(resps))}
+	for _, resp := range resps {
+		var rj ReadyJSON
+		if resp.err == nil && jsonDecode(resp.body, &rj) == nil && rj.Ready {
+			out.Shards[resp.shard] = rj
+			continue
+		}
+		out.Shards[resp.shard] = rj
+		out.Ready = false
+		out.Unready = append(out.Unready, resp.shard)
+	}
+	sort.Strings(out.Unready)
+	status := http.StatusOK
+	if !out.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}
+
+// handleOwnerRoute is the single-owner fast path: the ring names the
+// owning shard and the response relays verbatim.
+func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	owner := rt.ring.Owner(id)
+	b := rt.byName[owner]
+	if b == nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: no shard owns vehicle %q", id))
+		return
+	}
+	target := r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	resp := rt.call(r.Context(), b, r.Method, target, nil, r.Header, rt.timeout)
+	if resp.err != nil {
+		(&fanoutError{Shards: map[string]string{owner: resp.err.Error()}}).write(w)
+		return
+	}
+	for k, vs := range resp.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Fleet-Shard", owner)
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+func (rt *Router) handleVehicles(w http.ResponseWriter, r *http.Request) {
+	parts, fail := gatherJSON[[]VehicleInfo](rt, r.Context(), "/vehicles")
+	if fail != nil {
+		fail.write(w)
+		return
+	}
+	var out []VehicleInfo
+	for _, rows := range parts {
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if out == nil {
+		out = []VehicleInfo{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mergeFleetForecasts combines per-shard /fleet/forecast payloads into
+// the fleet-wide one: forecasts sorted by vehicle ID (each vehicle is
+// owned by exactly one shard, so the merge is a disjoint union),
+// errors unioned.
+func mergeFleetForecasts(parts map[string]FleetForecastJSON) FleetForecastJSON {
+	out := FleetForecastJSON{Forecasts: []ForecastJSON{}}
+	for _, part := range parts {
+		out.Forecasts = append(out.Forecasts, part.Forecasts...)
+		for id, msg := range part.Errors {
+			if out.Errors == nil {
+				out.Errors = make(map[string]string)
+			}
+			out.Errors[id] = msg
+		}
+	}
+	sort.Slice(out.Forecasts, func(i, j int) bool { return out.Forecasts[i].VehicleID < out.Forecasts[j].VehicleID })
+	return out
+}
+
+func (rt *Router) handleFleetForecast(w http.ResponseWriter, r *http.Request) {
+	parts, fail := gatherJSON[FleetForecastJSON](rt, r.Context(), "/fleet/forecast")
+	if fail != nil {
+		fail.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, mergeFleetForecasts(parts))
+}
+
+// handlePlan schedules the whole fleet through the shared writePlan
+// path: forecasts gather from every shard, then the workshop scheduler
+// runs once at the router — a plan is a fleet-global optimization
+// (capacity is shared across shards), so per-shard plans cannot merge.
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	parts, fail := gatherJSON[FleetForecastJSON](rt, r.Context(), "/fleet/forecast")
+	if fail != nil {
+		fail.write(w)
+		return
+	}
+	merged := mergeFleetForecasts(parts)
+	writePlan(w, r, func(now time.Time) []sched.Request {
+		var reqs []sched.Request
+		for _, f := range merged.Forecasts {
+			// The due date came from a shard's own wire encoding; a
+			// parse failure is impossible short of a corrupted relay,
+			// and the clamp below keeps a zero date schedulable anyway.
+			due, _ := time.Parse("2006-01-02", f.DueDate)
+			if due.Before(now) {
+				due = now
+			}
+			reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+		}
+		return reqs
+	}, merged.Errors)
+}
+
+// handleTelemetry guards, then broadcasts the batch to every shard.
+// Each shard keeps the full telemetry (the donor pool is fleet-wide);
+// the response reports each vehicle from its owner shard, whose engine
+// is the one that serves it.
+func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !rt.telemetry.admit(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxTelemetryBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: telemetry batch exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: reading telemetry batch: %v", err))
+		return
+	}
+	// Shared-store fast path (in-process topology): decode and upsert
+	// the batch exactly once here, then scatter only an *empty* batch
+	// so each shard still runs its dirty-retrain trigger against the
+	// store's new state. The broadcast below is for per-shard stores.
+	var ownResult *ingest.BatchResult
+	if rt.ingest != nil {
+		var req TelemetryRequest
+		if err := jsonDecode(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
+			return
+		}
+		if len(req.Reports) > maxTelemetryReports {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
+			return
+		}
+		res := rt.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+		ownResult = &res
+		body = []byte(`{"reports":[]}`)
+	}
+
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	resps := rt.scatter(r.Context(), http.MethodPost, "/telemetry", body, hdr, rt.timeout)
+
+	var fail fanoutError
+	byShard := make(map[string]TelemetryResponse, len(resps))
+	for _, resp := range resps {
+		if resp.err != nil {
+			fail.add(resp.shard, resp.err.Error())
+			continue
+		}
+		// Per-report validation errors come back inside a 200; a
+		// non-200 here is a malformed batch (or a shard failure) and
+		// relays as-is — headers included — from the first shard that
+		// said so.
+		if resp.status != http.StatusOK {
+			for k, vs := range resp.header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(resp.status)
+			_, _ = w.Write(resp.body)
+			return
+		}
+		var tr TelemetryResponse
+		if err := jsonDecode(resp.body, &tr); err != nil {
+			fail.add(resp.shard, err.Error())
+			continue
+		}
+		byShard[resp.shard] = tr
+	}
+	if len(fail.Shards) > 0 {
+		fail.write(w)
+		return
+	}
+
+	// Shared-store fast path: the router's own upsert is the one
+	// authoritative result; the shards only contributed their retrain
+	// triggers.
+	if ownResult != nil {
+		out := TelemetryResponse{BatchResult: *ownResult}
+		for _, tr := range byShard {
+			if tr.RetrainStarted {
+				out.RetrainStarted = true
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	// Merge to one per-vehicle report. Accept/reject counts are
+	// identical on every shard (same validation over the same batch);
+	// Changed is not: with the in-process cluster's *shared* store the
+	// broadcast lands as a real change on exactly one shard and as an
+	// idempotent no-op on the rest, and with per-process stores every
+	// shard reports the same change. Taking each vehicle's
+	// maximum-Changed response (owner shard winning ties) yields "what
+	// this batch changed, counted once" in both topologies. Shards
+	// iterate in sorted order so the merge is deterministic.
+	merged := TelemetryResponse{}
+	merged.Vehicles = make(map[string]*ingest.VehicleResult)
+	shardNames := make([]string, 0, len(byShard))
+	for name := range byShard {
+		shardNames = append(shardNames, name)
+	}
+	sort.Strings(shardNames)
+	for _, shardName := range shardNames {
+		tr := byShard[shardName]
+		if tr.RetrainStarted {
+			merged.RetrainStarted = true
+		}
+		if tr.Seq > merged.Seq {
+			merged.Seq = tr.Seq
+		}
+		for id, vr := range tr.Vehicles {
+			cur, seen := merged.Vehicles[id]
+			isOwner := id != "" && rt.ring.Owner(id) == shardName
+			if !seen || vr.Changed > cur.Changed || (vr.Changed == cur.Changed && isOwner) {
+				merged.Vehicles[id] = vr
+			}
+		}
+	}
+	for _, vr := range merged.Vehicles {
+		merged.Accepted += vr.Accepted
+		merged.Rejected += vr.Rejected
+		merged.Changed += vr.Changed
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// RouterRetrainJSON is the fan-out POST /admin/retrain response.
+type RouterRetrainJSON struct {
+	// Started reports whether every shard accepted the kick.
+	Started bool `json:"started"`
+	// Shards maps each shard to its own retrain acknowledgement or
+	// error.
+	Shards map[string]any `json:"shards"`
+}
+
+func (rt *Router) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	target := "/admin/retrain"
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	wait, err := boolQuery(r, "wait")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := rt.timeout
+	if wait {
+		timeout = 0 // a waited fleet rebuild may take arbitrarily long
+	}
+	resps := rt.scatter(r.Context(), http.MethodPost, target, nil, nil, timeout)
+	out := RouterRetrainJSON{Started: true, Shards: make(map[string]any, len(resps))}
+	status := http.StatusAccepted
+	if wait {
+		status = http.StatusOK
+	}
+	for _, resp := range resps {
+		if resp.err != nil {
+			out.Started = false
+			out.Shards[resp.shard] = map[string]string{"error": resp.err.Error()}
+			status = http.StatusServiceUnavailable
+			continue
+		}
+		var v any
+		_ = jsonDecode(resp.body, &v)
+		out.Shards[resp.shard] = v
+		if resp.status >= 300 {
+			out.Started = false
+			if resp.status == http.StatusConflict {
+				status = http.StatusConflict
+			} else if status < http.StatusInternalServerError {
+				status = http.StatusBadGateway
+			}
+		}
+	}
+	writeJSON(w, status, out)
+}
+
+// RouterStatusJSON aggregates /admin/status across shards.
+type RouterStatusJSON struct {
+	// Ready reports whether every shard serves a snapshot.
+	Ready bool `json:"ready"`
+	// Retraining reports whether any shard is building.
+	Retraining bool `json:"retraining"`
+	// Vehicles totals the fleet across shards; Reused/Retrained
+	// likewise.
+	Vehicles  int `json:"vehicles"`
+	Reused    int `json:"reused"`
+	Retrained int `json:"retrained"`
+	// FailedVehicles unions the per-shard failure maps.
+	FailedVehicles map[string]string `json:"failed_vehicles,omitempty"`
+	// Shards holds each shard's full status.
+	Shards map[string]engine.Status `json:"shards"`
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	parts, fail := gatherJSON[engine.Status](rt, r.Context(), "/admin/status")
+	if fail != nil {
+		fail.write(w)
+		return
+	}
+	out := RouterStatusJSON{Ready: true, Shards: parts}
+	for _, st := range parts {
+		if !st.Ready {
+			out.Ready = false
+		}
+		if st.Retraining {
+			out.Retraining = true
+		}
+		out.Vehicles += st.Vehicles
+		out.Reused += st.Reused
+		out.Retrained += st.Retrained
+		for id, msg := range st.FailedVehicles {
+			if out.FailedVehicles == nil {
+				out.FailedVehicles = make(map[string]string)
+			}
+			out.FailedVehicles[id] = msg
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// RouterIngestJSON aggregates /admin/ingest across shards.
+type RouterIngestJSON struct {
+	// Shards holds each shard's ingest stats. With broadcast
+	// replication the per-shard stores converge to the same content;
+	// per-shard counters still differ by delivery timing, so they are
+	// reported per shard rather than summed.
+	Shards map[string]IngestStatsJSON `json:"shards"`
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	parts, fail := gatherJSON[IngestStatsJSON](rt, r.Context(), "/admin/ingest")
+	if fail != nil {
+		fail.write(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, RouterIngestJSON{Shards: parts})
+}

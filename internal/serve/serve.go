@@ -58,6 +58,10 @@ type Options struct {
 	// kick. 0 leaves retraining to /admin/retrain and the periodic
 	// loop.
 	RetrainDirty int
+	// Telemetry guards POST /telemetry (rate limit + bearer auth). In a
+	// sharded deployment the guard belongs on the router — shards stay
+	// trusted-internal — so cluster shard servers leave this zero.
+	Telemetry GuardOptions
 }
 
 // Server wraps a fleet engine. All handlers are safe for arbitrary
@@ -68,6 +72,7 @@ type Server struct {
 
 	ingest       *ingest.Store
 	retrainDirty int
+	telemetry    *guard
 	// kickMu guards the dirty-threshold retrain policy: lastKickSeq is
 	// the store sequence the latest auto-retrain was kicked at;
 	// prevKickSeq is the baseline to roll back to if that build fails,
@@ -101,6 +106,7 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 		mux:          http.NewServeMux(),
 		ingest:       opts.Ingest,
 		retrainDirty: opts.RetrainDirty,
+		telemetry:    newGuard(opts.Telemetry),
 	}
 	if s.ingest != nil {
 		// Baseline the dirty-threshold policy at the store's current
@@ -110,6 +116,7 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 		s.prevKickSeq = s.lastKickSeq
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /vehicles", s.handleVehicles)
 	s.mux.HandleFunc("GET /vehicles/{id}/forecast", s.handleForecast)
 	s.mux.HandleFunc("GET /fleet/forecast", s.handleFleetForecast)
@@ -152,6 +159,24 @@ func (s *Server) snapshot(w http.ResponseWriter) (*engine.Snapshot, bool) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyJSON is the GET /readyz response.
+type ReadyJSON struct {
+	Ready      bool   `json:"ready"`
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// handleReady is the readiness probe: 200 once a snapshot (trained or
+// restored from a spill) is live, 503 while the process can only serve
+// health checks. Liveness (/healthz) stays separate so an orchestrator
+// does not kill a pod that is merely still cold-training.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if snap := s.engine.Snapshot(); snap != nil {
+		writeJSON(w, http.StatusOK, ReadyJSON{Ready: true, Generation: snap.Generation})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, ReadyJSON{Ready: false})
 }
 
 // VehicleInfo is the /vehicles row.
@@ -257,6 +282,31 @@ type AssignmentJSON struct {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w)
+	if !ok {
+		return
+	}
+	writePlan(w, r, func(now time.Time) []sched.Request {
+		var reqs []sched.Request
+		for _, f := range snap.Forecasts {
+			due := f.DueDate
+			if due.Before(now) {
+				due = now
+			}
+			reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+		}
+		return reqs
+	}, snap.ForecastErrors)
+}
+
+// writePlan is the one /fleet/plan implementation, shared by the
+// single server (requests from its snapshot) and the cluster router
+// (requests gathered from every shard — a plan is a fleet-global
+// optimization, so per-shard plans cannot merge). It parses the common
+// query parameters, schedules, and writes the PlanJSON; vehicles in
+// forecastErrors are listed unscheduled so a plan never silently drops
+// a vehicle.
+func writePlan(w http.ResponseWriter, r *http.Request, requests func(now time.Time) []sched.Request, forecastErrors map[string]string) {
 	capacity, err := intQuery(r, "capacity", 2)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -273,28 +323,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
-	}
-	var reqs []sched.Request
 	now := time.Now().UTC().Truncate(24 * time.Hour)
-	for _, f := range snap.Forecasts {
-		due := f.DueDate
-		if due.Before(now) {
-			due = now
-		}
-		reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
-	}
-	plan, err := sched.Schedule(reqs, sched.Config{Capacity: capacity, Start: now, Horizon: horizon, MaxLead: maxLead})
+	plan, err := sched.Schedule(requests(now), sched.Config{Capacity: capacity, Start: now, Horizon: horizon, MaxLead: maxLead})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	out := PlanJSON{Unscheduled: plan.Unschedulable}
-	// Vehicles without a precomputed forecast cannot be scheduled; list
-	// them explicitly so the plan never silently drops a vehicle.
-	for _, id := range sortedKeys(snap.ForecastErrors) {
+	for _, id := range sortedKeys(forecastErrors) {
 		out.Unscheduled = append(out.Unscheduled, id)
 	}
 	for _, a := range plan.Assignments {
@@ -398,6 +434,9 @@ const maxTelemetryReports = 500_000
 // must not discard a whole fleet upload. Re-delivering a batch is
 // harmless (idempotent upserts).
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !s.telemetry.admit(w, r) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxTelemetryBody)
 	var req TelemetryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -413,22 +452,30 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
 		return
 	}
-	reports := make([]ingest.Report, len(req.Reports))
-	for i, rj := range req.Reports {
+	res := s.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+	out := TelemetryResponse{BatchResult: res}
+	// Check the dirty threshold even when *this* batch changed nothing:
+	// with a shared store behind several shard servers (the in-process
+	// cluster), a broadcast batch lands as a change on the first shard
+	// and as an idempotent no-op on the rest — but every shard must
+	// still notice the store moved and judge its own retrain trigger.
+	out.RetrainStarted = s.maybeKickRetrain()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// reportsFromJSON converts wire reports to store reports. A bad date
+// leaves Date zero; the store rejects the report with a per-report
+// error, keeping one bookkeeping path.
+func reportsFromJSON(in []ReportJSON) []ingest.Report {
+	reports := make([]ingest.Report, len(in))
+	for i, rj := range in {
 		rep := ingest.Report{VehicleID: rj.Vehicle, Seconds: rj.Seconds}
-		// A bad date leaves Date zero; the store rejects the report
-		// with a per-report error, keeping one bookkeeping path.
 		if d, err := time.Parse("2006-01-02", rj.Date); err == nil {
 			rep.Date = d
 		}
 		reports[i] = rep
 	}
-	res := s.ingest.UpsertBatch(reports)
-	out := TelemetryResponse{BatchResult: res}
-	if res.Changed > 0 {
-		out.RetrainStarted = s.maybeKickRetrain()
-	}
-	writeJSON(w, http.StatusOK, out)
+	return reports
 }
 
 // maybeKickRetrain starts a background incremental retrain when the

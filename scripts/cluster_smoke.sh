@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end check of the sharded serving topology.
+#
+# Spins up a 3-shard multi-process cluster (one fleetserver per shard
+# plus a router), replays fleetgen telemetry through the router, and
+# asserts:
+#   1. the router's merged /fleet/forecast is byte-identical to a
+#      single unsharded fleetserver over the same data;
+#   2. per-vehicle routes answer from the owning shard (X-Fleet-Shard);
+#   3. the router-level telemetry guard rejects a bad bearer token;
+#   4. a shard restarted from its -snapshot-dir serves its prior
+#      generation immediately (readyz + unchanged generation, no
+#      cold-training).
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "cluster-smoke: working in $WORK"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$WORK/fleetserver" ./cmd/fleetserver
+go build -o "$WORK/fleetgen" ./cmd/fleetgen
+
+"$WORK/fleetgen" -vehicles 24 -days 900 -o "$WORK/fleet.csv"
+
+TOKEN="smoke-secret"
+
+wait_ready() { # url [tries]
+  local url=$1 tries=${2:-100}
+  for _ in $(seq "$tries"); do
+    if curl -fsS "$url/readyz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "cluster-smoke: $url never became ready" >&2
+  return 1
+}
+
+# retrain_settled URL — force a waited incremental retrain so the
+# serving snapshot covers everything ingested so far. Retries around
+# 409s from still-running dirty-threshold builds.
+retrain_settled() {
+  local url=$1
+  for _ in $(seq 60); do
+    local code
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$url/admin/retrain?wait=1")
+    if [ "$code" = "200" ]; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "cluster-smoke: retrain at $url never settled" >&2
+  return 1
+}
+
+# --- single-process reference ------------------------------------------------
+# Live-ingest mode, seeded from the CSV, then fed the same replay the
+# cluster gets — both sides converge on identical store content.
+"$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
+  -addr 127.0.0.1:18080 >"$WORK/single.log" 2>&1 &
+PIDS+=($!)
+wait_ready http://127.0.0.1:18080 300
+"$WORK/fleetgen" -vehicles 24 -days 900 -post http://127.0.0.1:18080 \
+  >"$WORK/replay-single.log" 2>&1
+retrain_settled http://127.0.0.1:18080
+curl -fsS http://127.0.0.1:18080/fleet/forecast >"$WORK/single.json"
+
+# --- 3-shard cluster ---------------------------------------------------------
+PEERS="shard0=http://127.0.0.1:18081,shard1=http://127.0.0.1:18082,shard2=http://127.0.0.1:18083"
+for i in 0 1 2; do
+  "$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
+    -join "shard$i" -peers "$PEERS" \
+    -snapshot-dir "$WORK/snapshots" \
+    -addr "127.0.0.1:1808$((i + 1))" >"$WORK/shard$i.log" 2>&1 &
+  PIDS+=($!)
+done
+"$WORK/fleetserver" -peers "$PEERS" -telemetry-token "$TOKEN" \
+  -addr 127.0.0.1:18084 >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+
+wait_ready http://127.0.0.1:18084 300
+
+# Replay the same fleet through the router as live telemetry
+# (broadcast to every shard, guarded by the bearer token).
+"$WORK/fleetgen" -vehicles 24 -days 900 -post http://127.0.0.1:18084 \
+  -auth-token "$TOKEN" >"$WORK/replay.log" 2>&1
+retrain_settled http://127.0.0.1:18084
+
+# 1. Merged forecasts equal the single-process output byte for byte.
+curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster.json"
+if ! cmp -s "$WORK/single.json" "$WORK/cluster.json"; then
+  echo "cluster-smoke: FAIL — sharded /fleet/forecast differs from single-process" >&2
+  diff "$WORK/single.json" "$WORK/cluster.json" | head >&2 || true
+  exit 1
+fi
+echo "cluster-smoke: merged forecasts are byte-identical to single-process"
+
+# 2. Per-vehicle affinity: the router names the owning shard.
+SHARD_HDR=$(curl -fsS -D - -o /dev/null http://127.0.0.1:18084/vehicles/v01/forecast \
+  | tr -d '\r' | awk -F': ' 'tolower($1)=="x-fleet-shard"{print $2}')
+case "$SHARD_HDR" in
+  shard0 | shard1 | shard2) echo "cluster-smoke: v01 served by $SHARD_HDR" ;;
+  *)
+    echo "cluster-smoke: FAIL — missing/unknown X-Fleet-Shard header: '$SHARD_HDR'" >&2
+    exit 1
+    ;;
+esac
+
+# 3. The router-level guard rejects bad credentials.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -H 'Authorization: Bearer wrong' -H 'Content-Type: application/json' \
+  -d '{"reports":[]}' http://127.0.0.1:18084/telemetry)
+if [ "$CODE" != "401" ]; then
+  echo "cluster-smoke: FAIL — bad token got $CODE, want 401" >&2
+  exit 1
+fi
+echo "cluster-smoke: bad bearer token rejected with 401"
+
+# 4. Snapshot restore: restart shard0 and require it to serve its
+# prior generation immediately (no cold training).
+GEN_BEFORE=$(curl -fsS http://127.0.0.1:18081/readyz | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
+kill "${PIDS[1]}" 2>/dev/null
+wait "${PIDS[1]}" 2>/dev/null || true
+"$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
+  -join shard0 -peers "$PEERS" -snapshot-dir "$WORK/snapshots" \
+  -addr 127.0.0.1:18081 >"$WORK/shard0-restart.log" 2>&1 &
+PIDS+=($!)
+wait_ready http://127.0.0.1:18081 50 # restore must be fast: no training allowed
+GEN_AFTER=$(curl -fsS http://127.0.0.1:18081/readyz | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
+if [ -z "$GEN_AFTER" ] || [ "$GEN_AFTER" != "$GEN_BEFORE" ]; then
+  echo "cluster-smoke: FAIL — restarted shard0 serves generation '$GEN_AFTER', want restored '$GEN_BEFORE'" >&2
+  exit 1
+fi
+if ! grep -q "serving restored generation" "$WORK/shard0-restart.log"; then
+  echo "cluster-smoke: FAIL — shard0 restart did not restore from snapshot-dir" >&2
+  cat "$WORK/shard0-restart.log" >&2
+  exit 1
+fi
+echo "cluster-smoke: shard0 restarted from snapshot (generation $GEN_AFTER, no cold train)"
+
+# The restored shard still serves correct data through the router.
+curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster-restored.json"
+if ! cmp -s "$WORK/single.json" "$WORK/cluster-restored.json"; then
+  echo "cluster-smoke: FAIL — forecasts drifted after shard restart" >&2
+  exit 1
+fi
+echo "cluster-smoke: PASS"
