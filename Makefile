@@ -19,10 +19,11 @@ BENCHTIME ?= 1s
 bench-ml:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench_ml.sh BENCH_ml.json
 
-# cluster-smoke spins up 3 shard fleetservers + a router, replays
-# fleetgen telemetry through the guarded router, and asserts the merged
-# fleet forecasts are byte-identical to a single unsharded process —
-# then restarts a shard from its snapshot spill and requires it to
-# serve its prior generation without cold-training.
+# cluster-smoke spins up 3 shard fleetservers (each with its own WAL
+# and snapshot spill) + a router that partitions telemetry to ring
+# owners, SIGKILLs a shard mid-replay, and asserts the recovered
+# cluster's merged fleet forecasts are byte-identical to a single
+# unsharded process with zero acknowledged reports lost, and that raw
+# telemetry storage partitions ~1/N across disjoint per-shard stores.
 cluster-smoke:
 	./scripts/cluster_smoke.sh

@@ -1,7 +1,8 @@
 // Command fleetctl inspects a fleet CSV (as produced by fleetgen) and
 // serves the deployed-system workflow from the command line: categorize
-// vehicles, show maintenance cycles, and forecast the next maintenance
-// date for every vehicle.
+// vehicles, show maintenance cycles, forecast the next maintenance
+// date for every vehicle, and inspect a running fleetserver's ingest
+// store (durability/WAL state included).
 //
 // Usage:
 //
@@ -11,21 +12,31 @@
 //	                                           # train + forecast fleet
 //	                                           # (-shards N partitions
 //	                                           # training; same output)
+//	fleetctl ingest [-url http://host:8080]    # live ingest-store stats
+//	                                           # (vehicles, WAL segments,
+//	                                           # replay, checkpoint) from
+//	                                           # a server or a cluster
+//	                                           # router
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataprep"
 	"repro/internal/engine"
+	"repro/internal/serve"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
 )
@@ -35,15 +46,28 @@ func main() {
 	log.SetPrefix("fleetctl: ")
 
 	var (
-		data    = flag.String("data", "", "fleet CSV file (required)")
+		data    = flag.String("data", "", "fleet CSV file (required except for ingest)")
 		vehicle = flag.String("vehicle", "", "vehicle ID filter (cycles)")
 		window  = flag.Int("w", 6, "feature window W for predict")
 		workers = flag.Int("workers", 0, "training pool size for predict (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 1, "train predict on this many consistent-hash engine shards (output is bit-identical to -shards 1)")
+		url     = flag.String("url", "http://127.0.0.1:8080", "fleetserver (or cluster router) base URL for ingest")
 	)
 	flag.Parse()
+	if flag.NArg() >= 1 && flag.Arg(0) == "ingest" {
+		// Subcommand-local flags, so both `fleetctl ingest -url X` and
+		// `fleetctl -url X ingest` work.
+		fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+		subURL := fs.String("url", *url, "fleetserver (or cluster router) base URL")
+		_ = fs.Parse(flag.Args()[1:])
+		if err := ingestStats(*subURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *data == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fleetctl -data fleet.csv [flags] status|cycles|predict")
+		fmt.Fprintln(os.Stderr, "       fleetctl ingest [-url http://host:8080]")
 		os.Exit(2)
 	}
 
@@ -78,6 +102,81 @@ func main() {
 	default:
 		log.Fatalf("unknown subcommand %q (want status, cycles or predict)", flag.Arg(0))
 	}
+}
+
+// ingestStats fetches GET /admin/ingest from a fleetserver — or a
+// cluster router, whose payload nests per-shard stats — and
+// pretty-prints the store and WAL/durability state.
+func ingestStats(baseURL string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(baseURL + "/admin/ingest")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/admin/ingest answered %s: %s", baseURL, resp.Status, body)
+	}
+
+	// A router payload is {"shards":{name:stats,...}}; a single server
+	// answers the stats object directly.
+	var router serve.RouterIngestJSON
+	if err := json.Unmarshal(body, &router); err == nil && len(router.Shards) > 0 {
+		names := make([]string, 0, len(router.Shards))
+		for name := range router.Shards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("=== shard %s ===\n", name)
+			printIngestStats(router.Shards[name])
+		}
+		return nil
+	}
+	var st serve.IngestStatsJSON
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decoding /admin/ingest payload: %w", err)
+	}
+	printIngestStats(st)
+	return nil
+}
+
+func printIngestStats(st serve.IngestStatsJSON) {
+	fmt.Printf("vehicles      %d\n", st.Vehicles)
+	fmt.Printf("reports       %d accepted, %d rejected, %d changed content (seq %d)\n",
+		st.Accepted, st.Rejected, st.Changed, st.Seq)
+	fmt.Printf("prep cache    %d hits, %d misses\n", st.PrepCacheHits, st.PrepCacheMisses)
+	if st.RetrainDirtyThreshold > 0 {
+		fmt.Printf("retrain       auto at %d dirty vehicles (%d dirty now)\n",
+			st.RetrainDirtyThreshold, len(st.DirtySinceLastRetrain))
+	} else {
+		fmt.Printf("retrain       manual/periodic only\n")
+	}
+	if st.WAL == nil {
+		fmt.Printf("durability    in-memory (no WAL)\n")
+		return
+	}
+	w := st.WAL
+	fmt.Printf("wal           %s\n", w.Dir)
+	fmt.Printf("  segments    %d (%d bytes, records %d..%d, %d compacted)\n",
+		w.Segments, w.Bytes, w.FirstIndex, w.LastIndex, w.CompactedSegments)
+	fmt.Printf("  appends     %d (%d rotations, %d fsyncs, last fsync %s)\n",
+		w.Appends, w.Rotations, w.Fsyncs, orNever(w.LastFsync))
+	fmt.Printf("  replay      %d records in %.3fs, %d truncated-tail events\n",
+		w.ReplayRecords, w.ReplaySeconds, w.TruncatedTailEvents)
+	fmt.Printf("  checkpoint  wal index %d, seq %d, written %s\n",
+		w.CheckpointIndex, w.CheckpointSeq, orNever(w.LastCheckpoint))
+}
+
+func orNever(s string) string {
+	if s == "" {
+		return "never"
+	}
+	return s
 }
 
 func status(prepared []*dataprep.PreparedVehicle) {

@@ -13,6 +13,17 @@
 //     store at boot. With -retrain-dirty N, an incremental retrain
 //     kicks automatically once N vehicles have changed.
 //
+// Telemetry durability (-wal-dir, live mode): every accepted batch is
+// journaled through a segmented write-ahead log before it is
+// acknowledged (-fsync always|interval|never picks the sync policy),
+// and a restarted process reconstructs the store by replaying the log
+// — a kill -9 loses no acknowledged report. Combined with
+// -snapshot-dir the boot order is snapstore-restore → WAL-replay →
+// incremental reconcile retrain, so a crashed server comes back
+// serving its last generation and folds recovered telemetry in without
+// ever cold-training; each persisted generation also checkpoints the
+// store and compacts the WAL segments the checkpoint covers.
+//
 // Cluster topologies (see internal/cluster and ARCHITECTURE.md):
 //
 //   - -shards N: one process, N engine shards behind a consistent-hash
@@ -20,11 +31,16 @@
 //     on the same data; training parallelizes per shard.
 //   - -join NAME -peers LIST: this process is shard NAME of a
 //     multi-process cluster; LIST ("name=url,name=url,...") fixes the
-//     ring membership. The process trains and serves only the vehicles
-//     the ring assigns to NAME (plus donor-only copies of the other
-//     shards' old vehicles).
+//     ring membership. The process stores, trains and serves only the
+//     vehicles the ring assigns to NAME — the router partitions
+//     telemetry to owners, so raw storage is ~1/N per shard — and
+//     assembles its fleet-wide cold-start donor pool by pulling its
+//     peers' old-vehicle series over GET /internal/donors at each
+//     retrain (the donor-series exchange; live mode requires peer
+//     URLs).
 //   - -peers LIST without -join: a pure router. No engine runs here;
-//     requests fan out to the peers and merge.
+//     requests fan out to the peers and merge, and POST /telemetry
+//     routes each vehicle's reports to its ring owner only.
 //
 // Snapshot persistence: with -snapshot-dir every published generation
 // is spilled to disk (atomic rename) and restored at the next boot, so
@@ -42,6 +58,7 @@
 //	fleetserver -data fleet.csv [-addr :8080] [-w 6] [-workers 8]
 //	            [-retrain-interval 1h] [-ingest] [-retrain-dirty 1]
 //	            [-shards 4] [-snapshot-dir /var/lib/fleet]
+//	            [-wal-dir /var/lib/fleet/wal] [-fsync always]
 //	            [-telemetry-rps 50] [-telemetry-token SECRET]
 //	fleetserver -join shard0 -peers shard0=http://h0:8080,shard1=http://h1:8080 ...
 //	fleetserver -peers shard0=http://h0:8080,shard1=http://h1:8080 [-addr :8000]
@@ -68,6 +85,7 @@ import (
 	"repro/internal/snapstore"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -87,6 +105,8 @@ func main() {
 		join    = flag.String("join", "", "multi-process mode: this process's shard name (must appear in -peers)")
 		peers   = flag.String("peers", "", "cluster membership as name=url[,name=url...]; with -join names the ring, without -join runs a pure router")
 		snapDir = flag.String("snapshot-dir", "", "spill each generation here and restore it at boot instead of cold-training")
+		walDir  = flag.String("wal-dir", "", "with -ingest: journal accepted telemetry batches here and replay them at boot (crash-safe ingest)")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval, or never")
 
 		telToken = flag.String("telemetry-token", "", "require 'Authorization: Bearer <token>' on POST /telemetry")
 		telRPS   = flag.Float64("telemetry-rps", 0, "rate-limit POST /telemetry at this many requests/second (0 = unlimited)")
@@ -111,6 +131,9 @@ func main() {
 	if *retrainDirt > 0 && !*liveIngest {
 		log.Fatal("-retrain-dirty needs -ingest")
 	}
+	if *walDir != "" && !*liveIngest {
+		log.Fatal("-wal-dir needs -ingest")
+	}
 	if *shards > 1 && *join != "" {
 		log.Fatal("-shards and -join are mutually exclusive")
 	}
@@ -122,23 +145,71 @@ func main() {
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = *window
 
-	// Base fleet source: live store or CSV re-read.
+	// Cluster shard membership (needed before seeding: a partitioned
+	// shard stores only its ring-owned slice of the fleet).
+	var (
+		ring     *cluster.Ring
+		peerURLs []string // other shards, for the donor exchange
+	)
+	if *join != "" {
+		members := parsePeers(*peers)
+		names := make([]string, 0, len(members))
+		found := false
+		for _, m := range members {
+			names = append(names, m.name)
+			if m.name == *join {
+				found = true
+				continue
+			}
+			if m.url != "" {
+				peerURLs = append(peerURLs, m.url)
+			}
+		}
+		if !found {
+			log.Fatalf("-join %s does not appear in -peers %s", *join, *peers)
+		}
+		var err error
+		if ring, err = cluster.NewRingOf(0, names...); err != nil {
+			log.Fatal(err)
+		}
+		if *liveIngest && len(peerURLs) != len(names)-1 {
+			log.Fatalf("live partitioned mode needs a URL for every peer in -peers (the donor-series exchange pulls from them)")
+		}
+		log.Printf("cluster shard %s of %d (ring members: %s)", *join, len(names), strings.Join(names, ", "))
+	}
+
+	// Base fleet source: live store (durable with -wal-dir) or CSV
+	// re-read. Boot order for a durable store: checkpoint + WAL replay
+	// happen inside OpenDurable, before anything is served.
 	var (
 		store *ingest.Store
 		base  engine.Source
 	)
 	if *liveIngest {
-		store = ingest.New(timeseries.DefaultAllowance)
+		store = openIngestStore(*walDir, *fsync)
 		if *data != "" {
 			fleet, err := readFleetCSV(*data)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := store.SeedFromFleet(fleet)
-			if err != nil {
-				log.Fatal(err)
+			if ring != nil {
+				// Partitioned shard: seed only the ring-owned vehicles;
+				// peers' telemetry never lands here (storage ~1/N).
+				owned := &telematics.Fleet{Config: fleet.Config}
+				for _, v := range fleet.Vehicles {
+					if ring.Owner(v.Profile.ID) == *join {
+						owned.Vehicles = append(owned.Vehicles, v)
+					}
+				}
+				fleet = owned
 			}
-			log.Printf("seeded ingest store from %s: %d vehicles, %d daily reports", *data, len(res.Vehicles), res.Accepted)
+			if len(fleet.Vehicles) > 0 {
+				res, err := store.SeedFromFleet(fleet)
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("seeded ingest store from %s: %d vehicles, %d daily reports", *data, len(res.Vehicles), res.Accepted)
+			}
 		}
 		base = store.Fleet
 	} else {
@@ -153,7 +224,11 @@ func main() {
 		}
 	}
 
-	waitForTelemetry := *liveIngest && len(store.Vehicles()) == 0
+	// A partitioned shard seeded from a CSV may legitimately own zero
+	// vehicles (the ring gave it none): it must still cold-train — the
+	// donor exchange makes its fleet non-empty — and publish a valid
+	// empty snapshot so the cluster's readiness does not hang on it.
+	waitForTelemetry := *liveIngest && len(store.Vehicles()) == 0 && (*data == "" || ring == nil)
 	ecfg := engine.Config{Predictor: cfg, Workers: *workers}
 
 	if *shards > 1 {
@@ -165,28 +240,21 @@ func main() {
 	// partition of it.
 	shardName := "default"
 	src := base
-	if *join != "" {
-		members := peerNames(*peers)
-		ring, err := cluster.NewRingOf(0, members...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		found := false
-		for _, m := range members {
-			if m == *join {
-				found = true
-			}
-		}
-		if !found {
-			log.Fatalf("-join %s does not appear in -peers %s", *join, *peers)
-		}
+	if ring != nil {
 		shardName = *join
-		src = cluster.PartitionSource(base, ring, *join)
-		log.Printf("cluster shard %s of %d (ring members: %s)", *join, len(members), strings.Join(members, ", "))
+		if *liveIngest {
+			// Partitioned store: everything local is owned; the
+			// fleet-wide donor pool is pulled from the peers at each
+			// retrain.
+			src = cluster.DonorExchangeSource(base, peerURLs, timeseries.DefaultAllowance, nil)
+		} else {
+			// CSV mode keeps the full fleet on local disk; partition it.
+			src = cluster.PartitionSource(base, ring, *join)
+		}
 	}
 
 	ecfg.Source = src
-	ecfg.OnSnapshot = snapshotSaver(snaps, shardName)
+	ecfg.OnSnapshot = snapshotSaver(snaps, shardName, store)
 	eng, err := engine.New(ecfg)
 	if err != nil {
 		log.Fatal(err)
@@ -202,25 +270,30 @@ func main() {
 	// /healthz and /admin/status immediately and 503s data endpoints
 	// until the first snapshot lands. A restored snapshot serves at
 	// once; retrains stay incremental against it, so the eager cold
-	// train is skipped.
+	// train is skipped — a reconcile retrain (incremental: everything
+	// the snapshot covers is reused without training) folds in whatever
+	// the WAL replay recovered beyond the snapshot.
 	switch {
 	case restored:
 		log.Printf("serving restored generation %d; retrains will be incremental", eng.Snapshot().Generation)
+		if *liveIngest && len(store.Vehicles()) > 0 {
+			retries := 0
+			if ring != nil {
+				retries = 60 // the first donor fetch races the peers' boot
+			}
+			go reconcileRetrain(eng, retries, shardName)
+		}
 	case waitForTelemetry:
 		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
 	default:
-		go func() {
-			snap, err := eng.RetrainFromSource(context.Background())
-			if err != nil {
-				if *interval <= 0 && *retrainDirt <= 0 {
-					log.Fatalf("initial training failed: %v", err)
-				}
-				log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
-				return
-			}
-			log.Printf("trained %d vehicles in %.1fs on %d workers",
-				len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
-		}()
+		// A partitioned shard's first donor fetch races its peers' boot:
+		// retry the cold train while the cluster assembles instead of
+		// wedging unready until telemetry happens to arrive.
+		retries := 0
+		if ring != nil && *liveIngest {
+			retries = 60
+		}
+		go initialTrain(eng, retries, *interval <= 0 && *retrainDirt <= 0)
 	}
 
 	if *interval > 0 {
@@ -244,7 +317,11 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 		onSnap = func(shard string, snap *engine.Snapshot) {
 			if err := snaps.Save(shard, snap); err != nil {
 				log.Printf("shard %s: spilling generation %d: %v", shard, snap.Generation, err)
+				return
 			}
+			// All in-process shards share one store; each persisted
+			// generation advances the shared checkpoint.
+			checkpointAfterSpill(store, shard, snap.Generation)
 		}
 	}
 	sharded, err := cluster.NewSharded(cluster.ShardedConfig{
@@ -271,6 +348,9 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 
 		if restoreSnapshot(sh.Engine, snaps, sh.Name) {
 			log.Printf("shard %s: serving restored generation %d", sh.Name, sh.Engine.Snapshot().Generation)
+			if store != nil && len(store.Vehicles()) > 0 {
+				go reconcileRetrain(sh.Engine, 0, sh.Name)
+			}
 		} else if !waitForTelemetry {
 			go func(sh cluster.Shard) {
 				snap, err := sh.Engine.RetrainFromSource(context.Background())
@@ -295,7 +375,7 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 		// those routes itself instead of relaying per-shard 404s.
 		DisableIngest: store == nil,
 		// All in-process shards wrap this one store: upsert batches
-		// once at the router instead of N broadcast copies.
+		// exactly once at the router.
 		SharedIngest: store,
 	})
 	if err != nil {
@@ -358,25 +438,114 @@ func parsePeers(s string) []peer {
 	return out
 }
 
-func peerNames(s string) []string {
-	ps := parsePeers(s)
-	names := make([]string, 0, len(ps))
-	for _, p := range ps {
-		names = append(names, p.name)
+// initialTrain runs the eager cold train, retrying up to `retries`
+// times a second apart (partitioned shards race their peers' boot for
+// the first donor fetch). fatal selects the fail-fast contract: with
+// no later retrain trigger configured, nothing would ever recover a
+// failed cold train, so exit for the orchestrator.
+func initialTrain(eng *engine.Engine, retries int, fatal bool) {
+	var snap *engine.Snapshot
+	var err error
+	for attempt := 0; ; attempt++ {
+		snap, err = eng.RetrainFromSource(context.Background())
+		if err == nil || attempt >= retries {
+			break
+		}
+		if attempt == 0 {
+			log.Printf("initial training failed: %v (retrying while the cluster assembles)", err)
+		}
+		time.Sleep(time.Second)
 	}
-	return names
+	if err != nil {
+		if fatal {
+			log.Fatalf("initial training failed: %v", err)
+		}
+		log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
+		return
+	}
+	log.Printf("trained %d vehicles in %.1fs on %d workers",
+		len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
+}
+
+// reconcileRetrain folds WAL-recovered telemetry into a restored
+// generation with one incremental retrain (near-free when the
+// snapshot already covers the store: fingerprints match, everything
+// reuses). Like initialTrain it retries while a partitioned cluster's
+// peers come up, so crash recovery completes without waiting for the
+// next telemetry batch or periodic tick. ErrRetrainInFlight means some
+// other trigger is already rebuilding from the same source — done.
+func reconcileRetrain(eng *engine.Engine, retries int, shard string) {
+	log.Printf("%s: reconciling restored generation with recovered telemetry (incremental)", shard)
+	for attempt := 0; ; attempt++ {
+		_, err := eng.TryRetrainFromSource(context.Background(), false)
+		if err == nil || errors.Is(err, engine.ErrRetrainInFlight) {
+			return
+		}
+		if attempt >= retries {
+			log.Printf("%s: reconcile retrain failed: %v (still serving the restored generation)", shard, err)
+			return
+		}
+		if attempt == 0 {
+			log.Printf("%s: reconcile retrain failed: %v (retrying while the cluster assembles)", shard, err)
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+// openIngestStore opens the live telemetry store: WAL-backed when a
+// directory is given (recovering checkpoint + journal before anything
+// serves), purely in-memory otherwise.
+func openIngestStore(walDir, fsyncPolicy string) *ingest.Store {
+	if walDir == "" {
+		return ingest.New(timeseries.DefaultAllowance)
+	}
+	policy, err := wal.ParseFsyncPolicy(fsyncPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := ingest.OpenDurable(timeseries.DefaultAllowance, ingest.DurableOptions{Dir: walDir, Fsync: policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st := store.Stats(); st.WAL != nil {
+		log.Printf("wal %s: recovered %d vehicles (seq %d) — %d records replayed in %.3fs, %d truncated-tail events, fsync=%s",
+			walDir, st.Vehicles, st.Seq, st.WAL.ReplayRecords, st.WAL.ReplaySeconds, st.WAL.TruncatedTailEvents, policy)
+	}
+	return store
 }
 
 // snapshotSaver returns the OnSnapshot spill hook, or nil without a
-// store.
-func snapshotSaver(snaps *snapstore.Store, shard string) func(*engine.Snapshot) {
+// snapshot store. After a generation is persisted, a durable ingest
+// store checkpoints and compacts its WAL — the compaction gate: a
+// journal segment is only dropped once its content is covered by a
+// checkpoint written under a persisted generation.
+func snapshotSaver(snaps *snapstore.Store, shard string, store *ingest.Store) func(*engine.Snapshot) {
 	if snaps == nil {
 		return nil
 	}
 	return func(snap *engine.Snapshot) {
 		if err := snaps.Save(shard, snap); err != nil {
 			log.Printf("spilling generation %d: %v", snap.Generation, err)
+			return
 		}
+		checkpointAfterSpill(store, shard, snap.Generation)
+	}
+}
+
+// checkpointAfterSpill checkpoints a durable store once a generation
+// is on disk; in-memory stores are a no-op.
+func checkpointAfterSpill(store *ingest.Store, shard string, generation uint64) {
+	if store == nil || !store.Durable() {
+		return
+	}
+	res, err := store.CheckpointAndCompact()
+	if err != nil {
+		log.Printf("%s: checkpointing after generation %d: %v", shard, generation, err)
+		return
+	}
+	if res.SegmentsRemoved > 0 {
+		log.Printf("%s: generation %d persisted; checkpoint at wal index %d compacted %d segments",
+			shard, generation, res.WALIndex, res.SegmentsRemoved)
 	}
 }
 

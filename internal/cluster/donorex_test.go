@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/telematics"
+)
+
+// donorHandler serves one partitioned store's old vehicles as a
+// DonorSet — the same shape serve.(*Server).handleDonors produces (the
+// HTTP-layer test lives in internal/serve; this keeps the protocol
+// testable at the cluster level without an import cycle).
+func donorHandler(t testing.TB, store *ingest.Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fleet, err := store.Fleet(r.Context())
+		if err != nil {
+			t.Errorf("donor fleet: %v", err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := DonorSet{Vehicles: []DonorSeries{}}
+		for _, v := range fleet {
+			if core.Categorize(v.Series) != core.Old {
+				continue
+			}
+			start, u, ok := store.RawSeries(v.Series.ID)
+			if !ok {
+				continue
+			}
+			out.Vehicles = append(out.Vehicles, DonorSeries{ID: v.Series.ID, Start: start.Format("2006-01-02"), U: u})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+}
+
+// TestDonorExchangeBitIdentical is the partitioned-telemetry
+// acceptance contract at the engine level: three shards whose stores
+// hold ONLY their ring-owned vehicles (~1/N of the raw telemetry),
+// with donor pools assembled over the wire from their peers, must
+// produce forecasts and statuses bit-identical to one unsharded engine
+// over the union store.
+func TestDonorExchangeBitIdentical(t *testing.T) {
+	cfg := telematics.DefaultFleetConfig()
+	cfg.Vehicles = 24
+	cfg.Days = 900
+	raw, err := telematics.GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsharded reference: every vehicle in one store.
+	full := ingest.New(cfg.Allowance)
+	if _, err := full.SeedFromFleet(raw); err != nil {
+		t.Fatal(err)
+	}
+	single, err := engine.New(engine.Config{Predictor: fastPredictorConfig(), Workers: 4, Source: full.Fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.RetrainFromSource(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partitioned cluster: each shard's store seeds only the vehicles
+	// the ring assigns to it.
+	names := ShardNames(3)
+	ring, err := NewRingOf(0, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make(map[string]*ingest.Store, len(names))
+	for _, name := range names {
+		owned := &telematics.Fleet{Config: raw.Config}
+		for _, v := range raw.Vehicles {
+			if ring.Owner(v.Profile.ID) == name {
+				owned.Vehicles = append(owned.Vehicles, v)
+			}
+		}
+		st := ingest.New(cfg.Allowance)
+		if len(owned.Vehicles) > 0 {
+			if _, err := st.SeedFromFleet(owned); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stores[name] = st
+	}
+	// Raw telemetry must genuinely partition: no shard holds the fleet.
+	totalVehicles := 0
+	for name, st := range stores {
+		n := len(st.Vehicles())
+		if n == len(raw.Vehicles) {
+			t.Fatalf("shard %s stores the whole fleet — telemetry not partitioned", name)
+		}
+		totalVehicles += n
+	}
+	if totalVehicles != len(raw.Vehicles) {
+		t.Fatalf("shard stores hold %d vehicles total, want a disjoint %d", totalVehicles, len(raw.Vehicles))
+	}
+
+	urls := make(map[string]string, len(names))
+	for _, name := range names {
+		srv := httptest.NewServer(donorHandler(t, stores[name]))
+		defer srv.Close()
+		urls[name] = srv.URL
+	}
+
+	var engines []*engine.Engine
+	for _, name := range names {
+		var peers []string
+		for _, other := range names {
+			if other != name {
+				peers = append(peers, urls[other])
+			}
+		}
+		eng, err := engine.New(engine.Config{
+			Predictor: fastPredictorConfig(),
+			Workers:   2,
+			Source:    DonorExchangeSource(stores[name].Fleet, peers, cfg.Allowance, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, eng)
+	}
+	for _, eng := range engines {
+		if _, err := eng.RetrainFromSource(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Merge and compare bit for bit against the unsharded build.
+	var got []core.Forecast
+	gotStatuses := make(map[string]core.VehicleStatus)
+	for _, eng := range engines {
+		snap := eng.Snapshot()
+		got = append(got, snap.Forecasts...)
+		for id, st := range snap.StatusByID {
+			gotStatuses[id] = st
+		}
+	}
+	sortForecasts(got)
+	if len(got) != len(want.Forecasts) {
+		t.Fatalf("merged forecasts %d, want %d", len(got), len(want.Forecasts))
+	}
+	for i, f := range got {
+		w := want.Forecasts[i]
+		if f.VehicleID != w.VehicleID || f.AsOfDay != w.AsOfDay ||
+			!sameFloat(f.DaysLeft, w.DaysLeft) || !f.DueDate.Equal(w.DueDate) ||
+			f.Category != w.Category || f.Strategy != w.Strategy {
+			t.Errorf("forecast %d differs:\nexchange  %+v\nunsharded %+v", i, f, w)
+		}
+	}
+	if len(gotStatuses) != len(want.StatusByID) {
+		t.Fatalf("merged statuses cover %d vehicles, want %d", len(gotStatuses), len(want.StatusByID))
+	}
+	for id, st := range gotStatuses {
+		w := want.StatusByID[id]
+		if st.Category != w.Category || st.Strategy != w.Strategy || st.Algorithm != w.Algorithm ||
+			st.Donor != w.Donor || !sameFloat(st.ValidationMRE, w.ValidationMRE) || st.Err != w.Err {
+			t.Errorf("vehicle %s status differs:\nexchange  %+v\nunsharded %+v", id, st, w)
+		}
+	}
+}
+
+// TestFetchDonorsFiltersNonOld: a peer serving a series that does not
+// categorize Old (version skew, misconfiguration) must not poison the
+// donor pool — the puller re-derives the category and drops it.
+func TestFetchDonorsFiltersNonOld(t *testing.T) {
+	fleet := genFleet(t, 6, 900)
+	var oldID string
+	for _, v := range fleet {
+		if core.Categorize(v.Series) == core.Old {
+			oldID = v.Series.ID
+			break
+		}
+	}
+	if oldID == "" {
+		t.Fatal("generated fleet has no old vehicle")
+	}
+
+	store := ingest.New(0)
+	start := fleet[0].Start
+	var reports []ingest.Report
+	for _, v := range fleet {
+		if v.Series.ID != oldID {
+			continue
+		}
+		for d, sec := range v.Series.U {
+			reports = append(reports, ingest.Report{VehicleID: v.Series.ID, Date: v.Start.AddDate(0, 0, d), Seconds: sec})
+		}
+	}
+	// A 10-day newcomer rides along in the donor payload.
+	for d := 0; d < 10; d++ {
+		reports = append(reports, ingest.Report{VehicleID: "impostor", Date: start.AddDate(0, 0, d), Seconds: 9000})
+	}
+	if _, err := store.UpsertBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Serve everything, old or not — the malicious/skewed peer.
+		out := DonorSet{}
+		for _, id := range store.Vehicles() {
+			st, u, _ := store.RawSeries(id)
+			out.Vehicles = append(out.Vehicles, DonorSeries{ID: id, Start: st.Format("2006-01-02"), U: u})
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	}))
+	defer srv.Close()
+
+	donors, err := FetchDonors(context.Background(), nil, srv.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(donors) != 1 || donors[0].Series.ID != oldID {
+		ids := make([]string, 0, len(donors))
+		for _, d := range donors {
+			ids = append(ids, d.Series.ID)
+		}
+		t.Fatalf("donors = %v, want exactly [%s]", ids, oldID)
+	}
+	if !donors[0].DonorOnly {
+		t.Fatal("fetched donor not marked donor-only")
+	}
+}
+
+// TestDonorExchangeFailedPeerFailsFetch: a missing peer fails the
+// source fetch (a partial donor pool would silently change cold-start
+// models) instead of training on it.
+func TestDonorExchangeFailedPeerFailsFetch(t *testing.T) {
+	fleet := genFleet(t, 4, 900)
+	src := DonorExchangeSource(staticSource(fleet), []string{"http://127.0.0.1:1/nope"}, 0, nil)
+	if _, err := src(context.Background()); err == nil {
+		t.Fatal("fetch with a dead peer succeeded")
+	}
+}
+
+func sortForecasts(fs []core.Forecast) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j-1].VehicleID > fs[j].VehicleID; j-- {
+			fs[j-1], fs[j] = fs[j], fs[j-1]
+		}
+	}
+}

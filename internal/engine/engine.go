@@ -244,6 +244,14 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 // vehicles whose telemetry changed since the snapshot retrain. Restore
 // is a boot-time operation: it refuses once the engine has any
 // snapshot.
+//
+// With a durable telemetry store the full boot order is
+// snapstore-restore → ingest WAL-replay → incremental reconcile
+// retrain: Restore makes the last generation servable instantly, the
+// WAL replay puts every acknowledged report back in the store, and the
+// reconcile retrain (fingerprints match for everything the snapshot
+// covers, so it trains only the recovered tail) closes the gap — a
+// crash loses nothing and never forces a cold train.
 func (e *Engine) Restore(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("engine: Restore with a nil snapshot")

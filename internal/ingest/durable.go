@@ -1,0 +1,479 @@
+// Durable store: the WAL-backed form of the telemetry store.
+//
+// OpenDurable wires a Store to an internal/wal log in one directory:
+//
+//   - every accepted UpsertBatch appends one journal record (the
+//     batch's accept/reject totals plus the reports that changed
+//     content) to the WAL under the store lock, before the batch is
+//     acknowledged — WAL order is seq order;
+//   - at the next boot the store reconstructs itself by loading the
+//     checkpoint (a full spill of the day maps, hashes and counters)
+//     and replaying every journal record past it, restoring Seq, the
+//     per-vehicle content hashes and the counters exactly as they were
+//     at the last acknowledged batch;
+//   - CheckpointAndCompact — called from the engine's snapshot
+//     persistence hook, i.e. once a model generation is safely on disk
+//     — atomically rewrites the checkpoint at the store's current
+//     state and deletes every WAL segment the new checkpoint covers,
+//     so the log's size tracks the telemetry arrived since the last
+//     persisted generation, not all time.
+//
+// Restore ordering at boot is snapstore-restore → WAL-replay →
+// incremental reconcile retrain: the rebooted engine serves its
+// persisted generation immediately, the store holds every acknowledged
+// report, and the reconcile retrain (cheap: fingerprint comparison
+// reuses every vehicle the snapshot already covers) folds in whatever
+// the WAL had beyond the snapshot. A crash therefore loses nothing and
+// never forces a cold train.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir holds the WAL segments and the checkpoint file.
+	Dir string
+	// Fsync is the journal's append durability policy (see wal): with
+	// wal.FsyncAlways an acknowledged batch survives kill -9.
+	Fsync wal.FsyncPolicy
+	// FsyncEvery is the wal.FsyncInterval cadence (0 = wal default).
+	FsyncEvery time.Duration
+	// SegmentBytes is the WAL rotation threshold (0 = wal default).
+	SegmentBytes int64
+}
+
+// checkpointFile is the store spill inside the WAL directory. It is
+// not a segment (no .wal suffix), so the log never scans it.
+const checkpointFile = "checkpoint"
+
+const (
+	ckptMagic   = "reprockpt\n"
+	ckptVersion = 1
+)
+
+// checkpointVehicle is one vehicle's spilled state.
+type checkpointVehicle struct {
+	Days       map[int64]float64
+	Hash       uint64
+	LastSeq    uint64
+	Reports    uint64
+	LastReport time.Time
+}
+
+// checkpointState is the full store spill: everything needed to resume
+// as if every batch up to WALIndex had just been applied.
+type checkpointState struct {
+	// WALIndex is the journal record the checkpoint covers through;
+	// replay skips records at or below it.
+	WALIndex uint64
+	Seq      uint64
+	Accepted uint64
+	Rejected uint64
+	Changed  uint64
+	Vehicles map[string]checkpointVehicle
+	SavedAt  time.Time
+}
+
+// OpenDurable opens (creating if needed) a WAL-backed store in dir and
+// reconstructs its content: checkpoint first, then a replay of every
+// journal record past it. The returned store behaves exactly like an
+// in-memory one except that UpsertBatch journals before acknowledging.
+func OpenDurable(allowance float64, opts DurableOptions) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("ingest: OpenDurable with an empty directory")
+	}
+	log, err := wal.Open(opts.Dir, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Fsync:        opts.Fsync,
+		FsyncEvery:   opts.FsyncEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	s := New(allowance)
+	s.journal = log
+
+	ck, err := loadCheckpoint(filepath.Join(opts.Dir, checkpointFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		log.Close()
+		return nil, err
+	}
+	if ck != nil {
+		s.restoreCheckpoint(ck)
+	}
+
+	t0 := time.Now()
+	records := 0
+	if err := log.Replay(func(idx uint64, payload []byte) error {
+		if idx <= s.ckptIndex {
+			return nil // already reflected in the checkpoint
+		}
+		rec, err := decodeJournalRecord(payload)
+		if err != nil {
+			return fmt.Errorf("ingest: journal record %d: %w", idx, err)
+		}
+		s.applyJournal(rec)
+		s.lastIndex = idx
+		records++
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, err
+	}
+	s.replayRecords = records
+	s.replayDuration = time.Since(t0)
+	if last := log.LastIndex(); last > s.lastIndex {
+		// Records the tail scan skipped (covered by the checkpoint)
+		// still advance the append cursor.
+		s.lastIndex = last
+	}
+	return s, nil
+}
+
+// restoreCheckpoint installs a loaded spill as the store's state.
+func (s *Store) restoreCheckpoint(ck *checkpointState) {
+	s.mu.Lock()
+	s.seq = ck.Seq
+	s.accepted = ck.Accepted
+	s.rejected = ck.Rejected
+	s.changed = ck.Changed
+	s.vehicles = make(map[string]*vehicleRecord, len(ck.Vehicles))
+	for id, cv := range ck.Vehicles {
+		rec := &vehicleRecord{
+			days:       make(map[int64]float64, len(cv.Days)),
+			hash:       cv.Hash,
+			lastSeq:    cv.LastSeq,
+			reports:    cv.Reports,
+			lastReport: cv.LastReport,
+		}
+		first := true
+		for day, sec := range cv.Days {
+			rec.days[day] = sec
+			if first || day < rec.minDay {
+				rec.minDay = day
+			}
+			if first || day > rec.maxDay {
+				rec.maxDay = day
+			}
+			first = false
+		}
+		s.vehicles[id] = rec
+	}
+	s.lastIndex = ck.WALIndex
+	s.mu.Unlock()
+	// ckptMu strictly after mu is released (ckptMu-before-mu ordering).
+	s.ckptMu.Lock()
+	s.ckptIndex = ck.WALIndex
+	s.ckptSeq = ck.Seq
+	s.ckptAt = ck.SavedAt
+	s.ckptMu.Unlock()
+}
+
+// applyJournal re-applies one journaled batch. The reports were
+// validated when first accepted and are replayed in journal (= seq)
+// order, so applying them verbatim reproduces the exact post-batch
+// state: same day maps, same hashes, same Seq.
+func (s *Store) applyJournal(rec journalRecord) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accepted += uint64(rec.Accepted)
+	s.rejected += uint64(rec.Rejected)
+	for _, jr := range rec.Changed {
+		if _, ok := s.upsertLocked(jr.ID, jr.Day, jr.Seconds, now); ok {
+			s.changed++
+		}
+	}
+}
+
+// CheckpointResult reports what CheckpointAndCompact did.
+type CheckpointResult struct {
+	// WALIndex/Seq identify the covered position.
+	WALIndex uint64
+	Seq      uint64
+	// SegmentsRemoved counts the WAL segments the new checkpoint made
+	// compactable.
+	SegmentsRemoved int
+}
+
+// CheckpointAndCompact spills the store's full state to the checkpoint
+// file (atomic temp+fsync+rename) and deletes every WAL segment the
+// new checkpoint covers. Call it only when the content the checkpoint
+// covers is otherwise safe to rely on — the fleetserver calls it from
+// the snapshot-persistence hook, i.e. exactly when a model generation
+// has been spilled, which is the compaction gate the WAL documents: a
+// segment is removed only once it is fully reflected in a persisted
+// snapshot generation's checkpoint.
+func (s *Store) CheckpointAndCompact() (CheckpointResult, error) {
+	if s.journal == nil {
+		return CheckpointResult{}, fmt.Errorf("ingest: CheckpointAndCompact on an in-memory store")
+	}
+	// Serialize checkpoint writers. ckptMu is held across the state
+	// copy below — the permitted ckptMu-before-mu order; the reverse
+	// nesting is forbidden everywhere (see the Store lock comment).
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Make sure every journaled record the checkpoint will cover is on
+	// disk before the checkpoint claims to cover it.
+	if err := s.journal.Sync(); err != nil {
+		return CheckpointResult{}, fmt.Errorf("ingest: %w", err)
+	}
+
+	s.mu.RLock()
+	ck := checkpointState{
+		WALIndex: s.lastIndex,
+		Seq:      s.seq,
+		Accepted: s.accepted,
+		Rejected: s.rejected,
+		Changed:  s.changed,
+		Vehicles: make(map[string]checkpointVehicle, len(s.vehicles)),
+		SavedAt:  time.Now(),
+	}
+	for id, rec := range s.vehicles {
+		days := make(map[int64]float64, len(rec.days))
+		for d, sec := range rec.days {
+			days[d] = sec
+		}
+		ck.Vehicles[id] = checkpointVehicle{
+			Days:       days,
+			Hash:       rec.hash,
+			LastSeq:    rec.lastSeq,
+			Reports:    rec.reports,
+			LastReport: rec.lastReport,
+		}
+	}
+	s.mu.RUnlock()
+
+	if err := saveCheckpoint(filepath.Join(s.journal.Dir(), checkpointFile), &ck); err != nil {
+		return CheckpointResult{}, err
+	}
+	s.ckptIndex = ck.WALIndex
+	s.ckptSeq = ck.Seq
+	s.ckptAt = ck.SavedAt
+
+	removed, err := s.journal.CompactThrough(ck.WALIndex)
+	if err != nil {
+		return CheckpointResult{}, fmt.Errorf("ingest: %w", err)
+	}
+	return CheckpointResult{WALIndex: ck.WALIndex, Seq: ck.Seq, SegmentsRemoved: removed}, nil
+}
+
+// Durable reports whether the store journals through a WAL.
+func (s *Store) Durable() bool { return s.journal != nil }
+
+// Close syncs and closes the journal (no-op for an in-memory store).
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
+}
+
+// walStats assembles the WAL stats slice. It takes ckptMu and then a
+// short mu read section itself, so callers must hold NEITHER (the
+// ckptMu-before-mu ordering; see the Store lock comment). Returns nil
+// for an in-memory store.
+func (s *Store) walStats() *WALStats {
+	if s.journal == nil {
+		return nil
+	}
+	ws := s.journal.Stats()
+	out := &WALStats{
+		Dir:                 s.journal.Dir(),
+		Segments:            ws.Segments,
+		Bytes:               ws.Bytes,
+		FirstIndex:          ws.FirstIndex,
+		LastIndex:           ws.LastIndex,
+		Appends:             ws.Appends,
+		Rotations:           ws.Rotations,
+		Fsyncs:              ws.Fsyncs,
+		TruncatedTailEvents: ws.TruncatedTailEvents,
+		CompactedSegments:   ws.CompactedSegments,
+	}
+	if !ws.LastFsync.IsZero() {
+		out.LastFsync = ws.LastFsync.UTC().Format(time.RFC3339Nano)
+	}
+	s.ckptMu.Lock()
+	out.CheckpointIndex = s.ckptIndex
+	out.CheckpointSeq = s.ckptSeq
+	if !s.ckptAt.IsZero() {
+		out.LastCheckpoint = s.ckptAt.UTC().Format(time.RFC3339Nano)
+	}
+	s.ckptMu.Unlock()
+	s.mu.RLock()
+	out.LastAppended = s.lastIndex
+	out.ReplayRecords = s.replayRecords
+	out.ReplaySeconds = s.replayDuration.Seconds()
+	s.mu.RUnlock()
+	return out
+}
+
+// --- checkpoint file I/O -----------------------------------------------------
+
+func saveCheckpoint(path string, ck *checkpointState) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, checkpointFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	w := bufio.NewWriter(tmp)
+	writeErr := func() error {
+		if _, err := w.WriteString(ckptMagic); err != nil {
+			return err
+		}
+		enc := gob.NewEncoder(w)
+		if err := enc.Encode(ckptVersion); err != nil {
+			return err
+		}
+		if err := enc.Encode(ck); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}()
+	if cerr := tmp.Close(); writeErr == nil {
+		writeErr = cerr
+	}
+	if writeErr != nil {
+		return fmt.Errorf("ingest: writing checkpoint: %w", writeErr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: syncing checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+func loadCheckpoint(path string) (*checkpointState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err // os.ErrNotExist = first boot
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	got := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, got); err != nil || string(got) != ckptMagic {
+		return nil, fmt.Errorf("ingest: %s is not a checkpoint file", path)
+	}
+	dec := gob.NewDecoder(r)
+	var version int
+	if err := dec.Decode(&version); err != nil {
+		return nil, fmt.Errorf("ingest: reading %s: %w", path, err)
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("ingest: %s has checkpoint version %d, this build reads %d", path, version, ckptVersion)
+	}
+	var ck checkpointState
+	if err := dec.Decode(&ck); err != nil {
+		return nil, fmt.Errorf("ingest: reading %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// --- journal record codec ----------------------------------------------------
+
+// journalReport is one content-changing report as journaled: the
+// epoch day is stored directly, so replay bypasses date parsing and
+// validation entirely.
+type journalReport struct {
+	ID      string
+	Day     int64
+	Seconds float64
+}
+
+// journalRecord is one accepted batch as journaled: the accept/reject
+// totals (restoring the observability counters exactly) plus only the
+// reports that changed content — idempotent re-deliveries add a
+// fixed-size record, not a copy of the batch.
+type journalRecord struct {
+	Accepted uint32
+	Rejected uint32
+	Changed  []journalReport
+}
+
+const journalVersion = 1
+
+// encodeJournalRecord is a compact, deterministic little-endian
+// encoding (gob would spend most of the record on type metadata).
+func encodeJournalRecord(rec journalRecord) []byte {
+	n := 1 + 4 + 4 + 4
+	for _, jr := range rec.Changed {
+		n += 2 + len(jr.ID) + 8 + 8
+	}
+	buf := make([]byte, n)
+	buf[0] = journalVersion
+	off := 1
+	binary.LittleEndian.PutUint32(buf[off:], rec.Accepted)
+	binary.LittleEndian.PutUint32(buf[off+4:], rec.Rejected)
+	binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(rec.Changed)))
+	off += 12
+	for _, jr := range rec.Changed {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(jr.ID)))
+		off += 2
+		off += copy(buf[off:], jr.ID)
+		binary.LittleEndian.PutUint64(buf[off:], uint64(jr.Day))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(jr.Seconds))
+		off += 16
+	}
+	return buf
+}
+
+func decodeJournalRecord(payload []byte) (journalRecord, error) {
+	var rec journalRecord
+	if len(payload) < 13 || payload[0] != journalVersion {
+		return rec, fmt.Errorf("bad journal record header")
+	}
+	rec.Accepted = binary.LittleEndian.Uint32(payload[1:])
+	rec.Rejected = binary.LittleEndian.Uint32(payload[5:])
+	count := binary.LittleEndian.Uint32(payload[9:])
+	off := 13
+	rec.Changed = make([]journalReport, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(payload) {
+			return rec, fmt.Errorf("truncated journal record")
+		}
+		idLen := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+idLen+16 > len(payload) {
+			return rec, fmt.Errorf("truncated journal record")
+		}
+		jr := journalReport{ID: string(payload[off : off+idLen])}
+		off += idLen
+		jr.Day = int64(binary.LittleEndian.Uint64(payload[off:]))
+		jr.Seconds = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+		off += 16
+		rec.Changed = append(rec.Changed, jr)
+	}
+	if off != len(payload) {
+		return rec, fmt.Errorf("journal record has %d trailing bytes", len(payload)-off)
+	}
+	return rec, nil
+}

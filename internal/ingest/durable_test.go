@@ -1,0 +1,467 @@
+package ingest
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telematics"
+	"repro/internal/wal"
+)
+
+func openDurable(t testing.TB, dir string) *Store {
+	t.Helper()
+	s, err := OpenDurable(0, DurableOptions{Dir: dir, Fsync: wal.FsyncAlways, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// mustEqualStores asserts two stores hold identical content: vehicle
+// sets, per-vehicle content hashes, change sequence and counters.
+func mustEqualStores(t testing.TB, got, want *Store, label string) {
+	t.Helper()
+	gv, wv := got.Vehicles(), want.Vehicles()
+	if len(gv) != len(wv) {
+		t.Fatalf("%s: %d vehicles, want %d", label, len(gv), len(wv))
+	}
+	for i := range gv {
+		if gv[i] != wv[i] {
+			t.Fatalf("%s: vehicle[%d] = %s, want %s", label, i, gv[i], wv[i])
+		}
+		gh, _ := got.Hash(gv[i])
+		wh, _ := want.Hash(wv[i])
+		if gh != wh {
+			t.Fatalf("%s: vehicle %s hash %x, want %x", label, gv[i], gh, wh)
+		}
+	}
+	if got.Seq() != want.Seq() {
+		t.Fatalf("%s: seq %d, want %d", label, got.Seq(), want.Seq())
+	}
+	gs, ws := got.Stats(), want.Stats()
+	if gs.Accepted != ws.Accepted || gs.Rejected != ws.Rejected || gs.Changed != ws.Changed {
+		t.Fatalf("%s: counters accepted=%d/%d rejected=%d/%d changed=%d/%d",
+			label, gs.Accepted, ws.Accepted, gs.Rejected, ws.Rejected, gs.Changed, ws.Changed)
+	}
+}
+
+// TestDurableKillAfterAckProperty: randomized batches (overwrites,
+// redeliveries, rejects) against a durable store, with a simulated
+// kill -9 (reopen without Close) between every round. Every
+// acknowledged batch must be fully visible after every recovery —
+// store content, hashes, Seq and counters all match an in-memory
+// reference that never crashed.
+func TestDurableKillAfterAckProperty(t *testing.T) {
+	dir := t.TempDir()
+	rnd := rand.New(rand.NewSource(11))
+	ref := New(0)
+
+	for gen := 0; gen < 6; gen++ {
+		s := openDurable(t, dir)
+		mustEqualStores(t, s, ref, "after recovery")
+
+		for b := 0; b < 3+rnd.Intn(4); b++ {
+			var batch []Report
+			for i := 0; i < 1+rnd.Intn(25); i++ {
+				r := report(
+					[]string{"v01", "v02", "v03", "v04"}[rnd.Intn(4)],
+					rnd.Intn(60),
+					float64(rnd.Intn(30000)),
+				)
+				if rnd.Intn(10) == 0 {
+					r.Seconds = -1 // rejected row
+				}
+				batch = append(batch, r)
+			}
+			res, err := s.UpsertBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes, _ := ref.UpsertBatch(batch)
+			if res.Accepted != refRes.Accepted || res.Changed != refRes.Changed || res.Rejected != refRes.Rejected {
+				t.Fatalf("durable result %+v, reference %+v", res, refRes)
+			}
+			// Occasionally checkpoint+compact mid-stream: recovery must
+			// be seamless across the checkpoint boundary.
+			if rnd.Intn(4) == 0 {
+				if _, err := s.CheckpointAndCompact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Kill: no Close. FsyncAlways means every acknowledged batch is
+		// already journaled on disk.
+	}
+	s := openDurable(t, dir)
+	mustEqualStores(t, s, ref, "final recovery")
+}
+
+// TestDurableReplayRestoresDerivedFleet: the recovered store's derived
+// (prepared) fleet equals the pre-crash one — recovery is invisible to
+// the training source.
+func TestDurableReplayRestoresDerivedFleet(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	if _, err := s.UpsertBatch([]Report{
+		report("v01", 0, 18000), report("v01", 1, 17500), report("v01", 5, 16000),
+		report("v02", 2, 9000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, dir)
+	after, err := s2.Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("recovered fleet has %d vehicles, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if !after[i].Start.Equal(before[i].Start) {
+			t.Fatalf("vehicle %d start drifted", i)
+		}
+		if len(after[i].Series.U) != len(before[i].Series.U) {
+			t.Fatalf("vehicle %d span drifted", i)
+		}
+		for d := range before[i].Series.U {
+			if after[i].Series.U[d] != before[i].Series.U[d] {
+				t.Fatalf("vehicle %d day %d drifted", i, d)
+			}
+		}
+	}
+	if st := s2.Stats(); st.WAL == nil || st.WAL.ReplayRecords == 0 {
+		t.Fatalf("recovery did not replay the journal: %+v", st.WAL)
+	}
+}
+
+// TestDurableCorruptTailTruncation: a torn final journal frame (the
+// crash hit mid-append, before the ack) loses exactly the unacked
+// batch; every batch acknowledged before it survives, and the
+// truncation is visible in the WAL stats.
+func TestDurableCorruptTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	if _, err := s.UpsertBatch([]Report{report("v01", 0, 1000), report("v01", 1, 2000)}); err != nil {
+		t.Fatal(err)
+	}
+	ackedSeq := s.Seq()
+	ackedHash, _ := s.Hash("v01")
+	if _, err := s.UpsertBatch([]Report{report("v02", 0, 5000)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the final frame byte: the v02 batch becomes a torn,
+	// never-acknowledged write.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(last, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, dir)
+	if got := s2.Vehicles(); len(got) != 1 || got[0] != "v01" {
+		t.Fatalf("recovered vehicles = %v, want [v01]", got)
+	}
+	if s2.Seq() != ackedSeq {
+		t.Fatalf("recovered seq %d, want %d", s2.Seq(), ackedSeq)
+	}
+	if h, _ := s2.Hash("v01"); h != ackedHash {
+		t.Fatalf("recovered hash %x, want %x", h, ackedHash)
+	}
+	st := s2.Stats()
+	if st.WAL == nil || st.WAL.TruncatedTailEvents == 0 {
+		t.Fatalf("tail truncation not surfaced in stats: %+v", st.WAL)
+	}
+}
+
+// TestDurableCompactionSafety: CheckpointAndCompact only removes
+// segments the checkpoint covers — content journaled before the
+// checkpoint comes back from the checkpoint, content after it from the
+// surviving WAL tail, and nothing is lost across a crash in between.
+func TestDurableCompactionSafety(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	// Enough distinct days to span several 4 KiB segments.
+	for b := 0; b < 20; b++ {
+		var batch []Report
+		for i := 0; i < 30; i++ {
+			batch = append(batch, report("v01", b*30+i, float64(1000+b*30+i)))
+		}
+		if _, err := s.UpsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := s.Stats().WAL.Segments
+	if segsBefore < 3 {
+		t.Fatalf("want >= 3 segments before compaction, got %d", segsBefore)
+	}
+
+	res, err := s.CheckpointAndCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRemoved == 0 {
+		t.Fatal("compaction removed nothing despite a full checkpoint")
+	}
+	st := s.Stats().WAL
+	if st.Segments >= segsBefore {
+		t.Fatalf("segments %d not reduced from %d", st.Segments, segsBefore)
+	}
+	if st.CheckpointIndex != res.WALIndex || st.CheckpointSeq != res.Seq {
+		t.Fatalf("checkpoint stats %+v disagree with result %+v", st, res)
+	}
+	// Only covered segments may go: every surviving record is above the
+	// checkpoint index (or in the active segment).
+	if st.FirstIndex != 0 && st.FirstIndex <= st.CheckpointIndex {
+		// Segments holding both covered and uncovered records legally
+		// survive whole; what must never happen is a removed segment
+		// with uncovered records — asserted below by full recovery.
+		t.Logf("first surviving index %d <= checkpoint %d (mixed tail segment)", st.FirstIndex, st.CheckpointIndex)
+	}
+
+	// Post-checkpoint writes land in the surviving tail.
+	if _, err := s.UpsertBatch([]Report{report("v02", 0, 7777)}); err != nil {
+		t.Fatal(err)
+	}
+	preCrash := s.Seq()
+
+	// Crash + recover: checkpoint restores the compacted history, the
+	// WAL tail restores the rest.
+	s2 := openDurable(t, dir)
+	if s2.Seq() != preCrash {
+		t.Fatalf("recovered seq %d, want %d", s2.Seq(), preCrash)
+	}
+	if got := s2.Vehicles(); len(got) != 2 {
+		t.Fatalf("recovered vehicles = %v", got)
+	}
+	h1, _ := s.Hash("v01")
+	h2, _ := s2.Hash("v01")
+	if h1 != h2 {
+		t.Fatalf("v01 hash %x, want %x", h2, h1)
+	}
+	// The v02 batch must have come from WAL replay, not the checkpoint.
+	if st := s2.Stats().WAL; st.ReplayRecords == 0 {
+		t.Fatal("post-checkpoint batch was not replayed from the WAL")
+	}
+}
+
+// TestDurableCheckpointOnInMemoryStore: the compaction hook degrades
+// loudly, not silently, without a journal.
+func TestDurableCheckpointOnInMemoryStore(t *testing.T) {
+	s := New(0)
+	if _, err := s.CheckpointAndCompact(); err == nil {
+		t.Fatal("CheckpointAndCompact on an in-memory store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on an in-memory store: %v", err)
+	}
+}
+
+// TestDurableSeedRebootIsCheap: re-seeding the same CSV fleet after a
+// reboot is a pure no-op — it must not re-journal the whole fleet,
+// only a fixed-size acknowledgement record.
+func TestDurableSeedRebootIsCheap(t *testing.T) {
+	cfg := telematics.DefaultFleetConfig()
+	cfg.Vehicles = 3
+	cfg.Days = 200
+	fleet, err := telematics.GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s, err := OpenDurable(cfg.Allowance, DurableOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SeedFromFleet(fleet); err != nil {
+		t.Fatal(err)
+	}
+	bytesAfterSeed := s.Stats().WAL.Bytes
+	seqAfterSeed := s.Seq()
+	s.Close()
+
+	s2, err := OpenDurable(cfg.Allowance, DurableOptions{Dir: dir, Fsync: wal.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != seqAfterSeed {
+		t.Fatalf("reboot seq %d, want %d", s2.Seq(), seqAfterSeed)
+	}
+	res, err := s2.SeedFromFleet(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed != 0 {
+		t.Fatalf("re-seed changed %d reports, want 0", res.Changed)
+	}
+	if grown := s2.Stats().WAL.Bytes - bytesAfterSeed; grown > 1024 {
+		t.Fatalf("idempotent re-seed grew the WAL by %d bytes", grown)
+	}
+	if s2.Seq() != seqAfterSeed {
+		t.Fatalf("re-seed advanced seq to %d", s2.Seq())
+	}
+}
+
+// TestDurableDirtyBaselineAfterReplay: WAL replay restores Seq and the
+// hashes, so DirtySince(bootSeq) is empty — a serve layer that
+// baselines its retrain threshold at boot sees no phantom dirtiness
+// from replayed batches (they are not "fresh" changes).
+func TestDurableDirtyBaselineAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	if _, err := s.UpsertBatch([]Report{report("v01", 0, 1000), report("v02", 0, 2000)}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openDurable(t, dir)
+	if dirty := s2.DirtySince(s2.Seq()); len(dirty) != 0 {
+		t.Fatalf("replayed batches count as fresh dirtiness: %v", dirty)
+	}
+	// The replayed content is still reachable for a from-scratch plan.
+	if dirty := s2.DirtySince(0); len(dirty) != 2 {
+		t.Fatalf("replayed vehicles invisible to DirtySince(0): %v", dirty)
+	}
+	// A genuinely fresh change after recovery is dirty as usual.
+	mark := s2.Seq()
+	if _, err := s2.UpsertBatch([]Report{report("v01", 1, 3000)}); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := s2.DirtySince(mark); len(dirty) != 1 || dirty[0] != "v01" {
+		t.Fatalf("fresh change dirty set = %v, want [v01]", dirty)
+	}
+}
+
+// TestDurableRejectedCountersSurviveRestart: an all-rejected batch
+// still journals its totals, so the accept/reject accounting is exact
+// across a crash, not just the content.
+func TestDurableRejectedCountersSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	if _, err := s.UpsertBatch([]Report{report("v01", 0, 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.UpsertBatch([]Report{report("v01", 1, -5), report("v02", 0, -9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 2 || res.Accepted != 0 {
+		t.Fatalf("all-rejected batch result %+v", res)
+	}
+	want := s.Stats()
+
+	s2 := openDurable(t, dir)
+	got := s2.Stats()
+	if got.Accepted != want.Accepted || got.Rejected != want.Rejected || got.Changed != want.Changed {
+		t.Fatalf("recovered counters accepted=%d/%d rejected=%d/%d changed=%d/%d",
+			got.Accepted, want.Accepted, got.Rejected, want.Rejected, got.Changed, want.Changed)
+	}
+}
+
+// TestDurableConcurrentStatsCheckpointUpserts hammers Stats (mu then
+// ckptMu paths), UpsertBatch (mu writer) and CheckpointAndCompact
+// (ckptMu then mu) concurrently — under -race this pins the
+// ckptMu-before-mu lock ordering; an inversion deadlocks and trips the
+// watchdog below.
+func TestDurableConcurrentStatsCheckpointUpserts(t *testing.T) {
+	s := openDurable(t, t.TempDir())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if _, err := s.UpsertBatch([]Report{report("v01", w*50+i, float64(1000+i))}); err != nil {
+						t.Error(err)
+						return
+					}
+					s.Stats()
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := s.CheckpointAndCompact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stats/checkpoint/upsert hammer deadlocked")
+	}
+}
+
+// TestDurableRejectsLongVehicleID: the journal's length-prefixed
+// encoding bounds IDs; validation enforces it before anything lands.
+func TestDurableRejectsLongVehicleID(t *testing.T) {
+	s := New(0)
+	res, err := s.UpsertBatch([]Report{{
+		VehicleID: strings.Repeat("x", maxVehicleIDBytes+1),
+		Date:      day0,
+		Seconds:   100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 || res.Accepted != 0 {
+		t.Fatalf("oversized ID result %+v, want rejected", res)
+	}
+}
+
+// TestJournalRecordCodecRoundtrip pins the journal encoding.
+func TestJournalRecordCodecRoundtrip(t *testing.T) {
+	rec := journalRecord{
+		Accepted: 7,
+		Rejected: 3,
+		Changed: []journalReport{
+			{ID: "v01", Day: 16436, Seconds: 18000.5},
+			{ID: "a-much-longer-vehicle-identifier", Day: -12, Seconds: 0},
+		},
+	}
+	got, err := decodeJournalRecord(encodeJournalRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Accepted != rec.Accepted || got.Rejected != rec.Rejected || len(got.Changed) != len(rec.Changed) {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	for i := range rec.Changed {
+		if got.Changed[i] != rec.Changed[i] {
+			t.Fatalf("changed[%d] = %+v, want %+v", i, got.Changed[i], rec.Changed[i])
+		}
+	}
+	if _, err := decodeJournalRecord([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+}

@@ -18,6 +18,12 @@
 //   - Fleet derives timeseries.VehicleSeries on demand through the §3
 //     preparation pipeline, making the store a drop-in engine.Source.
 //
+// Durability: a store opened with OpenDurable journals every accepted
+// batch through an internal/wal log *before* UpsertBatch returns, and
+// reconstructs itself at the next boot from its checkpoint plus a WAL
+// replay — a kill -9 after an acknowledged batch loses nothing (see
+// durable.go). New() remains the purely in-memory form.
+//
 // All methods are safe for concurrent use; reads (Fleet, Stats,
 // DirtySince) take a shared lock and never block each other.
 package ingest
@@ -34,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
+	"repro/internal/wal"
 )
 
 // Report is one per-vehicle daily usage report: the working seconds a
@@ -112,6 +119,24 @@ type Store struct {
 	prepCache  map[string]preparedEntry
 	prepHits   uint64
 	prepMisses uint64
+
+	// Durability (nil/zero for a purely in-memory store; see durable.go).
+	// journal is appended to under mu, so the WAL's record order is the
+	// store's seq order. ckptMu serializes checkpoint writers and
+	// guards the ckpt* fields. Lock ordering: ckptMu may be taken
+	// before mu (CheckpointAndCompact holds it across the state copy);
+	// NEVER acquire ckptMu while holding mu — that inverts against
+	// CheckpointAndCompact and deadlocks behind a queued writer.
+	journal   *wal.Log
+	lastIndex uint64 // WAL index of the latest journaled batch
+
+	ckptMu    sync.Mutex
+	ckptIndex uint64 // WAL index the checkpoint covers
+	ckptSeq   uint64
+	ckptAt    time.Time
+
+	replayRecords  int
+	replayDuration time.Duration
 }
 
 // preparedEntry caches one vehicle's §3 preparation output keyed by the
@@ -179,10 +204,17 @@ var minReportDate = time.Date(1990, 1, 1, 0, 0, 0, 0, time.UTC)
 // usage, so anything further ahead is a fault.
 const futureSlack = 48 * time.Hour
 
+// maxVehicleIDBytes bounds a vehicle ID: real fleet IDs are short, and
+// the bound keeps both the journal's length-prefixed encoding and the
+// donor-exchange wire format trivially safe.
+const maxVehicleIDBytes = 256
+
 func validate(r Report, now time.Time) error {
 	switch {
 	case r.VehicleID == "":
 		return fmt.Errorf("empty vehicle id")
+	case len(r.VehicleID) > maxVehicleIDBytes:
+		return fmt.Errorf("vehicle id longer than %d bytes", maxVehicleIDBytes)
 	case r.Date.IsZero():
 		return fmt.Errorf("missing or invalid date")
 	case r.Date.Before(minReportDate):
@@ -203,12 +235,21 @@ func validate(r Report, now time.Time) error {
 // invalid reports are rejected and reported, valid ones land — a batch
 // is never rejected wholesale for one bad row. Re-delivering a batch is
 // a no-op (accepted, zero changed, hashes and sequence untouched).
-func (s *Store) UpsertBatch(reports []Report) BatchResult {
+//
+// On a durable store the batch is journaled through the WAL before
+// UpsertBatch returns, so a returned result is a durable
+// acknowledgement (under the configured fsync policy). A journaling
+// failure returns the partially-acknowledged result alongside the
+// error; the in-memory state holds the batch, but the caller must not
+// ack it to the client — re-delivery after the fault is safe because
+// upserts are idempotent.
+func (s *Store) UpsertBatch(reports []Report) (BatchResult, error) {
 	res := BatchResult{Vehicles: make(map[string]*VehicleResult)}
 	now := time.Now()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var changed []journalReport
 	for _, r := range reports {
 		vr := res.Vehicles[r.VehicleID]
 		if vr == nil {
@@ -225,37 +266,54 @@ func (s *Store) UpsertBatch(reports []Report) BatchResult {
 		vr.Accepted++
 		res.Accepted++
 		s.accepted++
-		if s.upsertLocked(r, now) {
+		if day, ok := s.upsertLocked(r.VehicleID, epochDay(r.Date), r.Seconds, now); ok {
 			vr.Changed++
 			res.Changed++
 			s.changed++
+			if s.journal != nil {
+				changed = append(changed, journalReport{ID: r.VehicleID, Day: day, Seconds: r.Seconds})
+			}
 		}
 	}
 	res.Seq = s.seq
-	return res
+	// Journal any batch that moved a counter — including an
+	// all-rejected one, so the accept/reject accounting survives a
+	// restart exactly (the record for a no-change batch is fixed-size).
+	if s.journal != nil && res.Accepted+res.Rejected > 0 {
+		idx, err := s.journal.Append(encodeJournalRecord(journalRecord{
+			Accepted: uint32(res.Accepted),
+			Rejected: uint32(res.Rejected),
+			Changed:  changed,
+		}))
+		if err != nil {
+			return res, fmt.Errorf("ingest: journaling batch: %w", err)
+		}
+		s.lastIndex = idx
+	}
+	return res, nil
 }
 
-// upsertLocked applies one validated report and reports whether it
-// changed stored content. Callers hold the write lock.
-func (s *Store) upsertLocked(r Report, now time.Time) bool {
-	rec := s.vehicles[r.VehicleID]
+// upsertLocked applies one validated (vehicle, epoch day, seconds)
+// report and reports whether it changed stored content, returning the
+// epoch day for the journal. Callers hold the write lock.
+func (s *Store) upsertLocked(vehicleID string, day int64, seconds float64, now time.Time) (int64, bool) {
+	rec := s.vehicles[vehicleID]
 	if rec == nil {
 		rec = &vehicleRecord{days: make(map[int64]float64)}
-		s.vehicles[r.VehicleID] = rec
+		s.vehicles[vehicleID] = rec
 	}
 	rec.reports++
 	rec.lastReport = now
 
-	day := epochDay(r.Date)
 	old, existed := rec.days[day]
-	if existed && old == r.Seconds {
-		return false // idempotent re-delivery
+	if existed && old == seconds {
+		return day, false // idempotent re-delivery
 	}
 	if existed {
 		rec.hash ^= dayHash(day, old)
 	}
-	rec.days[day] = r.Seconds
-	rec.hash ^= dayHash(day, r.Seconds)
+	rec.days[day] = seconds
+	rec.hash ^= dayHash(day, seconds)
 	if len(rec.days) == 1 {
 		rec.minDay, rec.maxDay = day, day
 	} else {
@@ -268,7 +326,7 @@ func (s *Store) upsertLocked(r Report, now time.Time) bool {
 	}
 	s.seq++
 	rec.lastSeq = s.seq
-	return true
+	return day, true
 }
 
 // Seq returns the store's change sequence: it increments on every
@@ -318,6 +376,26 @@ func (s *Store) Hash(vehicleID string) (uint64, bool) {
 		return 0, false
 	}
 	return rec.hash, true
+}
+
+// RawSeries returns a vehicle's contiguous daily series — first
+// reported day to last, unreported days zero — plus the series start.
+// It is the exact raw input Fleet feeds the preparation pipeline, and
+// the payload of the cluster donor-series exchange: a peer shard that
+// prepares this series gets the bit-identical prepared vehicle this
+// shard would.
+func (s *Store) RawSeries(vehicleID string) (start time.Time, u []float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.vehicles[vehicleID]
+	if !ok || len(rec.days) == 0 {
+		return time.Time{}, nil, false
+	}
+	u = make([]float64, rec.maxDay-rec.minDay+1)
+	for day, sec := range rec.days {
+		u[day-rec.minDay] = sec
+	}
+	return time.Unix(rec.minDay*86400, 0).UTC(), u, true
 }
 
 // Fleet materializes the stored telemetry as prepared engine vehicles:
@@ -412,7 +490,7 @@ func (s *Store) SeedFromFleet(f *telematics.Fleet) (BatchResult, error) {
 			})
 		}
 	}
-	return s.UpsertBatch(reports), nil
+	return s.UpsertBatch(reports)
 }
 
 // DrainCollector copies a telematics.Collector's accumulated daily
@@ -435,7 +513,7 @@ func (s *Store) DrainCollector(c *telematics.Collector) (BatchResult, error) {
 			})
 		}
 	}
-	return s.UpsertBatch(reports), nil
+	return s.UpsertBatch(reports)
 }
 
 // VehicleStats is the observable state of one stored vehicle.
@@ -468,14 +546,55 @@ type Stats struct {
 	// should add fleet−1 hits and 1 miss.
 	PrepCacheHits   uint64 `json:"prep_cache_hits"`
 	PrepCacheMisses uint64 `json:"prep_cache_misses"`
+	// WAL describes the journal of a durable store (nil when the store
+	// is purely in-memory).
+	WAL *WALStats `json:"wal,omitempty"`
 	// PerVehicle is sorted by vehicle ID.
 	PerVehicle []VehicleStats `json:"per_vehicle"`
+}
+
+// WALStats is the durability slice of Stats: the journal's segment
+// state, fsync/replay/truncation history and the checkpoint the log is
+// compacted against.
+type WALStats struct {
+	Dir      string `json:"dir"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	// FirstIndex/LastIndex bound the records still in the log;
+	// LastAppended is the newest record this store journaled.
+	FirstIndex   uint64 `json:"first_index"`
+	LastIndex    uint64 `json:"last_index"`
+	LastAppended uint64 `json:"last_appended"`
+	Appends      uint64 `json:"appends"`
+	Rotations    uint64 `json:"rotations"`
+	Fsyncs       uint64 `json:"fsyncs"`
+	LastFsync    string `json:"last_fsync,omitempty"`
+	// TruncatedTailEvents counts corrupt tail frames (and dropped
+	// post-corruption segments) the last Open cut off.
+	TruncatedTailEvents int `json:"truncated_tail_events"`
+	// ReplayRecords/ReplaySeconds describe the boot-time recovery.
+	ReplayRecords     int     `json:"replay_records"`
+	ReplaySeconds     float64 `json:"replay_seconds"`
+	CompactedSegments uint64  `json:"compacted_segments"`
+	// CheckpointIndex/CheckpointSeq identify the WAL position and store
+	// sequence the durable checkpoint covers (segments at or below the
+	// index are compactable).
+	CheckpointIndex uint64 `json:"checkpoint_index"`
+	CheckpointSeq   uint64 `json:"checkpoint_seq"`
+	LastCheckpoint  string `json:"last_checkpoint,omitempty"`
 }
 
 const dayLayout = "2006-01-02"
 
 // Stats reports the store's current state.
 func (s *Store) Stats() Stats {
+	// The WAL/checkpoint slice is assembled before taking mu: it needs
+	// ckptMu, which must never be acquired under mu (see the Store
+	// lock-ordering comment). lastIndex/replay fields it reads are
+	// stable outside boot; the snapshot is as consistent as any
+	// concurrent-stats read can be.
+	walStats := s.walStats()
+
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
@@ -484,6 +603,7 @@ func (s *Store) Stats() Stats {
 		Rejected: s.rejected,
 		Changed:  s.changed,
 		Seq:      s.seq,
+		WAL:      walStats,
 	}
 	s.prepMu.Lock()
 	st.PrepCacheHits, st.PrepCacheMisses = s.prepHits, s.prepMisses

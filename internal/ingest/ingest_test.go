@@ -21,7 +21,7 @@ func report(id string, dayOffset int, seconds float64) Report {
 
 func TestUpsertBatchValidation(t *testing.T) {
 	s := New(0)
-	res := s.UpsertBatch([]Report{
+	res, _ := s.UpsertBatch([]Report{
 		report("v01", 0, 18000),
 		report("v01", 1, -5),                         // negative
 		report("v01", 2, math.NaN()),                 // non-finite
@@ -50,14 +50,14 @@ func TestUpsertBatchValidation(t *testing.T) {
 func TestIdempotentRedelivery(t *testing.T) {
 	s := New(0)
 	batch := []Report{report("v01", 0, 18000), report("v01", 1, 15000), report("v02", 0, 9000)}
-	first := s.UpsertBatch(batch)
+	first, _ := s.UpsertBatch(batch)
 	if first.Changed != 3 {
 		t.Fatalf("first delivery changed %d, want 3", first.Changed)
 	}
 	h1, _ := s.Hash("v01")
 	seq1 := s.Seq()
 
-	second := s.UpsertBatch(batch)
+	second, _ := s.UpsertBatch(batch)
 	if second.Accepted != 3 || second.Changed != 0 {
 		t.Fatalf("re-delivery = %+v", second)
 	}
@@ -142,7 +142,7 @@ func TestOverwriteAndRevert(t *testing.T) {
 	s.UpsertBatch([]Report{report("v01", 0, 1000), report("v01", 1, 2000)})
 	orig, _ := s.Hash("v01")
 
-	res := s.UpsertBatch([]Report{report("v01", 1, 2500)})
+	res, _ := s.UpsertBatch([]Report{report("v01", 1, 2500)})
 	if res.Changed != 1 {
 		t.Fatalf("overwrite changed %d, want 1", res.Changed)
 	}

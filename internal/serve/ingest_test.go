@@ -33,7 +33,7 @@ func ingestServer(t testing.TB, retrainDirty int) (*Server, *engine.Engine, *ing
 			})
 		}
 	}
-	if res := store.UpsertBatch(reports); res.Rejected != 0 {
+	if res, _ := store.UpsertBatch(reports); res.Rejected != 0 {
 		t.Fatalf("seeding rejected %d reports", res.Rejected)
 	}
 

@@ -12,11 +12,16 @@
 //     every shard and merge deterministically — forecasts and vehicle
 //     rows sort by vehicle ID, so the merged payload is byte-identical
 //     to a single unsharded server's;
-//   - POST /telemetry broadcasts the batch to every shard (each keeps
-//     the full telemetry store so its cold-start models see the
-//     fleet-wide donor pool) after the router-level guard (rate limit,
-//     bearer auth) admits it; the per-vehicle accept/reject report is
-//     taken from each vehicle's owner shard.
+//   - POST /telemetry is *partitioned*, not broadcast: after the
+//     router-level guard (rate limit, bearer auth) admits a batch, each
+//     vehicle's reports go only to the shard the ring names as its
+//     owner, so raw telemetry storage scales ~1/N per shard. Shards
+//     keep their cold-start donor pools fleet-wide through the
+//     donor-series exchange instead (each shard serves its local old
+//     vehicles on GET /internal/donors and pulls its peers' at retrain;
+//     see cluster.DonorExchangeSource). In the in-process topology,
+//     where every shard wraps one shared store, the router upserts the
+//     batch exactly once (RouterOptions.SharedIngest).
 //
 // Every scatter carries a per-shard deadline: a shard that is down or
 // wedged yields 503 naming the failing shards instead of hanging the
@@ -110,11 +115,10 @@ type RouterOptions struct {
 	DisableIngest bool
 	// SharedIngest, set in the in-process topology where every shard
 	// wraps the same *ingest.Store, lets the router upsert a telemetry
-	// batch exactly once instead of broadcasting N redundant
-	// decode+upsert passes; shards are then scattered only an empty
-	// batch so each still evaluates its own dirty-retrain trigger.
-	// Leave nil in the multi-process topology (per-shard stores need
-	// the full broadcast).
+	// batch exactly once; shards are then scattered only an empty batch
+	// so each still evaluates its own dirty-retrain trigger. Leave nil
+	// in the multi-process topology, where the router instead routes
+	// each vehicle's reports to its ring owner's store only.
 	SharedIngest *ingest.Store
 }
 
@@ -126,7 +130,7 @@ type Router struct {
 	mux       *http.ServeMux
 	timeout   time.Duration
 	telemetry *guard
-	ingest    *ingest.Store // shared store fast path; nil = broadcast
+	ingest    *ingest.Store // shared store fast path; nil = partition by owner
 }
 
 // NewRouter builds the cluster front door. Every ring shard must have
@@ -453,10 +457,16 @@ func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}, merged.Errors)
 }
 
-// handleTelemetry guards, then broadcasts the batch to every shard.
-// Each shard keeps the full telemetry (the donor pool is fleet-wide);
-// the response reports each vehicle from its owner shard, whose engine
-// is the one that serves it.
+// handleTelemetry guards, then routes the batch. With a shared store
+// (in-process topology) the batch is upserted exactly once at the
+// router and every shard is scattered an empty batch so it still
+// evaluates its dirty-retrain trigger. With per-shard stores
+// (multi-process topology) the batch is *partitioned*: each vehicle's
+// reports go only to the shard the ring names as its owner — no
+// broadcast, so per-shard raw-telemetry storage scales ~1/N. The
+// fleet-wide donor pools shards need for cold-start training move
+// through the donor-series exchange instead (GET /internal/donors +
+// cluster.DonorExchangeSource), not through replicated raw telemetry.
 func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if !rt.telemetry.admit(w, r) {
 		return
@@ -472,39 +482,98 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: reading telemetry batch: %v", err))
 		return
 	}
-	// Shared-store fast path (in-process topology): decode and upsert
-	// the batch exactly once here, then scatter only an *empty* batch
-	// so each shard still runs its dirty-retrain trigger against the
-	// store's new state. The broadcast below is for per-shard stores.
-	var ownResult *ingest.BatchResult
-	if rt.ingest != nil {
-		var req TelemetryRequest
-		if err := jsonDecode(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
-			return
-		}
-		if len(req.Reports) > maxTelemetryReports {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
-			return
-		}
-		res := rt.ingest.UpsertBatch(reportsFromJSON(req.Reports))
-		ownResult = &res
-		body = []byte(`{"reports":[]}`)
+	var req TelemetryRequest
+	if err := jsonDecode(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
+		return
+	}
+	if len(req.Reports) > maxTelemetryReports {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
+		return
 	}
 
 	hdr := make(http.Header)
 	hdr.Set("Content-Type", "application/json")
-	resps := rt.scatter(r.Context(), http.MethodPost, "/telemetry", body, hdr, rt.timeout)
+
+	// Shared-store fast path (in-process topology): upsert once, then
+	// scatter an empty batch so each shard judges its retrain trigger
+	// against the store's new state.
+	if rt.ingest != nil {
+		res, err := rt.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+		if err != nil {
+			// Applied in memory but not durably journaled: do not ack.
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resps := rt.scatter(r.Context(), http.MethodPost, "/telemetry", []byte(`{"reports":[]}`), hdr, rt.timeout)
+		var fail fanoutError
+		out := TelemetryResponse{BatchResult: res}
+		for _, resp := range resps {
+			if resp.err != nil {
+				fail.add(resp.shard, resp.err.Error())
+				continue
+			}
+			var tr TelemetryResponse
+			if resp.status != http.StatusOK || jsonDecode(resp.body, &tr) != nil {
+				fail.add(resp.shard, fmt.Sprintf("status %d: %s", resp.status, strings.TrimSpace(string(resp.body))))
+				continue
+			}
+			if tr.RetrainStarted {
+				out.RetrainStarted = true
+			}
+		}
+		if len(fail.Shards) > 0 {
+			fail.write(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	// Partitioned routing: group the reports by ring owner and send
+	// each group to that shard only. Vehicles are disjoint across
+	// groups, so the merged per-vehicle report is a plain union.
+	groups := make(map[string][]ReportJSON)
+	for _, rep := range req.Reports {
+		owner := rt.ring.Owner(rep.Vehicle)
+		groups[owner] = append(groups[owner], rep)
+	}
+	owners := make([]string, 0, len(groups))
+	for name := range groups {
+		if rt.byName[name] == nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: ring owner %q has no backend", name))
+			return
+		}
+		owners = append(owners, name)
+	}
+	sort.Strings(owners)
+
+	resps := make([]shardResponse, len(owners))
+	var wg sync.WaitGroup
+	for i, name := range owners {
+		sub, err := json.Marshal(TelemetryRequest{Reports: groups[name]})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: encoding sub-batch: %v", err))
+			return
+		}
+		wg.Add(1)
+		go func(i int, b *ShardBackend, sub []byte) {
+			defer wg.Done()
+			resps[i] = rt.call(r.Context(), b, http.MethodPost, "/telemetry", sub, hdr, rt.timeout)
+		}(i, rt.byName[name], sub)
+	}
+	wg.Wait()
 
 	var fail fanoutError
-	byShard := make(map[string]TelemetryResponse, len(resps))
+	merged := TelemetryResponse{}
+	merged.Vehicles = make(map[string]*ingest.VehicleResult)
 	for _, resp := range resps {
 		if resp.err != nil {
 			fail.add(resp.shard, resp.err.Error())
 			continue
 		}
 		// Per-report validation errors come back inside a 200; a
-		// non-200 here is a malformed batch (or a shard failure) and
+		// non-200 here is a malformed sub-batch (or a shard failure) and
 		// relays as-is — headers included — from the first shard that
 		// said so.
 		if resp.status != http.StatusOK {
@@ -522,63 +591,24 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 			fail.add(resp.shard, err.Error())
 			continue
 		}
-		byShard[resp.shard] = tr
-	}
-	if len(fail.Shards) > 0 {
-		fail.write(w)
-		return
-	}
-
-	// Shared-store fast path: the router's own upsert is the one
-	// authoritative result; the shards only contributed their retrain
-	// triggers.
-	if ownResult != nil {
-		out := TelemetryResponse{BatchResult: *ownResult}
-		for _, tr := range byShard {
-			if tr.RetrainStarted {
-				out.RetrainStarted = true
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
-		return
-	}
-
-	// Merge to one per-vehicle report. Accept/reject counts are
-	// identical on every shard (same validation over the same batch);
-	// Changed is not: with the in-process cluster's *shared* store the
-	// broadcast lands as a real change on exactly one shard and as an
-	// idempotent no-op on the rest, and with per-process stores every
-	// shard reports the same change. Taking each vehicle's
-	// maximum-Changed response (owner shard winning ties) yields "what
-	// this batch changed, counted once" in both topologies. Shards
-	// iterate in sorted order so the merge is deterministic.
-	merged := TelemetryResponse{}
-	merged.Vehicles = make(map[string]*ingest.VehicleResult)
-	shardNames := make([]string, 0, len(byShard))
-	for name := range byShard {
-		shardNames = append(shardNames, name)
-	}
-	sort.Strings(shardNames)
-	for _, shardName := range shardNames {
-		tr := byShard[shardName]
 		if tr.RetrainStarted {
 			merged.RetrainStarted = true
 		}
+		// Per-shard stores have independent sequences; report the
+		// largest so the client still sees a monotonic high-water mark.
 		if tr.Seq > merged.Seq {
 			merged.Seq = tr.Seq
 		}
 		for id, vr := range tr.Vehicles {
-			cur, seen := merged.Vehicles[id]
-			isOwner := id != "" && rt.ring.Owner(id) == shardName
-			if !seen || vr.Changed > cur.Changed || (vr.Changed == cur.Changed && isOwner) {
-				merged.Vehicles[id] = vr
-			}
+			merged.Vehicles[id] = vr
 		}
+		merged.Accepted += tr.Accepted
+		merged.Rejected += tr.Rejected
+		merged.Changed += tr.Changed
 	}
-	for _, vr := range merged.Vehicles {
-		merged.Accepted += vr.Accepted
-		merged.Rejected += vr.Rejected
-		merged.Changed += vr.Changed
+	if len(fail.Shards) > 0 {
+		fail.write(w)
+		return
 	}
 	writeJSON(w, http.StatusOK, merged)
 }
@@ -680,10 +710,11 @@ func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // RouterIngestJSON aggregates /admin/ingest across shards.
 type RouterIngestJSON struct {
-	// Shards holds each shard's ingest stats. With broadcast
-	// replication the per-shard stores converge to the same content;
-	// per-shard counters still differ by delivery timing, so they are
-	// reported per shard rather than summed.
+	// Shards holds each shard's ingest stats. With partitioned
+	// telemetry each store holds a disjoint ~1/N slice of the fleet
+	// (the per-shard Vehicles counts sum to the fleet size), and each
+	// shard journals through its own WAL, so stats are reported per
+	// shard rather than summed.
 	Shards map[string]IngestStatsJSON `json:"shards"`
 }
 

@@ -62,7 +62,7 @@ func buildCluster(t testing.TB, vehicles, shards, retrainDirty int, ropts Router
 			reports = append(reports, ingest.Report{VehicleID: v.Series.ID, Date: start.AddDate(0, 0, d), Seconds: sec})
 		}
 	}
-	if res := store.UpsertBatch(reports); res.Rejected != 0 {
+	if res, _ := store.UpsertBatch(reports); res.Rejected != 0 {
 		t.Fatalf("seeding rejected %d reports", res.Rejected)
 	}
 
@@ -283,10 +283,12 @@ func TestRouterShardDown(t *testing.T) {
 	}
 }
 
-// TestRouterTelemetryBroadcast: a batch posted at the router lands in
-// the shared store once (idempotent re-upserts from the broadcast) and
-// the response reports each vehicle from its owner shard.
-func TestRouterTelemetryBroadcast(t *testing.T) {
+// TestRouterTelemetryOwnerRouted: a batch posted at the router is
+// split by ring owner and lands in the store once (here every shard
+// server wraps the same store; the per-shard-store topology is covered
+// by TestRouterTelemetryPartitioned), with the per-vehicle results
+// merged from the owner sub-batches.
+func TestRouterTelemetryOwnerRouted(t *testing.T) {
 	fx := buildCluster(t, 6, 3, 1, RouterOptions{})
 	day := "2016-03-01"
 	var reports []string

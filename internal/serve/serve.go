@@ -16,7 +16,11 @@
 //	                                  background, swap snapshots; full=1
 //	                                  disables incremental model reuse
 //	GET  /admin/status                engine state (generation, workers, ...)
-//	GET  /admin/ingest                ingest-store stats (when configured)
+//	GET  /admin/ingest                ingest-store stats incl. WAL/durability
+//	                                  (when configured)
+//	GET  /internal/donors             this shard's old-vehicle series for
+//	                                  the cluster donor exchange (when an
+//	                                  ingest store is configured)
 //
 // Every read endpoint serves from the engine's current immutable
 // snapshot: one atomic pointer load, no locks, no model math (forecasts
@@ -41,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
@@ -126,6 +131,7 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 	if s.ingest != nil {
 		s.mux.HandleFunc("POST /telemetry", s.handleTelemetry)
 		s.mux.HandleFunc("GET /admin/ingest", s.handleIngestStats)
+		s.mux.HandleFunc("GET "+cluster.DonorsPath, s.handleDonors)
 	}
 	return s, nil
 }
@@ -452,13 +458,20 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
 		return
 	}
-	res := s.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+	res, err := s.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+	if err != nil {
+		// The batch may be applied in memory but is not durably
+		// journaled: do not acknowledge it. Idempotent upserts make the
+		// client's retry safe.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	out := TelemetryResponse{BatchResult: res}
 	// Check the dirty threshold even when *this* batch changed nothing:
 	// with a shared store behind several shard servers (the in-process
-	// cluster), a broadcast batch lands as a change on the first shard
-	// and as an idempotent no-op on the rest — but every shard must
-	// still notice the store moved and judge its own retrain trigger.
+	// cluster), the router upserts a batch once and scatters the shards
+	// an *empty* batch — but every shard must still notice the store
+	// moved and judge its own retrain trigger.
 	out.RetrainStarted = s.maybeKickRetrain()
 	writeJSON(w, http.StatusOK, out)
 }
@@ -523,6 +536,44 @@ type IngestStatsJSON struct {
 	// threshold-triggered retrain kick.
 	DirtySinceLastRetrain []string `json:"dirty_since_last_retrain,omitempty"`
 }
+
+// handleDonors serves the donor-series exchange (shard-to-shard; the
+// cluster router does not expose it): this shard's old vehicles' raw
+// contiguous daily series, sorted by ID. Peers prepare the series
+// through the same §3 pipeline and register them via core.AddDonor, so
+// their cold-start donor pools stay fleet-wide — and bit-identical to
+// an unsharded build — without any raw-telemetry replication (see
+// cluster.DonorExchangeSource).
+func (s *Server) handleDonors(w http.ResponseWriter, r *http.Request) {
+	// Fleet prepares (with caching) the stored vehicles; categorization
+	// runs on the prepared series exactly as training's partitioning
+	// does.
+	fleet, err := s.ingest.Fleet(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: deriving donor series: %v", err))
+		return
+	}
+	out := DonorSet{Vehicles: []cluster.DonorSeries{}}
+	for _, v := range fleet {
+		if core.Categorize(v.Series) != core.Old {
+			continue
+		}
+		start, u, ok := s.ingest.RawSeries(v.Series.ID)
+		if !ok {
+			continue
+		}
+		out.Vehicles = append(out.Vehicles, cluster.DonorSeries{
+			ID:    v.Series.ID,
+			Start: start.Format("2006-01-02"),
+			U:     u,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DonorSet aliases the cluster wire type so API consumers of this
+// package see the whole shard surface in one place.
+type DonorSet = cluster.DonorSet
 
 func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
 	s.kickMu.Lock()

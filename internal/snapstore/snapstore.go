@@ -9,6 +9,12 @@
 // (temp file + rename) so a crash mid-spill never corrupts the
 // restorable generation; each successful spill replaces the previous
 // one, so the directory holds exactly the latest generation per shard.
+//
+// A successful Save is also the durability gate for the telemetry WAL:
+// the fleetserver's snapshot hook checkpoints the ingest store and
+// compacts its journal only after the generation is on disk (see
+// ingest.CheckpointAndCompact), so a WAL segment is never dropped
+// before a persisted generation's checkpoint covers it.
 // The format is a magic header, a format version, and a gob stream.
 // Model types serialize through their GobEncode/GobDecode mirrors (see
 // the gob.go file of each ml sub-package), which makes restored models

@@ -1,0 +1,697 @@
+// Package wal is an append-only, segmented write-ahead log: the
+// durability substrate under the live telemetry store (internal/ingest
+// journals every accepted batch here before acknowledging it, and a
+// rebooted process replays the log to reconstruct the store — see the
+// "Durability & telemetry partitioning" section of ARCHITECTURE.md).
+//
+// Layout: one directory holds numbered segment files, each a short
+// header followed by length+checksum framed records:
+//
+//	segment file  <firstIndex as %016x>.wal
+//	header        "reprowal1\n" magic + big-endian uint64 first index
+//	record frame  uint32 payload length | uint32 CRC-32 (IEEE) | payload
+//
+// Records carry a monotonically increasing index (1-based) assigned at
+// Append. Appends go to the active (newest) segment; once it exceeds
+// Options.SegmentBytes the log rotates: the active file is synced,
+// closed and sealed, and a fresh segment opens with the next index in
+// its name — a crash between the two steps at worst leaves a sealed
+// segment and no active one, which Open resumes from cleanly.
+//
+// Crash tolerance: Open scans every segment frame by frame. The first
+// bad frame (truncated write, checksum mismatch, insane length) marks
+// the end of the log: the file is truncated at that frame's offset,
+// any later segments are dropped, and the event is counted in
+// Stats.TruncatedTailEvents. Everything before the bad frame — i.e.
+// every record whose Append returned — survives.
+//
+// Compaction: CompactThrough(index) deletes sealed segments whose
+// records are all <= index. The caller is responsible for only passing
+// indexes that are fully reflected in some other durable artifact (the
+// ingest store compacts through its checkpoint, which it writes when a
+// model generation is persisted); the log itself never drops the
+// active segment.
+//
+// Fsync policy: FsyncAlways syncs every append before it returns (an
+// acknowledged record survives kill -9), FsyncInterval piggybacks a
+// sync on the first append after Options.FsyncEvery has elapsed, and
+// FsyncNever leaves flushing to the OS. All methods are safe for
+// concurrent use.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	segMagic   = "reprowal1\n"
+	segSuffix  = ".wal"
+	headerSize = len(segMagic) + 8
+	frameHead  = 8 // uint32 length + uint32 crc
+	// maxRecordBytes bounds a single payload; anything larger in a frame
+	// header is corruption, not data.
+	maxRecordBytes = 64 << 20
+	// DefaultSegmentBytes is the rotation threshold when Options leaves
+	// SegmentBytes zero.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultFsyncEvery is the FsyncInterval cadence when Options leaves
+	// FsyncEvery zero.
+	DefaultFsyncEvery = 50 * time.Millisecond
+)
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs before every Append returns: an acknowledged
+	// record survives kill -9 and power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on the first append after FsyncEvery has
+	// elapsed since the last sync — bounded data-loss window, near
+	// FsyncNever throughput.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS page cache.
+	FsyncNever
+)
+
+// String names the policy as the -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the -fsync flag values "always", "interval"
+// and "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold; 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// Fsync selects the append durability policy.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval cadence; 0 selects
+	// DefaultFsyncEvery.
+	FsyncEvery time.Duration
+}
+
+// Stats is the log's observable state, surfaced through GET
+// /admin/ingest and `fleetctl ingest`.
+type Stats struct {
+	// Segments counts segment files (sealed + active); Bytes totals
+	// their sizes.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// FirstIndex/LastIndex bound the records currently in the log
+	// (both 0 when empty; FirstIndex moves up as compaction drops
+	// segments).
+	FirstIndex uint64 `json:"first_index"`
+	LastIndex  uint64 `json:"last_index"`
+	// Appends, Rotations and Fsyncs count operations since Open.
+	Appends   uint64 `json:"appends"`
+	Rotations uint64 `json:"rotations"`
+	Fsyncs    uint64 `json:"fsyncs"`
+	// LastFsync is the wall-clock time of the latest sync (zero when
+	// none happened yet).
+	LastFsync time.Time `json:"last_fsync"`
+	// TruncatedTailEvents counts corrupt tails Open cut off (segments
+	// truncated at a bad frame plus later segments dropped).
+	TruncatedTailEvents int `json:"truncated_tail_events"`
+	// ReplayRecords/ReplayDuration describe the latest Replay call.
+	ReplayRecords  int           `json:"replay_records"`
+	ReplayDuration time.Duration `json:"replay_duration"`
+	// CompactedSegments counts segments removed by CompactThrough since
+	// Open.
+	CompactedSegments uint64 `json:"compacted_segments"`
+}
+
+// segment is one sealed (read-only) segment file.
+type segment struct {
+	path       string
+	firstIndex uint64
+	lastIndex  uint64 // 0 when the segment holds no records
+	bytes      int64
+}
+
+// Log is an append-only segmented record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	sealed      []segment
+	active      *os.File
+	activePath  string
+	activeFirst uint64
+	activeBytes int64
+	nextIndex   uint64 // index the next Append receives
+	dirty       bool   // unsynced appends in the active segment
+	closed      bool
+	// failErr poisons the log after a torn append: frames written after
+	// a partial write would be unreachable behind the bad frame (both
+	// replay and the next Open stop at it), so further appends must not
+	// silently acknowledge records the log cannot return.
+	failErr error
+
+	appends     uint64
+	rotations   uint64
+	fsyncs      uint64
+	lastFsync   time.Time
+	truncEvents int
+	replayRecs  int
+	replayDur   time.Duration
+	compacted   uint64
+}
+
+// Open opens (creating if needed) the log directory, scans every
+// segment, truncates a corrupt tail at the first bad frame, and
+// resumes appending after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: empty directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = DefaultFsyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, nextIndex: 1}
+
+	paths, err := segmentPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, path := range paths {
+		seg, intact, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if !intact {
+			// Corrupt tail: everything from the bad frame on — including
+			// any later segments — is gone. Records before it survive.
+			l.truncEvents++
+			if seg.lastIndex == 0 && seg.bytes <= int64(headerSize) {
+				// Nothing intact in this file at all (e.g. a header-less
+				// shard of a crashed rotation): drop it entirely.
+				if err := os.Remove(path); err != nil {
+					return nil, fmt.Errorf("wal: dropping corrupt segment: %w", err)
+				}
+			} else {
+				l.sealed = append(l.sealed, seg)
+			}
+			for _, late := range paths[i+1:] {
+				l.truncEvents++
+				if err := os.Remove(late); err != nil {
+					return nil, fmt.Errorf("wal: dropping post-corruption segment: %w", err)
+				}
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+			break
+		}
+		l.sealed = append(l.sealed, seg)
+	}
+	for _, seg := range l.sealed {
+		if seg.lastIndex >= l.nextIndex {
+			l.nextIndex = seg.lastIndex + 1
+		}
+		// A record-less segment (the normal state right after a
+		// rotation, before the first append into it) still pins the
+		// index sequence through its header: the next record must get
+		// its firstIndex, even when every earlier segment has been
+		// compacted away.
+		if seg.lastIndex == 0 && seg.firstIndex > l.nextIndex {
+			l.nextIndex = seg.firstIndex
+		}
+	}
+
+	// Resume appending in the newest surviving segment (if any),
+	// otherwise start a fresh one on first Append.
+	if n := len(l.sealed); n > 0 {
+		tail := l.sealed[n-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening active segment: %w", err)
+		}
+		l.active = f
+		l.activePath = tail.path
+		l.activeFirst = tail.firstIndex
+		l.activeBytes = tail.bytes
+		l.sealed = l.sealed[:n-1]
+	}
+	return l, nil
+}
+
+// segmentPaths lists the directory's segment files in index order.
+func segmentPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64); err != nil {
+			continue // not a segment file
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths) // %016x names sort numerically
+	return paths, nil
+}
+
+// scanSegment walks one segment file frame by frame. It returns the
+// segment's surviving extent and whether the file was fully intact; on
+// a bad frame the file is truncated at the frame's start first.
+func scanSegment(path string) (segment, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return segment{}, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	seg := segment{path: path}
+	truncateAt := func(off int64) (segment, bool, error) {
+		if err := os.Truncate(path, off); err != nil {
+			return segment{}, false, fmt.Errorf("wal: truncating corrupt tail of %s: %w", path, err)
+		}
+		seg.bytes = off
+		return seg, false, nil
+	}
+
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, head); err != nil || string(head[:len(segMagic)]) != segMagic {
+		// No intact header: nothing in this file is recoverable.
+		return truncateAt(0)
+	}
+	seg.firstIndex = binary.BigEndian.Uint64(head[len(segMagic):])
+	next := seg.firstIndex
+	off := int64(headerSize)
+	seg.bytes = off
+
+	frame := make([]byte, frameHead)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			if err == io.EOF {
+				return seg, true, nil // clean end
+			}
+			return truncateAt(off) // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordBytes {
+			return truncateAt(off)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return truncateAt(off) // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return truncateAt(off)
+		}
+		off += int64(frameHead) + int64(n)
+		seg.bytes = off
+		seg.lastIndex = next
+		next++
+	}
+}
+
+// syncDir fsyncs a directory so segment creates/removes/renames are
+// themselves durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+func segPath(dir string, firstIndex uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", firstIndex, segSuffix))
+}
+
+// openSegmentLocked creates the active segment whose first record will
+// be l.nextIndex. The header is written and synced before any record
+// lands in it.
+func (l *Log) openSegmentLocked() error {
+	path := segPath(l.dir, l.nextIndex)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	head := make([]byte, headerSize)
+	copy(head, segMagic)
+	binary.BigEndian.PutUint64(head[len(segMagic):], l.nextIndex)
+	if _, err := f.Write(head); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.activePath = path
+	l.activeFirst = l.nextIndex
+	l.activeBytes = int64(headerSize)
+	return nil
+}
+
+// Append frames and appends one record, returning its index. Depending
+// on the fsync policy the record is synced before Append returns; with
+// FsyncAlways a returned index is durable against kill -9.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: %d-byte record exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.failErr != nil {
+		return 0, fmt.Errorf("wal: log failed earlier: %w", l.failErr)
+	}
+	if l.active == nil {
+		if err := l.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+
+	frame := make([]byte, frameHead+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHead:], payload)
+	if _, err := l.active.Write(frame); err != nil {
+		// A torn write leaves a bad frame at the tail; the next Open
+		// truncates it away, so the in-memory index must not advance —
+		// and no later append may land behind the bad frame.
+		l.failErr = err
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	idx := l.nextIndex
+	l.nextIndex++
+	l.activeBytes += int64(len(frame))
+	l.appends++
+	l.dirty = true
+
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case FsyncInterval:
+		if time.Since(l.lastFsync) >= l.opts.FsyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	if l.activeBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.sealed = append(l.sealed, segment{
+		path:       l.activePath,
+		firstIndex: l.activeFirst,
+		lastIndex:  l.nextIndex - 1,
+		bytes:      l.activeBytes,
+	})
+	l.active = nil
+	l.rotations++
+	return l.openSegmentLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		// After a failed fsync the kernel may mark the dirty pages clean
+		// without persisting them, so a *later* successful fsync could
+		// acknowledge records behind a frame that never reached disk.
+		// Poison the log: nothing may be acknowledged past this point.
+		l.failErr = err
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.fsyncs++
+	l.lastFsync = time.Now()
+	return nil
+}
+
+// Sync forces any buffered appends to stable storage regardless of the
+// fsync policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Replay calls fn for every record in index order. A callback error
+// aborts the replay and is returned. Replay may run concurrently with
+// appends; it covers the records present when it reaches each segment.
+func (l *Log) Replay(fn func(index uint64, payload []byte) error) error {
+	t0 := time.Now()
+	l.mu.Lock()
+	// Snapshot the segment list; sync the active file so the read side
+	// observes every acknowledged record.
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	paths := make([]string, 0, len(l.sealed)+1)
+	for _, seg := range l.sealed {
+		paths = append(paths, seg.path)
+	}
+	if l.active != nil {
+		paths = append(paths, l.activePath)
+	}
+	l.mu.Unlock()
+
+	records := 0
+	for _, path := range paths {
+		n, err := replaySegment(path, fn)
+		records += n
+		if err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	l.replayRecs = records
+	l.replayDur = time.Since(t0)
+	l.mu.Unlock()
+	return nil
+}
+
+// replaySegment streams one segment's records through fn. Segments
+// were validated (and tail-truncated) at Open, so a bad frame here is
+// an I/O error, not expected corruption.
+func replaySegment(path string, fn func(uint64, []byte) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, head); err != nil || string(head[:len(segMagic)]) != segMagic {
+		return 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	idx := binary.BigEndian.Uint64(head[len(segMagic):])
+
+	records := 0
+	frame := make([]byte, frameHead)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// A frame appended (but not yet complete) after our Open
+				// snapshot ends this segment's replay cleanly.
+				return records, nil
+			}
+			return records, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordBytes {
+			return records, fmt.Errorf("wal: %s: corrupt frame length %d", path, n)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, nil // torn in-flight append
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, fmt.Errorf("wal: %s: checksum mismatch at record %d", path, idx)
+		}
+		if err := fn(idx, payload); err != nil {
+			return records, err
+		}
+		records++
+		idx++
+	}
+}
+
+// CompactThrough removes sealed segments whose records are all <=
+// index — call it only with indexes fully reflected in a durable
+// checkpoint (the ingest store passes the index its checkpoint covers,
+// written when a model generation is persisted). The active segment is
+// never removed. Returns how many segments were deleted.
+func (l *Log) CompactThrough(index uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.sealed) > 0 {
+		seg := l.sealed[0]
+		if seg.lastIndex == 0 || seg.lastIndex > index {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, fmt.Errorf("wal: compacting: %w", err)
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+		l.compacted++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// LastIndex returns the index of the most recently appended record (0
+// when the log is empty).
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextIndex - 1
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats reports the log's current state.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Appends:             l.appends,
+		Rotations:           l.rotations,
+		Fsyncs:              l.fsyncs,
+		LastFsync:           l.lastFsync,
+		TruncatedTailEvents: l.truncEvents,
+		ReplayRecords:       l.replayRecs,
+		ReplayDuration:      l.replayDur,
+		CompactedSegments:   l.compacted,
+		LastIndex:           l.nextIndex - 1,
+	}
+	for _, seg := range l.sealed {
+		st.Segments++
+		st.Bytes += seg.bytes
+		if st.FirstIndex == 0 && seg.lastIndex > 0 {
+			st.FirstIndex = seg.firstIndex
+		}
+	}
+	if l.active != nil {
+		st.Segments++
+		st.Bytes += l.activeBytes
+		if st.FirstIndex == 0 && l.nextIndex > l.activeFirst {
+			st.FirstIndex = l.activeFirst
+		}
+	}
+	if st.LastIndex < st.FirstIndex {
+		st.LastIndex = 0
+		st.FirstIndex = 0
+	}
+	return st
+}
+
+// Close syncs and closes the active segment. The log cannot be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# cluster_smoke.sh — end-to-end check of the sharded serving topology.
+# cluster_smoke.sh — end-to-end check of the sharded serving topology
+# with durable, partitioned telemetry.
 #
-# Spins up a 3-shard multi-process cluster (one fleetserver per shard
-# plus a router), replays fleetgen telemetry through the router, and
-# asserts:
-#   1. the router's merged /fleet/forecast is byte-identical to a
-#      single unsharded fleetserver over the same data;
-#   2. per-vehicle routes answer from the owning shard (X-Fleet-Shard);
-#   3. the router-level telemetry guard rejects a bad bearer token;
-#   4. a shard restarted from its -snapshot-dir serves its prior
-#      generation immediately (readyz + unchanged generation, no
-#      cold-training).
+# Spins up a 3-shard multi-process cluster (one fleetserver per shard,
+# each with its own WAL and snapshot spill, plus a router that routes
+# telemetry to ring owners only), replays fleetgen telemetry through
+# the router — SIGKILLing a shard mid-replay — and asserts:
+#   1. the recovered cluster's merged /fleet/forecast is byte-identical
+#      to a single unsharded fleetserver over the same data;
+#   2. raw telemetry genuinely partitions ~1/N: per-shard stores are
+#      disjoint, sum to the fleet, and none holds everything;
+#   3. a shard SIGKILLed *after* the replay (everything acknowledged)
+#      restarts from WAL + snapshot spill and serves the same bytes —
+#      zero acknowledged reports lost, no cold train;
+#   4. per-vehicle routes answer from the owning shard (X-Fleet-Shard);
+#   5. the router-level telemetry guard rejects a bad bearer token;
+#   6. WAL stats (segments, replay, checkpoint) surface in
+#      /admin/ingest.
 #
 # Usage: scripts/cluster_smoke.sh [workdir]
 set -euo pipefail
@@ -31,6 +37,7 @@ trap cleanup EXIT
 
 go build -o "$WORK/fleetserver" ./cmd/fleetserver
 go build -o "$WORK/fleetgen" ./cmd/fleetgen
+go build -o "$WORK/fleetctl" ./cmd/fleetctl
 
 "$WORK/fleetgen" -vehicles 24 -days 900 -o "$WORK/fleet.csv"
 
@@ -49,11 +56,13 @@ wait_ready() { # url [tries]
 }
 
 # retrain_settled URL — force a waited incremental retrain so the
-# serving snapshot covers everything ingested so far. Retries around
-# 409s from still-running dirty-threshold builds.
+# serving snapshots (and, in the cluster, every shard's donor pool)
+# cover everything ingested so far. Retries around 409s from
+# still-running dirty-threshold builds and 503s from shards still
+# rebuilding after a restart.
 retrain_settled() {
   local url=$1
-  for _ in $(seq 60); do
+  for _ in $(seq 120); do
     local code
     code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$url/admin/retrain?wait=1")
     if [ "$code" = "200" ]; then
@@ -63,6 +72,17 @@ retrain_settled() {
   done
   echo "cluster-smoke: retrain at $url never settled" >&2
   return 1
+}
+
+start_shard() { # index
+  local i=$1
+  "$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
+    -join "shard$i" -peers "$PEERS" \
+    -snapshot-dir "$WORK/snapshots" \
+    -wal-dir "$WORK/wal/shard$i" -fsync always \
+    -addr "127.0.0.1:1808$((i + 1))" >>"$WORK/shard$i.log" 2>&1 &
+  PIDS+=($!)
+  SHARD_PID[$i]=$!
 }
 
 # --- single-process reference ------------------------------------------------
@@ -77,14 +97,11 @@ wait_ready http://127.0.0.1:18080 300
 retrain_settled http://127.0.0.1:18080
 curl -fsS http://127.0.0.1:18080/fleet/forecast >"$WORK/single.json"
 
-# --- 3-shard cluster ---------------------------------------------------------
+# --- 3-shard cluster with partitioned, WAL-backed telemetry ------------------
 PEERS="shard0=http://127.0.0.1:18081,shard1=http://127.0.0.1:18082,shard2=http://127.0.0.1:18083"
+declare -A SHARD_PID
 for i in 0 1 2; do
-  "$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
-    -join "shard$i" -peers "$PEERS" \
-    -snapshot-dir "$WORK/snapshots" \
-    -addr "127.0.0.1:1808$((i + 1))" >"$WORK/shard$i.log" 2>&1 &
-  PIDS+=($!)
+  start_shard "$i"
 done
 "$WORK/fleetserver" -peers "$PEERS" -telemetry-token "$TOKEN" \
   -addr 127.0.0.1:18084 >"$WORK/router.log" 2>&1 &
@@ -92,24 +109,83 @@ PIDS+=($!)
 
 wait_ready http://127.0.0.1:18084 300
 
-# Replay the same fleet through the router as live telemetry
-# (broadcast to every shard, guarded by the bearer token).
+# Replay the same fleet through the router as live telemetry — each
+# vehicle's reports go only to its ring owner — and SIGKILL shard0
+# mid-replay: batches owned by shard0 start failing at the router, the
+# other shards keep ingesting.
 "$WORK/fleetgen" -vehicles 24 -days 900 -post http://127.0.0.1:18084 \
-  -auth-token "$TOKEN" >"$WORK/replay.log" 2>&1
+  -auth-token "$TOKEN" -batch-days 30 >"$WORK/replay.log" 2>&1 &
+REPLAY_PID=$!
+sleep 1.5
+kill -9 "${SHARD_PID[0]}" 2>/dev/null || true
+echo "cluster-smoke: SIGKILLed shard0 mid-replay"
+wait "$REPLAY_PID" 2>/dev/null || true # replay may abort on 503s — expected
+
+# Restart shard0 from its WAL + snapshot spill: every batch it
+# acknowledged before the kill must already be back before we redeliver.
+start_shard 0
+wait_ready http://127.0.0.1:18081 300
+# The first boot logs "recovered 0 vehicles" over an empty WAL; the
+# restart must have recovered a non-empty store from the journal.
+if ! grep -Eq "wal .*shard0: recovered [1-9][0-9]* vehicles" "$WORK/shard0.log"; then
+  echo "cluster-smoke: FAIL — restarted shard0 did not replay its WAL" >&2
+  cat "$WORK/shard0.log" >&2
+  exit 1
+fi
+echo "cluster-smoke: shard0 restarted from WAL replay"
+
+# Redeliver the full replay: batches the dead shard never acknowledged
+# land now; everything it *did* acknowledge is an idempotent no-op.
+"$WORK/fleetgen" -vehicles 24 -days 900 -post http://127.0.0.1:18084 \
+  -auth-token "$TOKEN" >"$WORK/replay2.log" 2>&1
 retrain_settled http://127.0.0.1:18084
 
 # 1. Merged forecasts equal the single-process output byte for byte.
 curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster.json"
 if ! cmp -s "$WORK/single.json" "$WORK/cluster.json"; then
-  echo "cluster-smoke: FAIL — sharded /fleet/forecast differs from single-process" >&2
+  echo "cluster-smoke: FAIL — sharded /fleet/forecast differs from single-process after crash recovery" >&2
   diff "$WORK/single.json" "$WORK/cluster.json" | head >&2 || true
   exit 1
 fi
-echo "cluster-smoke: merged forecasts are byte-identical to single-process"
+echo "cluster-smoke: merged forecasts are byte-identical to single-process (through a mid-replay SIGKILL)"
 
-# 2. Per-vehicle affinity: the router names the owning shard.
-SHARD_HDR=$(curl -fsS -D - -o /dev/null http://127.0.0.1:18084/vehicles/v01/forecast \
-  | tr -d '\r' | awk -F': ' 'tolower($1)=="x-fleet-shard"{print $2}')
+# 2. Raw telemetry partitions ~1/N: per-shard stores are disjoint
+# slices summing to the fleet, and no shard holds everything.
+TOTAL=0
+for i in 0 1 2; do
+  N=$(curl -fsS "http://127.0.0.1:1808$((i + 1))/admin/ingest" |
+    sed -n 's/.*"vehicles":\([0-9]*\).*/\1/p' | head -1)
+  echo "cluster-smoke: shard$i stores $N vehicles"
+  if [ -z "$N" ] || [ "$N" -ge 24 ]; then
+    echo "cluster-smoke: FAIL — shard$i stores $N of 24 vehicles (telemetry not partitioned)" >&2
+    exit 1
+  fi
+  TOTAL=$((TOTAL + N))
+done
+if [ "$TOTAL" -ne 24 ]; then
+  echo "cluster-smoke: FAIL — shard stores hold $TOTAL vehicles total, want a disjoint 24" >&2
+  exit 1
+fi
+echo "cluster-smoke: raw telemetry partitions 1/N (24 vehicles across 3 disjoint stores)"
+
+# 3. Zero acknowledged loss: SIGKILL shard1 now that every report is
+# acknowledged, restart it from WAL + spill, and require identical
+# bytes with NO redelivery.
+kill -9 "${SHARD_PID[1]}" 2>/dev/null || true
+start_shard 1
+wait_ready http://127.0.0.1:18082 300
+retrain_settled http://127.0.0.1:18084
+curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster-restored.json"
+if ! cmp -s "$WORK/single.json" "$WORK/cluster-restored.json"; then
+  echo "cluster-smoke: FAIL — acknowledged reports lost across SIGKILL (forecasts drifted)" >&2
+  diff "$WORK/single.json" "$WORK/cluster-restored.json" | head >&2 || true
+  exit 1
+fi
+echo "cluster-smoke: SIGKILLed shard restarted with zero acknowledged reports lost"
+
+# 4. Per-vehicle affinity: the router names the owning shard.
+SHARD_HDR=$(curl -fsS -D - -o /dev/null http://127.0.0.1:18084/vehicles/v01/forecast |
+  tr -d '\r' | awk -F': ' 'tolower($1)=="x-fleet-shard"{print $2}')
 case "$SHARD_HDR" in
   shard0 | shard1 | shard2) echo "cluster-smoke: v01 served by $SHARD_HDR" ;;
   *)
@@ -118,7 +194,7 @@ case "$SHARD_HDR" in
     ;;
 esac
 
-# 3. The router-level guard rejects bad credentials.
+# 5. The router-level guard rejects bad credentials.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   -H 'Authorization: Bearer wrong' -H 'Content-Type: application/json' \
   -d '{"reports":[]}' http://127.0.0.1:18084/telemetry)
@@ -128,32 +204,17 @@ if [ "$CODE" != "401" ]; then
 fi
 echo "cluster-smoke: bad bearer token rejected with 401"
 
-# 4. Snapshot restore: restart shard0 and require it to serve its
-# prior generation immediately (no cold training).
-GEN_BEFORE=$(curl -fsS http://127.0.0.1:18081/readyz | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
-kill "${PIDS[1]}" 2>/dev/null
-wait "${PIDS[1]}" 2>/dev/null || true
-"$WORK/fleetserver" -data "$WORK/fleet.csv" -ingest -retrain-dirty 1 \
-  -join shard0 -peers "$PEERS" -snapshot-dir "$WORK/snapshots" \
-  -addr 127.0.0.1:18081 >"$WORK/shard0-restart.log" 2>&1 &
-PIDS+=($!)
-wait_ready http://127.0.0.1:18081 50 # restore must be fast: no training allowed
-GEN_AFTER=$(curl -fsS http://127.0.0.1:18081/readyz | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')
-if [ -z "$GEN_AFTER" ] || [ "$GEN_AFTER" != "$GEN_BEFORE" ]; then
-  echo "cluster-smoke: FAIL — restarted shard0 serves generation '$GEN_AFTER', want restored '$GEN_BEFORE'" >&2
+# 6. WAL stats surface end to end (server JSON and fleetctl ingest).
+if ! curl -fsS http://127.0.0.1:18081/admin/ingest | grep -q '"wal"'; then
+  echo "cluster-smoke: FAIL — /admin/ingest has no WAL stats" >&2
   exit 1
 fi
-if ! grep -q "serving restored generation" "$WORK/shard0-restart.log"; then
-  echo "cluster-smoke: FAIL — shard0 restart did not restore from snapshot-dir" >&2
-  cat "$WORK/shard0-restart.log" >&2
+"$WORK/fleetctl" ingest -url http://127.0.0.1:18081 >"$WORK/fleetctl-ingest.txt"
+if ! grep -q "segments" "$WORK/fleetctl-ingest.txt"; then
+  echo "cluster-smoke: FAIL — fleetctl ingest printed no WAL section" >&2
+  cat "$WORK/fleetctl-ingest.txt" >&2
   exit 1
 fi
-echo "cluster-smoke: shard0 restarted from snapshot (generation $GEN_AFTER, no cold train)"
+echo "cluster-smoke: WAL stats visible via /admin/ingest and fleetctl ingest"
 
-# The restored shard still serves correct data through the router.
-curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster-restored.json"
-if ! cmp -s "$WORK/single.json" "$WORK/cluster-restored.json"; then
-  echo "cluster-smoke: FAIL — forecasts drifted after shard restart" >&2
-  exit 1
-fi
 echo "cluster-smoke: PASS"
