@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same commands.
 
-.PHONY: build test race bench-ml cluster-smoke
+.PHONY: build test race bench-ml bench-serve cluster-smoke
 
 build:
 	go build ./...
@@ -18,6 +18,12 @@ race:
 BENCHTIME ?= 1s
 bench-ml:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench_ml.sh BENCH_ml.json
+
+# bench-serve measures the hot forecast-serving path (server mux,
+# router single-owner fast path, raw cached-bytes lookup) and emits
+# BENCH_serve.json. The cached-bytes row pins 0 allocs/op.
+bench-serve:
+	BENCHTIME=$(BENCHTIME) ./scripts/bench_serve.sh BENCH_serve.json
 
 # cluster-smoke spins up 3 shard fleetservers (each with its own WAL
 # and snapshot spill) + a router that partitions telemetry to ring

@@ -370,6 +370,11 @@ func mlBenchData(n, p int, seed uint64) ([][]float64, []float64) {
 	return x, y
 }
 
+// mlBenchWorkers sweeps the intra-fit worker budget at the largest
+// size. Results are bit-identical across the sweep (pinned by the
+// internal/ml property tests), so any delta is pure scheduling.
+var mlBenchWorkers = []int{1, 4, 8}
+
 // BenchmarkTreeFit measures a single exact-engine CART fit across
 // training-set sizes (the unit of work both ensembles multiply).
 func BenchmarkTreeFit(b *testing.B) {
@@ -379,6 +384,18 @@ func BenchmarkTreeFit(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m := tree.New(tree.Config{MaxDepth: 12, MinSamplesLeaf: 2})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, wk := range mlBenchWorkers {
+		b.Run(fmt.Sprintf("n=20000/workers=%d", wk), func(b *testing.B) {
+			x, y := mlBenchData(20000, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := tree.New(tree.Config{MaxDepth: 12, MinSamplesLeaf: 2, Workers: wk})
 				if err := m.Fit(x, y); err != nil {
 					b.Fatal(err)
 				}
@@ -402,6 +419,18 @@ func BenchmarkForestFit(b *testing.B) {
 			}
 		})
 	}
+	for _, wk := range mlBenchWorkers {
+		b.Run(fmt.Sprintf("n=20000/workers=%d", wk), func(b *testing.B) {
+			x, y := mlBenchData(20000, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := forest.New(forest.Config{NEstimators: 20, MaxDepth: 12, MinSamplesLeaf: 2, Seed: 7, Workers: wk})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkGBMFit measures a 50-round boosted fit: binning happens once,
@@ -413,6 +442,18 @@ func BenchmarkGBMFit(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m := gbm.New(gbm.Config{NEstimators: 50, MaxDepth: 6, Seed: 7})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, wk := range mlBenchWorkers {
+		b.Run(fmt.Sprintf("n=20000/workers=%d", wk), func(b *testing.B) {
+			x, y := mlBenchData(20000, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := gbm.New(gbm.Config{NEstimators: 50, MaxDepth: 6, Seed: 7, Workers: wk})
 				if err := m.Fit(x, y); err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestWaitForTelemetryAtBoot pins the cold-boot policy. The regression
+// case is the third row: a partitioned (-join) shard whose store is
+// empty — because the ring assigned it no vehicles, or because it boots
+// without a seed CSV — must NOT wait for telemetry. It cold-trains
+// eagerly so the donor exchange yields an empty+donors snapshot and the
+// cluster's readiness does not hang on it until the retrain interval.
+func TestWaitForTelemetryAtBoot(t *testing.T) {
+	cases := []struct {
+		name           string
+		liveIngest     bool
+		storedVehicles int
+		partitioned    bool
+		want           bool
+	}{
+		{"csv mode never waits", false, 0, false, false},
+		{"standalone live empty store waits", true, 0, false, true},
+		{"partitioned live empty store trains eagerly", true, 0, true, false},
+		{"standalone live seeded store trains", true, 12, false, false},
+		{"partitioned live seeded store trains", true, 12, true, false},
+	}
+	for _, tc := range cases {
+		if got := waitForTelemetryAtBoot(tc.liveIngest, tc.storedVehicles, tc.partitioned); got != tc.want {
+			t.Errorf("%s: waitForTelemetryAtBoot(%v, %d, %v) = %v, want %v",
+				tc.name, tc.liveIngest, tc.storedVehicles, tc.partitioned, got, tc.want)
+		}
+	}
+}

@@ -97,6 +97,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		window      = flag.Int("w", 6, "feature window W")
 		workers     = flag.Int("workers", 0, "training pool size per engine (0 = GOMAXPROCS)")
+		fitWorkers  = flag.Int("fit-workers", 0, "intra-fit parallelism per model (feature-parallel split search + subtree workers; 0/1 = serial, results are bit-identical)")
 		interval    = flag.Duration("retrain-interval", 0, "periodic retrain interval (0 disables)")
 		liveIngest  = flag.Bool("ingest", false, "enable live telemetry ingestion (POST /telemetry); -data becomes seed data")
 		retrainDirt = flag.Int("retrain-dirty", 0, "with -ingest: auto-retrain once this many vehicles changed (0 disables)")
@@ -144,6 +145,7 @@ func main() {
 
 	cfg := core.DefaultPredictorConfig()
 	cfg.Window = *window
+	cfg.FitWorkers = *fitWorkers
 
 	// Cluster shard membership (needed before seeding: a partitioned
 	// shard stores only its ring-owned slice of the fleet).
@@ -224,11 +226,7 @@ func main() {
 		}
 	}
 
-	// A partitioned shard seeded from a CSV may legitimately own zero
-	// vehicles (the ring gave it none): it must still cold-train — the
-	// donor exchange makes its fleet non-empty — and publish a valid
-	// empty snapshot so the cluster's readiness does not hang on it.
-	waitForTelemetry := *liveIngest && len(store.Vehicles()) == 0 && (*data == "" || ring == nil)
+	waitForTelemetry := waitForTelemetryAtBoot(*liveIngest, len(storeVehicles(store)), ring != nil)
 	ecfg := engine.Config{Predictor: cfg, Workers: *workers}
 
 	if *shards > 1 {
@@ -436,6 +434,27 @@ func parsePeers(s string) []peer {
 		out = append(out, peer{name: name, url: url})
 	}
 	return out
+}
+
+// storeVehicles lists the ingest store's vehicles, tolerating the nil
+// store of CSV mode.
+func storeVehicles(store *ingest.Store) []string {
+	if store == nil {
+		return nil
+	}
+	return store.Vehicles()
+}
+
+// waitForTelemetryAtBoot decides whether a live-ingest boot with an
+// empty store should hold off training until the first POST /telemetry.
+// A *partitioned* shard (-join) never waits, CSV seed or not: owning
+// zero vehicles is a legitimate ring outcome, and the donor exchange
+// makes its training fleet non-empty anyway — so it cold-trains eagerly
+// and publishes a valid empty+donors snapshot instead of answering 503
+// until the retrain interval (or a stray telemetry batch) rescues it.
+// Only a standalone live server with nothing to train waits.
+func waitForTelemetryAtBoot(liveIngest bool, storedVehicles int, partitioned bool) bool {
+	return liveIngest && storedVehicles == 0 && !partitioned
 }
 
 // initialTrain runs the eager cold train, retrying up to `retries`

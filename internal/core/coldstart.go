@@ -27,6 +27,9 @@ type ColdStartConfig struct {
 	Params ml.Params
 	// Seed drives model randomness.
 	Seed uint64
+	// FitWorkers caps the intra-fit worker budget (see
+	// PredictorConfig.FitWorkers); results are identical for every value.
+	FitWorkers int
 }
 
 // NewColdStartConfig returns paper-style defaults for serving semi-new
@@ -118,7 +121,7 @@ func TrainUnified(train []*timeseries.VehicleSeries, alg Algorithm, cfg ColdStar
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := Build(alg, params, cfg.Seed)
+	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +187,7 @@ func TrainSimilarity(test *timeseries.VehicleSeries, train []*timeseries.Vehicle
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := Build(alg, params, cfg.Seed)
+	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, "", err
 	}

@@ -39,6 +39,9 @@ type OldConfig struct {
 	Normalize bool
 	// Seed drives augmentation sampling, CV shuffling and model seeds.
 	Seed uint64
+	// FitWorkers caps the intra-fit worker budget (see
+	// PredictorConfig.FitWorkers); results are identical for every value.
+	FitWorkers int
 }
 
 // NewOldConfig returns the paper-default configuration: W = 0, 70/30
@@ -152,7 +155,7 @@ func EvaluateOld(vs *timeseries.VehicleSeries, alg Algorithm, cfg OldConfig) (*O
 				return nil, derr
 			}
 			res, serr := ml.GridSearchCV(func(p ml.Params) ml.Regressor {
-				m, berr := Build(alg, p, cfg.Seed)
+				m, berr := BuildWithOptions(alg, p, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 				if berr != nil {
 					panic(berr) // unreachable: alg validated above
 				}
@@ -163,7 +166,7 @@ func EvaluateOld(vs *timeseries.VehicleSeries, alg Algorithm, cfg OldConfig) (*O
 			}
 			params = res.Best
 		}
-		model, err = Build(alg, params, cfg.Seed)
+		model, err = BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 		if err != nil {
 			return nil, err
 		}

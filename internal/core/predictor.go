@@ -30,6 +30,13 @@ type PredictorConfig struct {
 	Eval DTilde
 	// Seed drives model randomness.
 	Seed uint64
+	// FitWorkers caps the intra-fit worker budget of every model built
+	// for this predictor (tree split searches, forest members, boosting
+	// histogram scans). 0 or 1 fits serially. It is an execution knob
+	// only: results are bit-identical for every value, which is why it
+	// is deliberately excluded from Hash() — a snapshot trained with a
+	// different worker count is still byte-for-byte reusable.
+	FitWorkers int
 }
 
 // DefaultPredictorConfig mirrors the paper's deployed setup: all trained
@@ -209,7 +216,7 @@ func (sh *TrainShared) Unified() (ml.Regressor, error) {
 			sh.err = fmt.Errorf("no old vehicles available to train a unified model")
 			return
 		}
-		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed}
+		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed, FitWorkers: sh.cfg.FitWorkers}
 		sh.unified, sh.err = TrainUnified(sh.olds, sh.cfg.ColdStartAlgorithm, cs)
 	})
 	return sh.unified, sh.err
@@ -344,6 +351,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 	cfg.Eval = pcfg.Eval
 	cfg.RestrictTrain = true // Table 1: restriction is strictly better
 	cfg.Seed = seed
+	cfg.FitWorkers = pcfg.FitWorkers
 
 	bestScore := math.Inf(1)
 	var bestAlg Algorithm
@@ -378,7 +386,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 			return VehicleStatus{}, nil, err
 		}
 	}
-	model, err := Build(bestAlg, DefaultParams(bestAlg), seed)
+	model, err := BuildWithOptions(bestAlg, DefaultParams(bestAlg), seed, ml.FitOptions{Workers: pcfg.FitWorkers})
 	if err != nil {
 		return VehicleStatus{}, nil, err
 	}
@@ -391,7 +399,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 
 func trainSemiNew(vs *timeseries.VehicleSeries, shared *TrainShared, seed uint64) (VehicleStatus, ml.Regressor, error) {
 	pcfg := shared.cfg
-	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed}
+	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed, FitWorkers: pcfg.FitWorkers}
 	if olds := shared.Olds(); len(olds) > 0 {
 		model, donor, err := TrainSimilarityForLive(vs, olds, pcfg.ColdStartAlgorithm, cs)
 		if err == nil {
@@ -445,7 +453,7 @@ func TrainSimilarityForLive(test *timeseries.VehicleSeries, train []*timeseries.
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := Build(alg, params, cfg.Seed)
+	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +61,33 @@ type Snapshot struct {
 	// took.
 	BuiltAt       time.Time
 	TrainDuration time.Duration
+
+	// respCache lazily memoizes marshaled per-vehicle response bytes
+	// (vehicle ID → []byte). Living on the snapshot, every entry is
+	// implicitly keyed by (generation, vehicle): the atomic snapshot
+	// swap that publishes a retrain replaces the whole cache at once, so
+	// stale bytes can never outlive their generation. The field is
+	// unexported on purpose — gob-based persistence (internal/snapstore)
+	// skips it, so a restored snapshot simply starts with a cold cache.
+	respCache sync.Map
+}
+
+// CachedResponse returns the memoized response bytes for one vehicle,
+// if a serving path has marshaled them under this snapshot already.
+// The returned slice is shared and must not be mutated.
+func (s *Snapshot) CachedResponse(id string) ([]byte, bool) {
+	if v, ok := s.respCache.Load(id); ok {
+		return v.([]byte), true
+	}
+	return nil, false
+}
+
+// StoreCachedResponse memoizes one vehicle's marshaled response bytes
+// for the lifetime of this snapshot. Concurrent stores for the same
+// vehicle are benign: every writer marshals the same immutable forecast,
+// so whichever entry wins is byte-identical to the losers.
+func (s *Snapshot) StoreCachedResponse(id string, body []byte) {
+	s.respCache.Store(id, body)
 }
 
 // prior packages the snapshot's reusable outputs for the next

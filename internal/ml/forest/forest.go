@@ -47,6 +47,16 @@ type Config struct {
 	// engine with at most Bins quantile buckets (2..256); 0 keeps the
 	// exact presorted engine.
 	Bins int
+	// Workers bounds the fit's total parallelism
+	// (ml.FitOptions.Workers): it caps the across-tree pool, and when
+	// it exceeds NEstimators the surplus flows into each tree as
+	// intra-fit workers (tree.Config.Workers) so a small ensemble on a
+	// big machine still saturates it. 0 keeps the historical default of
+	// GOMAXPROCS across-tree workers. The fitted forest is
+	// bit-identical for every value: tree seeds derive from sequential
+	// sub-streams regardless of scheduling, and a single tree's fit is
+	// worker-count-invariant.
+	Workers int
 }
 
 // DefaultConfig returns a balanced forest configuration.
@@ -133,11 +143,18 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 		inBag = make([][]bool, m.NEstimators)
 	}
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.NEstimators {
-		workers = m.NEstimators
+	workers := m.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	sem := make(chan struct{}, workers)
+	treePool := workers
+	if treePool > m.NEstimators {
+		treePool = m.NEstimators
+	}
+	// Workers beyond the tree count can't add across-tree concurrency;
+	// hand them to the member trees as intra-fit workers instead.
+	perTree := workers / treePool
+	sem := make(chan struct{}, treePool)
 	for t := 0; t < m.NEstimators; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -157,6 +174,7 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 				MaxFeatures:    maxFeat,
 				Seed:           rnd.Uint64(),
 				Bins:           m.Bins,
+				Workers:        perTree,
 			})
 			if err := tr.FitWeighted(cm, y, w); err != nil {
 				errs[t] = err

@@ -27,6 +27,7 @@ import (
 	"slices"
 
 	"repro/internal/ml"
+	"repro/internal/pool"
 	"repro/internal/rng"
 )
 
@@ -55,6 +56,15 @@ type Config struct {
 	EarlyStoppingRounds int
 	// Seed makes subsampling deterministic.
 	Seed uint64
+	// Workers bounds intra-fit parallelism (ml.FitOptions.Workers):
+	// each stage's split search scans features concurrently on large
+	// nodes, every worker filling a private histogram. Boosting rounds
+	// themselves are inherently sequential (each fits the previous
+	// round's residuals). 0 or 1 trains serially; the fitted ensemble
+	// is bit-identical for every value — the feature-order merge
+	// reproduces the serial strict-> tie-break — so Workers is an
+	// execution knob, not part of the model identity.
+	Workers int
 }
 
 // DefaultConfig mirrors common histogram-GBM defaults.
@@ -165,7 +175,30 @@ type trainer struct {
 	// the single-feature fast path to apply a stage to its rows
 	// without walking (a univariate stage is a function of the bin).
 	valTab [256]float64
+
+	// Feature-parallel split search (Config.Workers > 1): each worker
+	// fills a private histogram (scans[worker]) over the features it
+	// claims; per-feature results land in the feat* arrays and merge in
+	// feature order under the serial strict-> tie-break, so the chosen
+	// split is bit-identical to the serial scan's.
+	workers  int
+	scans    []*scanState
+	featGain []float64
+	featBin  []uint8
+	featGL   []float64
+	featHit  []bool
 }
+
+// scanState is one worker's private histogram accumulator.
+type scanState struct {
+	hist [256]histCell
+	mask [4]uint64
+}
+
+// parallelScanMinRows gates the feature fan-out: fanning a node's scan
+// to the pool costs about a microsecond, so smaller segments histogram
+// faster serially. The gate affects scheduling only, never results.
+const parallelScanMinRows = 2048
 
 // histCell packs one bin's gradient sum and row count into a single
 // cache line touch per accumulated row.
@@ -221,6 +254,16 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 	}
 	for k := range t.recip {
 		t.recip[k] = 1 / (float64(k) + m.Lambda)
+	}
+	if t.workers = m.Workers; t.workers > 1 && p > 1 {
+		t.scans = make([]*scanState, t.workers)
+		for k := range t.scans {
+			t.scans[k] = new(scanState)
+		}
+		t.featGain = make([]float64, p)
+		t.featBin = make([]uint8, p)
+		t.featGL = make([]float64, p)
+		t.featHit = make([]bool, p)
 	}
 	for i := range t.pred {
 		t.pred[i] = base
@@ -518,8 +561,13 @@ func (t *trainer) partition(lo, hi int, codes []uint8, bin uint8) int {
 // segment are swept and reset, tracked in a 256-bit mask; sweeping
 // occupied bins is exactly equivalent to the dense sweep because empty
 // bins contribute zero mass and can never strictly improve the gain.
+//
+// Large segments scan features concurrently: each scan runs against a
+// zero floor into a private histogram (the floor only gates
+// comparisons, never the accumulation), and the per-feature bests merge
+// in feature order under the serial strict-> rule — the chosen
+// (feature, bin, gl) triple is bit-identical to the serial sweep's.
 func (t *trainer) bestHistSplit(lo, hi int, gTot float64) (feature int, bin uint8, glBest, gain float64) {
-	m := t.m
 	seg := t.rows[lo:hi]
 	parent := gTot * gTot * t.recip[len(seg)]
 
@@ -527,45 +575,119 @@ func (t *trainer) bestHistSplit(lo, hi int, gTot float64) (feature int, bin uint
 	bestFeat, bestBin := -1, uint8(0)
 	bestGL := 0.0
 
+	if t.workers > 1 && len(seg) >= parallelScanMinRows && len(t.bins) > 1 {
+		pool.DoWorkers(len(t.bins), t.workers, func(worker, f int) {
+			s := t.scans[worker]
+			t.featGain[f], t.featBin[f], t.featGL[f], t.featHit[f] = t.scanFeature(f, seg, gTot, parent, 0, s)
+		})
+		for f := range t.bins {
+			if t.featHit[f] && t.featGain[f] > bestGain {
+				bestGain, bestFeat, bestBin, bestGL = t.featGain[f], f, t.featBin[f], t.featGL[f]
+			}
+		}
+	} else {
+		st := (*scanState)(nil)
+		for f := 0; f < len(t.bins); f++ {
+			if g, b, gl, hit := t.scanFeature(f, seg, gTot, parent, bestGain, st); hit {
+				bestGain, bestFeat, bestBin, bestGL = g, f, b, gl
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0, 0
+	}
+	return bestFeat, bestBin, bestGL, bestGain
+}
+
+// scanFeature histograms one feature over the segment and sweeps it for
+// the boundary with the best regularized gain strictly exceeding the
+// floor; hit=false when no boundary clears it. A nil st scans through
+// the trainer's own histogram (the serial path); concurrent scans pass
+// private states. The histogram is left zeroed either way, and the
+// accumulation is independent of the floor, which is what lets the
+// concurrent scans merge to the exact serial result.
+func (t *trainer) scanFeature(f int, seg []int32, gTot, parent, floor float64, st *scanState) (gain float64, bin uint8, glBest float64, hit bool) {
+	m := t.m
+	hist, mask := &t.hist, &t.mask
+	if st != nil {
+		hist, mask = &st.hist, &st.mask
+	}
+	bestGain := floor
+	var bestBin uint8
+	var bestGL float64
+
 	grad := t.grad
 	recip := t.recip
 	minChild := m.MinChildSamples
-	for f := 0; f < len(t.bins); f++ {
-		nb := len(m.edges[f]) + 1
-		if nb < 2 {
-			continue
+	nb := len(m.edges[f]) + 1
+	if nb < 2 {
+		return bestGain, 0, 0, false
+	}
+	codes := t.bins[f]
+	if len(seg)*2 >= nb {
+		// Dense path: the segment touches most bins anyway, so the
+		// occupancy mask costs more than it saves — fill without
+		// mask maintenance, tracking only the occupied envelope
+		// (tight for children of a split on the same feature), and
+		// sweep it (empty bins add zero mass and can never
+		// strictly improve the gain).
+		cmin, cmax := 255, 0
+		for _, i := range seg {
+			c := int(codes[i])
+			hist[c].g += grad[i]
+			hist[c].n++
+			if c < cmin {
+				cmin = c
+			}
+			if c > cmax {
+				cmax = c
+			}
 		}
-		codes := t.bins[f]
-		if len(seg)*2 >= nb {
-			// Dense path: the segment touches most bins anyway, so the
-			// occupancy mask costs more than it saves — fill without
-			// mask maintenance, tracking only the occupied envelope
-			// (tight for children of a split on the same feature), and
-			// sweep it (empty bins add zero mass and can never
-			// strictly improve the gain).
-			cmin, cmax := 255, 0
-			for _, i := range seg {
-				c := int(codes[i])
-				t.hist[c].g += grad[i]
-				t.hist[c].n++
-				if c < cmin {
-					cmin = c
-				}
-				if c > cmax {
-					cmax = c
+		var gl float64
+		var nl int
+		for c := cmin; c <= cmax; c++ {
+			cell := hist[c]
+			if cell.n == 0 {
+				continue
+			}
+			hist[c] = histCell{}
+			if c > nb-2 {
+				continue
+			}
+			gl += cell.g
+			nl += int(cell.n)
+			nr := len(seg) - nl
+			if nl >= minChild && nr >= minChild {
+				gr := gTot - gl
+				g := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+				if g > bestGain {
+					bestGain = g
+					bestBin = uint8(c)
+					bestGL = gl
+					hit = true
 				}
 			}
-			var gl float64
-			var nl int
-			for c := cmin; c <= cmax; c++ {
-				cell := t.hist[c]
-				if cell.n == 0 {
-					continue
-				}
-				t.hist[c] = histCell{}
-				if c > nb-2 {
-					continue
-				}
+		}
+		return bestGain, bestBin, bestGL, hit
+	}
+	// Sparse path: few rows over a wide bin range — track occupied
+	// bins in a 256-bit mask and sweep only those.
+	for _, i := range seg {
+		c := codes[i]
+		hist[c].g += grad[i]
+		hist[c].n++
+		mask[c>>6] |= 1 << (c & 63)
+	}
+	var gl float64
+	var nl int
+	for word := 0; word < 4; word++ {
+		w := mask[word]
+		for w != 0 {
+			c := word<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			cell := hist[c]
+			hist[c] = histCell{}
+			if c <= nb-2 {
 				gl += cell.g
 				nl += int(cell.n)
 				nr := len(seg) - nl
@@ -574,54 +696,16 @@ func (t *trainer) bestHistSplit(lo, hi int, gTot float64) (feature int, bin uint
 					g := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
 					if g > bestGain {
 						bestGain = g
-						bestFeat = f
 						bestBin = uint8(c)
 						bestGL = gl
+						hit = true
 					}
 				}
 			}
-			continue
 		}
-		// Sparse path: few rows over a wide bin range — track occupied
-		// bins in a 256-bit mask and sweep only those.
-		for _, i := range seg {
-			c := codes[i]
-			t.hist[c].g += grad[i]
-			t.hist[c].n++
-			t.mask[c>>6] |= 1 << (c & 63)
-		}
-		var gl float64
-		var nl int
-		for word := 0; word < 4; word++ {
-			w := t.mask[word]
-			for w != 0 {
-				c := word<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				cell := t.hist[c]
-				t.hist[c] = histCell{}
-				if c <= nb-2 {
-					gl += cell.g
-					nl += int(cell.n)
-					nr := len(seg) - nl
-					if nl >= minChild && nr >= minChild {
-						gr := gTot - gl
-						g := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
-						if g > bestGain {
-							bestGain = g
-							bestFeat = f
-							bestBin = uint8(c)
-							bestGL = gl
-						}
-					}
-				}
-			}
-			t.mask[word] = 0
-		}
+		mask[word] = 0
 	}
-	if bestFeat < 0 {
-		return 0, 0, 0, 0
-	}
-	return bestFeat, bestBin, bestGL, bestGain
+	return bestGain, bestBin, bestGL, hit
 }
 
 // sampleFrom draws a without-replacement subsample of the given rows

@@ -1,0 +1,77 @@
+package gbm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// workersDataset draws a dataset large enough for stage split searches
+// to cross parallelScanMinRows.
+func workersDataset(n, p int, seed uint64) ([][]float64, []float64) {
+	rnd := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			if j%2 == 0 {
+				x[i][j] = float64(rnd.Intn(32)) / 4
+			} else {
+				x[i][j] = rnd.Float64() * 10
+			}
+		}
+		y[i] = 3*x[i][0] - 2*x[i][1%p] + rnd.NormFloat64()
+	}
+	return x, y
+}
+
+// TestWorkersBitIdentical pins the FitOptions contract for the boosted
+// ensemble: node arrays, stage boundaries and predictions must be
+// bit-identical for every Workers value, with and without subsampling
+// and early stopping.
+func TestWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large dataset")
+	}
+	x, y := workersDataset(5000, 5, 13)
+	configs := []Config{
+		{NEstimators: 10, MaxDepth: 6, Seed: 7},
+		{NEstimators: 10, MaxDepth: 6, Seed: 7, Subsample: 0.8},
+		{NEstimators: 15, MaxDepth: 5, Seed: 7, EarlyStoppingRounds: 3},
+	}
+	for ci, base := range configs {
+		ref := New(base)
+		if err := ref.Fit(x, y); err != nil {
+			t.Fatalf("config %d: serial fit: %v", ci, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := base
+			cfg.Workers = workers
+			m := New(cfg)
+			if err := m.Fit(x, y); err != nil {
+				t.Fatalf("config %d workers=%d: fit: %v", ci, workers, err)
+			}
+			label := fmt.Sprintf("config %d workers=%d", ci, workers)
+			if len(m.nodes) != len(ref.nodes) {
+				t.Fatalf("%s: %d nodes, serial %d", label, len(m.nodes), len(ref.nodes))
+			}
+			for i := range m.nodes {
+				if m.nodes[i] != ref.nodes[i] {
+					t.Fatalf("%s: node %d: %+v != serial %+v", label, i, m.nodes[i], ref.nodes[i])
+				}
+			}
+			if len(m.stageStart) != len(ref.stageStart) {
+				t.Fatalf("%s: %d stages, serial %d", label, len(m.stageStart)-1, len(ref.stageStart)-1)
+			}
+			pred := m.PredictBatch(x)
+			refPred := ref.PredictBatch(x)
+			for i := range pred {
+				if pred[i] != refPred[i] {
+					t.Fatalf("%s: prediction %d: %v != serial %v", label, i, pred[i], refPred[i])
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/ml"
+	"repro/internal/pool"
 	"repro/internal/rng"
 )
 
@@ -18,6 +19,12 @@ import (
 // Split thresholds are recorded in raw feature space (the upper edge of
 // the winning bin), so prediction needs no binning and behaves exactly
 // like an exact tree's.
+//
+// With Config.Workers > 1 the engine parallelizes the same two ways as
+// the exact engine (see exactBuilder): concurrent candidate histogram
+// builds at large nodes — each worker fills a private histState over
+// its claimed features — and forked subtrees below the frontier depth.
+// Results are bit-identical for every worker count.
 type histBuilder struct {
 	bins  [][]uint8
 	edges [][]float64
@@ -28,15 +35,23 @@ type histBuilder struct {
 
 	feats   []int
 	nodes   []node
-	gains   []float64
 	minLeaf float64
+
+	// gains accumulates per-feature importance on the root builder;
+	// forked subtree builders leave it nil and record into gainLog
+	// instead, replayed at the join point (see featGain).
+	gains   []float64
+	gainLog []featGain
 
 	idx     []int32
 	scratch []int32
 
-	histSum [256]float64
-	histCnt [256]float64
-	mask    [4]uint64 // occupancy bitmap over bins
+	// hs is the builder's own histogram accumulator (serial scans);
+	// feature-parallel scans use the per-worker states in par.hist.
+	hs histState
+
+	par     *fitPar
+	featPar bool
 }
 
 // fitHist grows the tree with the histogram engine and installs it.
@@ -67,6 +82,14 @@ func (m *Model) fitHist(cm *ml.ColMatrix, y []float64, w []float64) {
 	}
 	b.scratch = make([]int32, len(b.idx))
 
+	if b.par = newFitPar(m.Config, p); b.par != nil {
+		b.featPar = true
+		b.par.hist = make([]*histState, b.par.workers)
+		for k := range b.par.hist {
+			b.par.hist[k] = new(histState)
+		}
+	}
+
 	b.grow(0, len(b.idx), 0)
 	m.nodes = b.nodes
 	m.width = p
@@ -94,6 +117,16 @@ func (b *histBuilder) nodeStats(lo, hi int) (sum, count float64) {
 	return sum, count
 }
 
+// logGain records one split's importance contribution: directly on the
+// root builder, into the replay log on forked subtree builders.
+func (b *histBuilder) logGain(feat int, improvement float64) {
+	if b.gains != nil {
+		b.gains[feat] += improvement
+	} else {
+		b.gainLog = append(b.gainLog, featGain{feat, improvement})
+	}
+}
+
 // grow builds the subtree over segment [lo, hi) and returns its node
 // index.
 func (b *histBuilder) grow(lo, hi, depth int) int32 {
@@ -111,16 +144,59 @@ func (b *histBuilder) grow(lo, hi, depth int) int32 {
 	if !ok {
 		return self
 	}
-	b.gains[feat] += improvement
+	b.logGain(feat, improvement)
 	b.nodes[self].feature = feat
 	// Raw-space threshold: the upper edge of the winning bin, so that
 	// x <= edge routes left exactly like code <= bin did in training.
 	b.nodes[self].threshold = b.edges[feat][bin]
 	mid := b.partition(lo, hi, b.bins[feat], bin)
+	if b.par.shouldFork(depth, mid-lo, hi-mid) && b.par.acquire() {
+		l, r := b.growForked(lo, mid, hi, depth)
+		b.nodes[self].kids = [2]int32{l, r}
+		return self
+	}
 	l := b.grow(lo, mid, depth+1)
 	r := b.grow(mid, hi, depth+1)
 	b.nodes[self].kids = [2]int32{l, r}
 	return self
+}
+
+// growForked grows the right subtree [mid, hi) on a pooled goroutine
+// (the caller must already hold a pool slot) while the calling
+// goroutine grows the left subtree inline, then splices the forked
+// block into the serial node layout (see exactBuilder.growForked — the
+// mechanics are identical, minus the shared left/order arrays the
+// histogram engine does not have).
+func (b *histBuilder) growForked(lo, mid, hi, depth int) (l, r int32) {
+	child := &histBuilder{
+		bins:    b.bins,
+		edges:   b.edges,
+		y:       b.y,
+		w:       b.w,
+		cfg:     b.cfg,
+		feats:   b.feats,
+		minLeaf: b.minLeaf,
+		idx:     b.idx,
+		scratch: make([]int32, hi-mid),
+		par:     b.par,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer b.par.release()
+		child.grow(mid, hi, depth+1)
+	}()
+	l = b.grow(lo, mid, depth+1)
+	<-done
+	b.nodes, r = spliceNodes(b.nodes, child.nodes)
+	if b.gains != nil {
+		for _, g := range child.gainLog {
+			b.gains[g.feat] += g.gain
+		}
+	} else {
+		b.gainLog = append(b.gainLog, child.gainLog...)
+	}
+	return l, r
 }
 
 // partition stably splits segment [lo, hi) of idx around
@@ -147,6 +223,9 @@ func (b *histBuilder) partition(lo, hi int, codes []uint8, bin uint8) int {
 // candidate feature and sweeps the occupied bins cumulatively for the
 // boundary maximizing the variance reduction. Only bins actually
 // present in the node are swept and reset (tracked in a 256-bit mask).
+// Large nodes scan candidates concurrently with per-worker histograms;
+// the candidate-order merge reproduces the serial tie-break exactly
+// (see exactBuilder.bestSplit for the argument).
 func (b *histBuilder) bestSplit(lo, hi int, total, count float64) (feature int, bin uint8, improvement float64, ok bool) {
 	candidates := b.feats
 	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < len(b.feats) {
@@ -156,64 +235,90 @@ func (b *histBuilder) bestSplit(lo, hi int, total, count float64) (feature int, 
 
 	// Same strict-improvement guard as the exact engine.
 	parentScore := total * total / count
-	bestGain := parentScore + 1e-9*(1+math.Abs(parentScore))
-	seg := b.idx[lo:hi]
-	for _, f := range candidates {
-		lastBin := len(b.edges[f]) // highest code; splits need bin < lastBin
-		if lastBin == 0 {
-			continue // constant feature
-		}
-		codes := b.bins[f]
-		if b.w == nil {
-			for _, i := range seg {
-				c := codes[i]
-				b.histSum[c] += b.y[i]
-				b.histCnt[c]++
-				b.mask[c>>6] |= 1 << (c & 63)
-			}
-		} else {
-			for _, i := range seg {
-				wi := b.w[i]
-				if wi == 0 {
-					continue
-				}
-				c := codes[i]
-				b.histSum[c] += wi * b.y[i]
-				b.histCnt[c] += wi
-				b.mask[c>>6] |= 1 << (c & 63)
+	floor := parentScore + 1e-9*(1+math.Abs(parentScore))
+	bestGain := floor
+	if b.featPar && hi-lo >= parallelSplitMinRows && len(candidates) > 1 {
+		par := b.par
+		pool.DoWorkers(len(candidates), par.workers, func(worker, ci int) {
+			par.gain[ci], par.bin[ci], par.hit[ci] = b.scanFeature(candidates[ci], lo, hi, total, count, floor, par.hist[worker])
+		})
+		for ci, f := range candidates {
+			if par.hit[ci] && par.gain[ci] > bestGain {
+				bestGain, feature, bin, ok = par.gain[ci], f, par.bin[ci], true
 			}
 		}
-		// Cumulative sweep over occupied bins, ascending. A boundary
-		// between two occupied bins is a candidate; the winning bin is
-		// the left group's highest occupied code.
-		var sumL, nl float64
-		prevBin := -1
-		for word := 0; word < 4; word++ {
-			m := b.mask[word]
-			for m != 0 {
-				c := word<<6 + bits.TrailingZeros64(m)
-				m &= m - 1
-				if prevBin >= 0 && nl >= b.minLeaf && count-nl >= b.minLeaf {
-					sumR := total - sumL
-					gain := sumL*sumL/nl + sumR*sumR/(count-nl)
-					if gain > bestGain {
-						bestGain = gain
-						feature = f
-						bin = uint8(prevBin)
-						ok = true
-					}
-				}
-				sumL += b.histSum[c]
-				nl += b.histCnt[c]
-				b.histSum[c] = 0
-				b.histCnt[c] = 0
-				prevBin = c
+	} else {
+		for _, f := range candidates {
+			if g, c, hit := b.scanFeature(f, lo, hi, total, count, bestGain, &b.hs); hit {
+				bestGain, feature, bin, ok = g, f, c, true
 			}
-			b.mask[word] = 0
 		}
 	}
 	if ok {
 		improvement = bestGain - parentScore
 	}
 	return feature, bin, improvement, ok
+}
+
+// scanFeature fills st's histogram over one candidate feature's segment
+// and sweeps the occupied bins for the boundary maximizing the variance
+// reduction, returning the best gain strictly exceeding the floor and
+// its bin; hit=false when no boundary clears it. st is left zeroed. The
+// accumulation is independent of the floor, so concurrent scans against
+// the initial floor merge to the exact serial result.
+func (b *histBuilder) scanFeature(f, lo, hi int, total, count, floor float64, st *histState) (gain float64, bin uint8, hit bool) {
+	bestGain := floor
+	lastBin := len(b.edges[f]) // highest code; splits need bin < lastBin
+	if lastBin == 0 {
+		return bestGain, 0, false // constant feature
+	}
+	seg := b.idx[lo:hi]
+	codes := b.bins[f]
+	if b.w == nil {
+		for _, i := range seg {
+			c := codes[i]
+			st.sum[c] += b.y[i]
+			st.cnt[c]++
+			st.mask[c>>6] |= 1 << (c & 63)
+		}
+	} else {
+		for _, i := range seg {
+			wi := b.w[i]
+			if wi == 0 {
+				continue
+			}
+			c := codes[i]
+			st.sum[c] += wi * b.y[i]
+			st.cnt[c] += wi
+			st.mask[c>>6] |= 1 << (c & 63)
+		}
+	}
+	// Cumulative sweep over occupied bins, ascending. A boundary
+	// between two occupied bins is a candidate; the winning bin is
+	// the left group's highest occupied code.
+	var sumL, nl float64
+	prevBin := -1
+	for word := 0; word < 4; word++ {
+		m := st.mask[word]
+		for m != 0 {
+			c := word<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			if prevBin >= 0 && nl >= b.minLeaf && count-nl >= b.minLeaf {
+				sumR := total - sumL
+				g := sumL*sumL/nl + sumR*sumR/(count-nl)
+				if g > bestGain {
+					bestGain = g
+					bin = uint8(prevBin)
+					hit = true
+				}
+			}
+			sumL += st.sum[c]
+			nl += st.cnt[c]
+			st.sum[c] = 0
+			st.cnt[c] = 0
+			prevBin = c
+		}
+		st.mask[word] = 0
+	}
+	return bestGain, bin, hit
 }

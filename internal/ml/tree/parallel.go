@@ -1,0 +1,143 @@
+package tree
+
+import (
+	"math/bits"
+)
+
+// Intra-fit parallelism thresholds. Fanning work out to the pool costs
+// on the order of a microsecond per node; nodes below these sizes scan
+// or grow faster than that serially, so they stay on the calling
+// goroutine. The thresholds gate only scheduling, never results — both
+// engines produce bit-identical trees for every Workers value.
+const (
+	// parallelSplitMinRows is the segment size above which a node's
+	// candidate features are scanned (and its orders partitioned)
+	// concurrently.
+	parallelSplitMinRows = 2048
+	// parallelSubtreeMinRows is the minimum size of BOTH children for a
+	// split node to fork its right subtree: when either side is small,
+	// the serial side finishes first and the fork only buys scheduling
+	// overhead.
+	parallelSubtreeMinRows = 1024
+)
+
+// featGain is one split's importance contribution, recorded by forked
+// subtree builders instead of added into the shared gains array.
+// Feature importances accumulate by float addition in DFS split order;
+// replaying a subtree's log at its join point reproduces that exact
+// addition sequence, keeping importances bit-identical to a serial
+// grow (float addition is not associative, so summing per subtree and
+// adding once would drift in the last ulp).
+type featGain struct {
+	feat int
+	gain float64
+}
+
+// histState is one worker's private histogram accumulator for the
+// binned engine's feature-parallel split search: per-bin weighted sums
+// and counts plus the 256-bit occupancy mask. Each concurrent feature
+// scan fills and resets its own state.
+type histState struct {
+	sum  [256]float64
+	cnt  [256]float64
+	mask [4]uint64
+}
+
+// fitPar is the per-Fit shared parallel state, owned by the root
+// builder and handed (by pointer) to forked subtree builders. nil means
+// a strictly serial fit.
+type fitPar struct {
+	workers  int
+	frontier int
+	// subtree permits forking subtrees to the pool. It is cleared when
+	// feature subsampling is active: the Fisher-Yates shuffle draws
+	// from the builder's sequential RNG in DFS node order, which
+	// concurrent subtrees would interleave nondeterministically.
+	// Feature-parallel split scans remain available — candidates are
+	// chosen on the growing goroutine before any fan-out.
+	subtree bool
+	// sem bounds the extra goroutines growing forked subtrees to
+	// workers-1 (the forking goroutine itself keeps working on the left
+	// subtree). Acquisition is non-blocking: a saturated pool means the
+	// node simply grows both children serially.
+	sem chan struct{}
+
+	// Per-candidate results of a feature-parallel bestSplit, merged in
+	// candidate order by the calling goroutine. Sized to the feature
+	// count; only the root builder fans out feature scans, so one set
+	// of arrays suffices.
+	gain []float64
+	thr  []float64
+	bin  []uint8
+	hit  []bool
+
+	// scratch holds the extra workers' stable-partition spill buffers
+	// for the exact engine's concurrent order partitioning (worker 0
+	// reuses the builder's own scratch). Allocated only by fitExact.
+	scratch [][]int32
+	// hist holds the per-worker histogram accumulators for the binned
+	// engine's concurrent feature scans. Allocated only by fitHist.
+	hist []*histState
+}
+
+// newFitPar builds the shared parallel state for a fit with the given
+// worker bound, or returns nil when the fit should run serially.
+func newFitPar(cfg Config, p int) *fitPar {
+	if cfg.Workers <= 1 {
+		return nil
+	}
+	frontier := cfg.ParallelFrontier
+	if frontier <= 0 {
+		frontier = bits.Len(uint(cfg.Workers)) + 1
+	}
+	return &fitPar{
+		workers:  cfg.Workers,
+		frontier: frontier,
+		subtree:  !(cfg.MaxFeatures > 0 && cfg.MaxFeatures < p),
+		sem:      make(chan struct{}, cfg.Workers-1),
+		gain:     make([]float64, p),
+		thr:      make([]float64, p),
+		bin:      make([]uint8, p),
+		hit:      make([]bool, p),
+	}
+}
+
+// shouldFork reports whether a split node at the given depth with the
+// given child segment sizes should try to grow its right subtree on a
+// pooled worker.
+func (p *fitPar) shouldFork(depth, nl, nr int) bool {
+	return p != nil && p.subtree && depth < p.frontier &&
+		nl >= parallelSubtreeMinRows && nr >= parallelSubtreeMinRows
+}
+
+// acquire claims a pool slot without blocking; a false return means the
+// pool is saturated and the caller grows serially.
+func (p *fitPar) acquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a pool slot.
+func (p *fitPar) release() { <-p.sem }
+
+// spliceNodes appends a forked subtree's locally-indexed nodes onto
+// dst, rebasing child links, and returns the subtree root's index in
+// dst. Serial growth lays a subtree out contiguously right after its
+// left sibling's block; appending the forked block at the current end
+// reproduces that layout exactly, so the flattened tree is
+// bit-identical to a serial grow.
+func spliceNodes(dst []node, sub []node) ([]node, int32) {
+	off := int32(len(dst))
+	for _, nd := range sub {
+		if nd.feature >= 0 {
+			nd.kids[0] += off
+			nd.kids[1] += off
+		}
+		dst = append(dst, nd)
+	}
+	return dst, off
+}

@@ -1,0 +1,153 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// largeDataset draws a dataset big enough to cross the parallel
+// thresholds (parallelSplitMinRows, parallelSubtreeMinRows), with the
+// same edge cases as randomDataset: quantized columns (heavy ties), a
+// constant column, and continuous columns.
+func largeDataset(rnd *rng.Source, n, p int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	constCol := p - 1
+	for i := range x {
+		x[i] = make([]float64, p)
+		for j := range x[i] {
+			switch {
+			case j == constCol:
+				x[i][j] = 1.5
+			case j%2 == 0:
+				x[i][j] = float64(rnd.Intn(16)) / 4
+			default:
+				x[i][j] = rnd.Float64() * 10
+			}
+		}
+		y[i] = 3*x[i][0] - 2*x[i][1%p] + rnd.NormFloat64()
+	}
+	return x, y
+}
+
+// fitPair fits the same data with a serial and a parallel config and
+// requires the results to be bit-identical: node arrays, raw importance
+// accumulators and predictions compare exactly.
+func fitPair(t *testing.T, label string, x [][]float64, y, w []float64, serial, parallel Config) {
+	t.Helper()
+	cm, err := ml.NewColMatrix(x)
+	if err != nil {
+		t.Fatalf("%s: matrix: %v", label, err)
+	}
+	ms := New(serial)
+	if err := ms.FitWeighted(cm, y, w); err != nil {
+		t.Fatalf("%s: serial fit: %v", label, err)
+	}
+	mp := New(parallel)
+	if err := mp.FitWeighted(cm, y, w); err != nil {
+		t.Fatalf("%s: parallel fit: %v", label, err)
+	}
+	if !nodesEqual(ms.nodes, mp.nodes) {
+		t.Fatalf("%s: parallel tree differs from serial: serial %d nodes, parallel %d nodes",
+			label, len(ms.nodes), len(mp.nodes))
+	}
+	for j := range ms.importances {
+		if ms.importances[j] != mp.importances[j] {
+			t.Fatalf("%s: importance %d: serial %v, parallel %v", label, j, ms.importances[j], mp.importances[j])
+		}
+	}
+}
+
+// TestParallelFitBitIdentical is the tentpole property test: for
+// workers ∈ {1, 2, 4, 8}, in both exact and binned modes, weighted and
+// unweighted, with and without feature subsampling, a parallel fit must
+// equal the serial fit node-for-node and importance-for-importance. The
+// datasets are large enough that the feature-parallel scans, the
+// concurrent order partitions and the subtree forks all actually run.
+func TestParallelFitBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large datasets")
+	}
+	rnd := rng.New(20260808)
+	for _, n := range []int{3000, 8192} {
+		for _, p := range []int{3, 6} {
+			x, y := largeDataset(rnd, n, p)
+			var w []float64
+			if n == 8192 {
+				// Bootstrap-style integer multiplicities, some zero.
+				w = make([]float64, n)
+				for i := 0; i < n; i++ {
+					w[rnd.Intn(n)]++
+				}
+			}
+			for _, bins := range []int{0, 64, 256} {
+				for _, maxFeat := range []int{0, p - 1} {
+					if maxFeat >= p {
+						continue
+					}
+					serial := Config{
+						MaxDepth:       10,
+						MinSamplesLeaf: 2,
+						MaxFeatures:    maxFeat,
+						Seed:           42,
+						Bins:           bins,
+					}
+					for _, workers := range []int{1, 2, 4, 8} {
+						par := serial
+						par.Workers = workers
+						label := fmt.Sprintf("n=%d p=%d bins=%d maxFeat=%d workers=%d", n, p, bins, maxFeat, workers)
+						fitPair(t, label, x, y, w, serial, par)
+					}
+					// A tight frontier must not change results either.
+					par := serial
+					par.Workers = 4
+					par.ParallelFrontier = 1
+					fitPair(t, fmt.Sprintf("n=%d p=%d bins=%d maxFeat=%d frontier=1", n, p, bins, maxFeat), x, y, w, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelExactMatchesNaiveOracle anchors the parallel exact engine
+// to the retained naive reference directly (not just to the serial
+// presorted engine): a 4-worker fit on a dataset large enough to fork
+// subtrees must reproduce the oracle's tree bit-for-bit.
+func TestParallelExactMatchesNaiveOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("naive oracle re-sorts every node")
+	}
+	rnd := rng.New(991)
+	n, p := 4096, 4
+	x, y := largeDataset(rnd, n, p)
+	cfg := Config{MaxDepth: 8, MinSamplesLeaf: 2, Seed: 7, Workers: 4}
+
+	engine := New(cfg)
+	if err := engine.Fit(x, y); err != nil {
+		t.Fatalf("parallel fit: %v", err)
+	}
+	oracle := New(cfg)
+	oracle.fitNaive(x, y)
+
+	if !nodesEqual(engine.nodes, oracle.nodes) {
+		t.Fatalf("parallel tree differs from naive oracle: engine %d nodes, oracle %d nodes",
+			len(engine.nodes), len(oracle.nodes))
+	}
+	for j := range engine.importances {
+		if engine.importances[j] != oracle.importances[j] {
+			t.Fatalf("importance %d: engine %v, oracle %v", j, engine.importances[j], oracle.importances[j])
+		}
+	}
+	for k := 0; k < 50; k++ {
+		probe := make([]float64, p)
+		for j := range probe {
+			probe[j] = rnd.Range(-2, 12)
+		}
+		if pe, po := engine.Predict(probe), oracle.Predict(probe); pe != po {
+			t.Fatalf("Predict(%v): engine %v, oracle %v", probe, pe, po)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package pool provides the bounded worker-pool idioms shared across
+// the codebase: ForEach for the engine's cancellable per-vehicle
+// training fan-out, and Do/DoWorkers for the ml split engines'
+// intra-fit parallelism. It sits below both internal/engine and
+// internal/ml in the dependency order, so either side can use it
+// without a cycle.
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach executes fn(i) for every i in [0, n) on at most workers
+// goroutines and blocks until all started work has finished. It is the
+// one bounded-pool idiom shared by the engine's training path and the
+// experiment drivers: indices are dispatched in order and callers write
+// results into i-indexed slots, so output never depends on goroutine
+// scheduling.
+//
+// When ctx is cancelled before every index was dispatched, the
+// remaining indices are skipped and ctx's error is returned. A
+// cancellation arriving after full dispatch is ignored — by then all
+// work has completed (ForEach only returns after the pool drains), so
+// there is nothing left to abandon.
+func ForEach(ctx context.Context, n, workers int, fn func(int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	dispatched := 0
+feed:
+	for i := 0; i < n; i++ {
+		// Check cancellation before dispatching: when workers are parked
+		// on the receive, both cases of the select below are ready and
+		// the send could win every round, racing an already-cancelled
+		// context all the way to full dispatch.
+		select {
+		case <-ctx.Done():
+			break feed
+		default:
+		}
+		select {
+		case jobs <- i:
+			dispatched++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if dispatched < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DoWorkers executes fn(worker, i) for every i in [0, n) on at most
+// workers goroutines, passing each call the index of the worker running
+// it so callers can hand out per-worker scratch buffers. The calling
+// goroutine participates as worker 0; workers-1 extra goroutines are
+// spawned. Items are claimed from a shared atomic counter (no per-item
+// channel operation), which keeps the dispatch overhead small enough
+// for the split engines' per-node fan-outs. fn must be safe to call
+// concurrently for distinct items; the assignment of items to workers
+// is scheduling-dependent, so correctness must not depend on it.
+func DoWorkers(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(0, i)
+	}
+	wg.Wait()
+}
+
+// Do is DoWorkers without the worker index, for callers whose items
+// need no per-worker state.
+func Do(n, workers int, fn func(i int)) {
+	DoWorkers(n, workers, func(_, i int) { fn(i) })
+}

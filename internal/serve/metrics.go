@@ -1,0 +1,165 @@
+// Prometheus-style plain-text metrics (GET /metrics) for the single
+// server and the cluster router. The exposition is the minimal subset
+// of the text format every scraper accepts — bare `name value` lines —
+// assembled from the engine status, the response-cache counters and,
+// when an ingest store is mounted, its store/WAL statistics. The router
+// scatters its shards' /metrics and relabels every sample with a
+// shard="name" label, so one scrape of the front door sees the whole
+// cluster without losing the per-shard breakdown.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metricsBuf accumulates exposition lines.
+type metricsBuf struct {
+	b strings.Builder
+}
+
+func (m *metricsBuf) add(name string, value float64) {
+	m.b.WriteString(name)
+	m.b.WriteByte(' ')
+	m.b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	m.b.WriteByte('\n')
+}
+
+func (m *metricsBuf) addUint(name string, value uint64) {
+	m.b.WriteString(name)
+	m.b.WriteByte(' ')
+	m.b.WriteString(strconv.FormatUint(value, 10))
+	m.b.WriteByte('\n')
+}
+
+func (m *metricsBuf) addInt(name string, value int64) {
+	m.b.WriteString(name)
+	m.b.WriteByte(' ')
+	m.b.WriteString(strconv.FormatInt(value, 10))
+	m.b.WriteByte('\n')
+}
+
+func (m *metricsBuf) addBool(name string, value bool) {
+	if value {
+		m.addInt(name, 1)
+	} else {
+		m.addInt(name, 0)
+	}
+}
+
+// handleMetrics renders this server's operational state as Prometheus
+// text. Everything here is lock-free or a short mutex away — the
+// endpoint is safe to scrape at any frequency, concurrently with
+// retrains and snapshot swaps.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var m metricsBuf
+
+	st := s.engine.Status()
+	m.addBool("fleet_ready", st.Ready)
+	m.addBool("fleet_retraining", st.Retraining)
+	m.addUint("fleet_generation", st.Generation)
+	m.addInt("fleet_vehicles", int64(st.Vehicles))
+	m.addInt("fleet_vehicles_reused", int64(st.Reused))
+	m.addInt("fleet_vehicles_retrained", int64(st.Retrained))
+	m.addInt("fleet_vehicles_failed", int64(len(st.FailedVehicles)))
+	m.add("fleet_train_seconds", st.TrainSeconds)
+	m.addInt("fleet_train_workers", int64(st.Workers))
+
+	hits, misses := s.CacheStats()
+	m.addUint("fleet_response_cache_hits", hits)
+	m.addUint("fleet_response_cache_misses", misses)
+
+	if s.ingest != nil {
+		ist := s.ingest.Stats()
+		m.addInt("fleet_ingest_vehicles", int64(ist.Vehicles))
+		m.addUint("fleet_ingest_accepted", ist.Accepted)
+		m.addUint("fleet_ingest_rejected", ist.Rejected)
+		m.addUint("fleet_ingest_changed", ist.Changed)
+		m.addUint("fleet_ingest_seq", ist.Seq)
+		m.addUint("fleet_ingest_prep_cache_hits", ist.PrepCacheHits)
+		m.addUint("fleet_ingest_prep_cache_misses", ist.PrepCacheMisses)
+		if ws := ist.WAL; ws != nil {
+			m.addInt("fleet_wal_segments", int64(ws.Segments))
+			m.addInt("fleet_wal_bytes", ws.Bytes)
+			m.addUint("fleet_wal_first_index", ws.FirstIndex)
+			m.addUint("fleet_wal_last_index", ws.LastIndex)
+			m.addUint("fleet_wal_last_appended", ws.LastAppended)
+			m.addUint("fleet_wal_appends", ws.Appends)
+			m.addUint("fleet_wal_rotations", ws.Rotations)
+			m.addUint("fleet_wal_fsyncs", ws.Fsyncs)
+			m.addInt("fleet_wal_truncated_tail_events", int64(ws.TruncatedTailEvents))
+			m.addInt("fleet_wal_replay_records", int64(ws.ReplayRecords))
+			m.add("fleet_wal_replay_seconds", ws.ReplaySeconds)
+			m.addUint("fleet_wal_compacted_segments", ws.CompactedSegments)
+			m.addUint("fleet_wal_checkpoint_index", ws.CheckpointIndex)
+			m.addUint("fleet_wal_checkpoint_seq", ws.CheckpointSeq)
+		}
+	}
+
+	w.Header().Set("Content-Type", metricsContentType)
+	_, _ = w.Write([]byte(m.b.String()))
+}
+
+// relabelMetrics rewrites one shard's exposition so every sample
+// carries a shard="name" label: `a 1` becomes `a{shard="s0"} 1` and
+// `a{x="y"} 1` becomes `a{shard="s0",x="y"} 1`. Unparseable lines are
+// dropped rather than relayed mislabeled.
+func relabelMetrics(text, shard string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		name, value := line[:sp], line[sp+1:]
+		if brace := strings.IndexByte(name, '{'); brace >= 0 {
+			b.WriteString(name[:brace+1])
+			b.WriteString(`shard="` + shard + `",`)
+			b.WriteString(name[brace+1:])
+		} else {
+			b.WriteString(name)
+			b.WriteString(`{shard="` + shard + `"}`)
+		}
+		b.WriteByte(' ')
+		b.WriteString(value)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// handleMetrics on the router scatters GET /metrics to every shard and
+// concatenates the relabeled expositions in shard-name order, so the
+// merged scrape is deterministic. A shard that fails to answer
+// contributes a fleet_shard_up 0 marker instead of failing the scrape —
+// metrics must stay readable exactly when parts of the fleet are not.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resps := rt.scatter(r.Context(), http.MethodGet, "/metrics", nil, nil, rt.timeout)
+	sort.Slice(resps, func(i, j int) bool { return resps[i].shard < resps[j].shard })
+	var b strings.Builder
+	for _, resp := range resps {
+		up := resp.err == nil && resp.status == http.StatusOK
+		fmt.Fprintf(&b, "fleet_shard_up{shard=%q} %d\n", resp.shard, boolInt(up))
+		if up {
+			b.WriteString(relabelMetrics(string(resp.body), resp.shard))
+		}
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -183,6 +183,7 @@ func NewRouter(ring *cluster.Ring, backends []ShardBackend, opts RouterOptions) 
 	rt.mux.HandleFunc("GET /fleet/plan", rt.handlePlan)
 	rt.mux.HandleFunc("POST /admin/retrain", rt.handleRetrain)
 	rt.mux.HandleFunc("GET /admin/status", rt.handleStatus)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	if !opts.DisableIngest {
 		rt.mux.HandleFunc("POST /telemetry", rt.handleTelemetry)
 		rt.mux.HandleFunc("GET /admin/ingest", rt.handleIngest)
@@ -356,6 +357,15 @@ func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, out)
 }
 
+// forecastResponder is the in-process shortcut a backend can offer the
+// single-owner route: *serve.Server implements it, so the router can
+// serve a forecast straight from the shard's response cache — no
+// goroutine, no memWriter, no re-marshal — while remote backends keep
+// the generic relay.
+type forecastResponder interface {
+	ForecastResponse(id string) (status int, body []byte)
+}
+
 // handleOwnerRoute is the single-owner fast path: the ring names the
 // owning shard and the response relays verbatim.
 func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
@@ -364,6 +374,14 @@ func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 	b := rt.byName[owner]
 	if b == nil {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: no shard owns vehicle %q", id))
+		return
+	}
+	if fr, ok := b.Handler.(forecastResponder); ok {
+		status, body := fr.ForecastResponse(id)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Fleet-Shard", owner)
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
 		return
 	}
 	target := r.URL.Path

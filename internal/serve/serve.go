@@ -16,6 +16,8 @@
 //	                                  background, swap snapshots; full=1
 //	                                  disables incremental model reuse
 //	GET  /admin/status                engine state (generation, workers, ...)
+//	GET  /metrics                     Prometheus-style text metrics
+//	                                  (ingest, WAL, retrains, response cache)
 //	GET  /admin/ingest                ingest-store stats incl. WAL/durability
 //	                                  (when configured)
 //	GET  /internal/donors             this shard's old-vehicle series for
@@ -35,6 +37,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -43,6 +46,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -89,6 +93,13 @@ type Server struct {
 	// started; a later generation means some build has since succeeded
 	// (and, re-reading the same source, covered the kick's data).
 	kickGen uint64
+
+	// cacheHits/cacheMisses count per-vehicle forecast responses served
+	// from the snapshot's response cache vs marshaled fresh (exported on
+	// GET /metrics). A retrain swaps in a cold cache, so a miss burst
+	// after each generation is expected.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // New builds the HTTP facade over an engine. The engine does not need a
@@ -128,6 +139,7 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /fleet/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
 	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.ingest != nil {
 		s.mux.HandleFunc("POST /telemetry", s.handleTelemetry)
 		s.mux.HandleFunc("GET /admin/ingest", s.handleIngestStats)
@@ -233,22 +245,56 @@ func toJSON(f core.Forecast) ForecastJSON {
 	}
 }
 
-func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
-		return
+// encodeJSON marshals exactly like writeJSON does on the wire —
+// json.NewEncoder.Encode, trailing newline included — so cached bytes
+// are indistinguishable from a fresh marshal.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(v)
+	return buf.Bytes()
+}
+
+// ForecastResponse resolves GET /vehicles/{id}/forecast to its status
+// code and response body without touching an http.ResponseWriter. The
+// 200 path serves (and populates) the current snapshot's response
+// cache, so a hot vehicle is marshaled once per generation and then
+// served as raw bytes; the cluster router calls this directly for
+// in-process shards, skipping the whole HTTP round trip. The returned
+// bytes are shared — callers must write, not mutate, them.
+func (s *Server) ForecastResponse(id string) (status int, body []byte) {
+	snap := s.engine.Snapshot()
+	if snap == nil {
+		return http.StatusServiceUnavailable, encodeJSON(map[string]string{"error": "no model snapshot yet; initial training in progress"})
 	}
-	id := r.PathValue("id")
+	if b, ok := snap.CachedResponse(id); ok {
+		s.cacheHits.Add(1)
+		return http.StatusOK, b
+	}
 	// Precomputed at snapshot build: the hot path does no model math.
 	if f, ok := snap.ForecastByID[id]; ok {
-		writeJSON(w, http.StatusOK, toJSON(f))
-		return
+		s.cacheMisses.Add(1)
+		b := encodeJSON(toJSON(f))
+		snap.StoreCachedResponse(id, b)
+		return http.StatusOK, b
 	}
+	// Error responses stay uncached: failed-forecast vehicles are cold
+	// paths, and unknown IDs are attacker-controlled cache keys.
 	if msg, ok := snap.ForecastErrors[id]; ok {
-		writeError(w, http.StatusInternalServerError, msg)
-		return
+		return http.StatusInternalServerError, encodeJSON(map[string]string{"error": msg})
 	}
-	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown vehicle %q", id))
+	return http.StatusNotFound, encodeJSON(map[string]string{"error": fmt.Sprintf("unknown vehicle %q", id)})
+}
+
+// CacheStats reports the response-cache hit/miss counters.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	status, body := s.ForecastResponse(r.PathValue("id"))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 // FleetForecastJSON is the /fleet/forecast response. Errors lists the

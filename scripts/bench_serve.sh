@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the serving-path benchmarks (single-vehicle forecast GET through
+# the server mux, the router's single-owner fast path, and the raw
+# cached-bytes lookup) and emits the results as JSON — the serving
+# counterpart of scripts/bench_ml.sh.
+#
+# Usage:  scripts/bench_serve.sh [output.json]
+#   BENCHTIME=2s scripts/bench_serve.sh BENCH_serve.json
+#
+# The output is one JSON run record in the same shape as BENCH_ml.json;
+# the committed BENCH_serve.json keeps an array of such records. The
+# cached-bytes variant is the zero-allocation pin: allocs_per_op must
+# stay 0 (a warm hit returns already-marshaled bytes, no JSON encode).
+set -eu
+
+OUT=${1:-BENCH_serve.json}
+BENCHTIME=${BENCHTIME:-1s}
+PATTERN='^BenchmarkForecastServe$'
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/serve | tee "$TMP"
+
+awk -v benchtime="$BENCHTIME" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+    b = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") b = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) results = results ",\n"
+    results = results sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, b == "" ? "null" : b, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n", benchtime, goos, goarch, cpu, results
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
