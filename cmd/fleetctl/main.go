@@ -17,6 +17,11 @@
 //	                                           # replay, checkpoint) from
 //	                                           # a server or a cluster
 //	                                           # router
+//	fleetctl metrics [-url http://host:8080]   # scrape /metrics and
+//	                                           # pretty-print readiness,
+//	                                           # generation, p50/p99 route
+//	                                           # latencies and WAL state,
+//	                                           # grouped per shard
 package main
 
 import (
@@ -30,12 +35,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataprep"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
@@ -65,9 +72,19 @@ func main() {
 		}
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "metrics" {
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		subURL := fs.String("url", *url, "fleetserver (or cluster router) base URL")
+		_ = fs.Parse(flag.Args()[1:])
+		if err := metricsSummary(*subURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *data == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fleetctl -data fleet.csv [flags] status|cycles|predict")
 		fmt.Fprintln(os.Stderr, "       fleetctl ingest [-url http://host:8080]")
+		fmt.Fprintln(os.Stderr, "       fleetctl metrics [-url http://host:8080]")
 		os.Exit(2)
 	}
 
@@ -170,6 +187,126 @@ func printIngestStats(st serve.IngestStatsJSON) {
 		w.ReplayRecords, w.ReplaySeconds, w.TruncatedTailEvents)
 	fmt.Printf("  checkpoint  wal index %d, seq %d, written %s\n",
 		w.CheckpointIndex, w.CheckpointSeq, orNever(w.LastCheckpoint))
+}
+
+// metricsSummary scrapes GET /metrics — from a single fleetserver or a
+// cluster router, whose merged exposition labels each shard's series
+// with shard="name" — and pretty-prints the key series: readiness,
+// generation, WAL state, and p50/p99 request latency per route,
+// estimated from the cumulative histogram buckets.
+func metricsSummary(baseURL string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/metrics answered %s: %s", baseURL, resp.Status, body)
+	}
+	samples, err := obs.ParseText(string(body))
+	if err != nil {
+		return fmt.Errorf("parsing /metrics exposition: %w", err)
+	}
+
+	// Group by the shard label ("" = a single server, or the router's
+	// own series on a cluster scrape).
+	type routeKey struct{ shard, route string }
+	gauges := make(map[string]map[string]float64)
+	buckets := make(map[routeKey]map[float64]uint64)
+	for _, s := range samples {
+		shard := s.Label("shard")
+		if s.Name == "fleet_http_request_seconds_bucket" {
+			le, err := strconv.ParseFloat(s.Label("le"), 64)
+			if err != nil {
+				continue
+			}
+			k := routeKey{shard, s.Label("route")}
+			if buckets[k] == nil {
+				buckets[k] = make(map[float64]uint64)
+			}
+			buckets[k][le] = uint64(s.Value)
+			continue
+		}
+		if gauges[shard] == nil {
+			gauges[shard] = make(map[string]float64)
+		}
+		if len(s.Labels) == 0 || (len(s.Labels) == 1 && shard != "") {
+			gauges[shard][s.Name] = s.Value
+		}
+	}
+
+	shards := make(map[string]bool)
+	for sh := range gauges {
+		shards[sh] = true
+	}
+	for k := range buckets {
+		shards[k.shard] = true
+	}
+	names := make([]string, 0, len(shards))
+	for sh := range shards {
+		names = append(names, sh)
+	}
+	sort.Strings(names) // "" (this process) sorts first
+
+	for _, sh := range names {
+		title := "this process"
+		if sh != "" {
+			title = "shard " + sh
+		}
+		fmt.Printf("=== %s ===\n", title)
+		g := gauges[sh]
+		if _, ok := g["fleet_ready"]; ok {
+			fmt.Printf("ready         %.0f (generation %.0f, %.0f vehicles, retraining %.0f)\n",
+				g["fleet_ready"], g["fleet_generation"], g["fleet_vehicles"], g["fleet_retraining"])
+			fmt.Printf("last train    %.1fs (%.0f reused, %.0f retrained, %.0f failed)\n",
+				g["fleet_train_seconds"], g["fleet_vehicles_reused"], g["fleet_vehicles_retrained"], g["fleet_vehicles_failed"])
+		}
+		if up, ok := g["fleet_shard_up"]; ok {
+			fmt.Printf("up            %.0f\n", up)
+		}
+		if segs, ok := g["fleet_wal_segments"]; ok {
+			fmt.Printf("wal           %.0f segments, %.0f bytes, %.0f appends, %.0f fsyncs\n",
+				segs, g["fleet_wal_bytes"], g["fleet_wal_appends"], g["fleet_wal_fsyncs"])
+		}
+
+		var routes []string
+		for k := range buckets {
+			if k.shard == sh {
+				routes = append(routes, k.route)
+			}
+		}
+		sort.Strings(routes)
+		header := false
+		for _, route := range routes {
+			bs := buckets[routeKey{sh, route}]
+			bounds := make([]float64, 0, len(bs))
+			for le := range bs {
+				bounds = append(bounds, le)
+			}
+			sort.Float64s(bounds)
+			cum := make([]uint64, len(bounds))
+			for i, le := range bounds {
+				cum[i] = bs[le]
+			}
+			if len(cum) == 0 || cum[len(cum)-1] == 0 {
+				continue
+			}
+			if !header {
+				fmt.Printf("routes:\n")
+				header = true
+			}
+			p50 := obs.QuantileFromBuckets(bounds, cum, 0.50)
+			p99 := obs.QuantileFromBuckets(bounds, cum, 0.99)
+			fmt.Printf("  %-34s n=%-7d p50 %9.3fms  p99 %9.3fms\n",
+				route, cum[len(cum)-1], p50*1000, p99*1000)
+		}
+	}
+	return nil
 }
 
 func orNever(s string) string {

@@ -60,6 +60,7 @@
 //	            [-shards 4] [-snapshot-dir /var/lib/fleet]
 //	            [-wal-dir /var/lib/fleet/wal] [-fsync always]
 //	            [-telemetry-rps 50] [-telemetry-token SECRET]
+//	            [-log-level info] [-log-format json] [-pprof]
 //	fleetserver -join shard0 -peers shard0=http://h0:8080,shard1=http://h1:8080 ...
 //	fleetserver -peers shard0=http://h0:8080,shard1=http://h1:8080 [-addr :8000]
 package main
@@ -69,7 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -81,6 +82,7 @@ import (
 	"repro/internal/dataprep"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/snapstore"
 	"repro/internal/telematics"
@@ -88,10 +90,14 @@ import (
 	"repro/internal/wal"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fleetserver: ")
+// fatal logs one Error record and exits — the structured analogue of
+// log.Fatal.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
+func main() {
 	var (
 		data        = flag.String("data", "", "fleet CSV file (required unless -ingest or router mode)")
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -112,14 +118,26 @@ func main() {
 		telToken = flag.String("telemetry-token", "", "require 'Authorization: Bearer <token>' on POST /telemetry")
 		telRPS   = flag.Float64("telemetry-rps", 0, "rate-limit POST /telemetry at this many requests/second (0 = unlimited)")
 		telBurst = flag.Int("telemetry-burst", 0, "token-bucket burst for -telemetry-rps (0 = ceil(rps))")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (probe-route request lines log at debug)")
+		logFormat = flag.String("log-format", "json", "log output format: json (one object per line) or text")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for CPU/heap/goroutine profiling")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetserver: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
+	slog.SetDefault(logger)
 
 	guard := serve.GuardOptions{Token: *telToken, RPS: *telRPS, Burst: *telBurst}
 
 	// Pure router: no engine, no data — just the ring and the peers.
 	if *peers != "" && *join == "" {
-		runRouter(*addr, *peers, guard)
+		runRouter(*addr, *peers, guard, logger, *pprofFlag)
 		return
 	}
 
@@ -130,17 +148,17 @@ func main() {
 		os.Exit(2)
 	}
 	if *retrainDirt > 0 && !*liveIngest {
-		log.Fatal("-retrain-dirty needs -ingest")
+		fatal("-retrain-dirty needs -ingest")
 	}
 	if *walDir != "" && !*liveIngest {
-		log.Fatal("-wal-dir needs -ingest")
+		fatal("-wal-dir needs -ingest")
 	}
 	if *shards > 1 && *join != "" {
-		log.Fatal("-shards and -join are mutually exclusive")
+		fatal("-shards and -join are mutually exclusive")
 	}
 	if *liveIngest && *retrainDirt <= 0 && *interval <= 0 {
 		*retrainDirt = 1
-		log.Printf("-ingest without -retrain-dirty/-retrain-interval: defaulting -retrain-dirty to 1")
+		slog.Info("-ingest without -retrain-dirty/-retrain-interval: defaulting -retrain-dirty to 1")
 	}
 
 	cfg := core.DefaultPredictorConfig()
@@ -168,16 +186,16 @@ func main() {
 			}
 		}
 		if !found {
-			log.Fatalf("-join %s does not appear in -peers %s", *join, *peers)
+			fatal("-join does not appear in -peers", "join", *join, "peers", *peers)
 		}
 		var err error
 		if ring, err = cluster.NewRingOf(0, names...); err != nil {
-			log.Fatal(err)
+			fatal("building ring", "error", err)
 		}
 		if *liveIngest && len(peerURLs) != len(names)-1 {
-			log.Fatalf("live partitioned mode needs a URL for every peer in -peers (the donor-series exchange pulls from them)")
+			fatal("live partitioned mode needs a URL for every peer in -peers (the donor-series exchange pulls from them)")
 		}
-		log.Printf("cluster shard %s of %d (ring members: %s)", *join, len(names), strings.Join(names, ", "))
+		slog.Info("cluster shard joining ring", "shard", *join, "members", len(names), "ring", strings.Join(names, ", "))
 	}
 
 	// Base fleet source: live store (durable with -wal-dir) or CSV
@@ -192,7 +210,7 @@ func main() {
 		if *data != "" {
 			fleet, err := readFleetCSV(*data)
 			if err != nil {
-				log.Fatal(err)
+				fatal("reading fleet CSV", "file", *data, "error", err)
 			}
 			if ring != nil {
 				// Partitioned shard: seed only the ring-owned vehicles;
@@ -208,9 +226,9 @@ func main() {
 			if len(fleet.Vehicles) > 0 {
 				res, err := store.SeedFromFleet(fleet)
 				if err != nil {
-					log.Fatal(err)
+					fatal("seeding ingest store", "file", *data, "error", err)
 				}
-				log.Printf("seeded ingest store from %s: %d vehicles, %d daily reports", *data, len(res.Vehicles), res.Accepted)
+				slog.Info("seeded ingest store", "file", *data, "vehicles", len(res.Vehicles), "reports", res.Accepted)
 			}
 		}
 		base = store.Fleet
@@ -222,15 +240,15 @@ func main() {
 	if *snapDir != "" {
 		var err error
 		if snaps, err = snapstore.New(*snapDir); err != nil {
-			log.Fatal(err)
+			fatal("opening snapshot store", "dir", *snapDir, "error", err)
 		}
 	}
 
 	waitForTelemetry := waitForTelemetryAtBoot(*liveIngest, len(storeVehicles(store)), ring != nil)
-	ecfg := engine.Config{Predictor: cfg, Workers: *workers}
+	ecfg := engine.Config{Predictor: cfg, Workers: *workers, Logger: logger}
 
 	if *shards > 1 {
-		runSharded(*addr, *shards, ecfg, base, store, snaps, *retrainDirt, *interval, waitForTelemetry, guard)
+		runSharded(*addr, *shards, ecfg, base, store, snaps, *retrainDirt, *interval, waitForTelemetry, guard, logger, *pprofFlag)
 		return
 	}
 
@@ -252,16 +270,31 @@ func main() {
 	}
 
 	ecfg.Source = src
-	ecfg.OnSnapshot = snapshotSaver(snaps, shardName, store)
-	eng, err := engine.New(ecfg)
+	ecfg.Logger = logger.With("shard", shardName)
+	// The encode-timing getter is late-bound: OnSnapshot only fires
+	// after a retrain, by which time eng is set.
+	var eng *engine.Engine
+	ecfg.OnSnapshot = snapshotSaver(snaps, shardName, store, func() *engine.TrainMetrics {
+		if eng == nil {
+			return nil
+		}
+		return eng.Metrics()
+	})
+	eng, err = engine.New(ecfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building engine", "error", err)
 	}
 	restored := restoreSnapshot(eng, snaps, shardName)
 
-	srv, err := serve.NewWithOptions(eng, serve.Options{Ingest: store, RetrainDirty: *retrainDirt, Telemetry: guard})
+	srv, err := serve.NewWithOptions(eng, serve.Options{
+		Ingest:       store,
+		RetrainDirty: *retrainDirt,
+		Telemetry:    guard,
+		Logger:       logger.With("shard", shardName),
+		Pprof:        *pprofFlag,
+	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building server", "error", err)
 	}
 
 	// Bind before the cold training finishes: the server answers
@@ -273,7 +306,7 @@ func main() {
 	// the WAL replay recovered beyond the snapshot.
 	switch {
 	case restored:
-		log.Printf("serving restored generation %d; retrains will be incremental", eng.Snapshot().Generation)
+		slog.Info("serving restored generation; retrains will be incremental", "shard", shardName, "generation", eng.Snapshot().Generation)
 		if *liveIngest && len(store.Vehicles()) > 0 {
 			retries := 0
 			if ring != nil {
@@ -282,7 +315,7 @@ func main() {
 			go reconcileRetrain(eng, retries, shardName)
 		}
 	case waitForTelemetry:
-		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
+		slog.Info("ingest store empty; waiting for POST /telemetry before the first training")
 	default:
 		// A partitioned shard's first donor fetch races its peers' boot:
 		// retry the cold train while the cluster assembles instead of
@@ -296,25 +329,41 @@ func main() {
 
 	if *interval > 0 {
 		go retrainLoop([]*engine.Engine{eng}, *interval)
-		log.Printf("retraining every %s", *interval)
+		slog.Info("periodic retraining enabled", "interval", interval.String())
 	}
 	if *retrainDirt > 0 {
-		log.Printf("auto-retraining once %d vehicles are dirty", *retrainDirt)
+		slog.Info("dirty-vehicle retraining enabled", "threshold", *retrainDirt)
 	}
 
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	slog.Info("listening", "addr", *addr, "shard", shardName, "pprof", *pprofFlag)
+	fatal("http server exited", "error", http.ListenAndServe(*addr, srv))
 }
 
 // runSharded boots the in-process cluster: N partitioned engines, one
 // serve.Server each over the shared store, and the fan-out router in
 // front.
-func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source, store *ingest.Store, snaps *snapstore.Store, retrainDirty int, interval time.Duration, waitForTelemetry bool, guard serve.GuardOptions) {
+func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source, store *ingest.Store, snaps *snapstore.Store, retrainDirty int, interval time.Duration, waitForTelemetry bool, guard serve.GuardOptions, logger *slog.Logger, pprofFlag bool) {
+	// Shard engines register their training metrics here so the spill
+	// hook can attribute snapshot-encode time; a spill that fires before
+	// registration (a restore racing boot) just skips the observation.
+	var metricsMu sync.Mutex
+	metricsByShard := make(map[string]*engine.TrainMetrics)
+	shardMetrics := func(shard string) *engine.TrainMetrics {
+		metricsMu.Lock()
+		defer metricsMu.Unlock()
+		return metricsByShard[shard]
+	}
+
 	var onSnap func(string, *engine.Snapshot)
 	if snaps != nil {
 		onSnap = func(shard string, snap *engine.Snapshot) {
-			if err := snaps.Save(shard, snap); err != nil {
-				log.Printf("shard %s: spilling generation %d: %v", shard, snap.Generation, err)
+			t0 := time.Now()
+			err := snaps.Save(shard, snap)
+			if m := shardMetrics(shard); m != nil {
+				m.ObserveStage("encode", t0)
+			}
+			if err != nil {
+				slog.Error("snapshot spill failed", "shard", shard, "generation", snap.Generation, "error", err)
 				return
 			}
 			// All in-process shards share one store; each persisted
@@ -329,7 +378,7 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 		OnSnapshot: onSnap,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building sharded cluster", "error", err)
 	}
 
 	backends := make([]serve.ShardBackend, 0, shards)
@@ -337,15 +386,22 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 	for _, sh := range sharded.Shards() {
 		// Shards are trusted-internal behind the router: the guard is
 		// enforced once, at the router below.
-		srv, err := serve.NewWithOptions(sh.Engine, serve.Options{Ingest: store, RetrainDirty: retrainDirty})
+		srv, err := serve.NewWithOptions(sh.Engine, serve.Options{
+			Ingest:       store,
+			RetrainDirty: retrainDirty,
+			Logger:       logger.With("shard", sh.Name),
+		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("building shard server", "shard", sh.Name, "error", err)
 		}
+		metricsMu.Lock()
+		metricsByShard[sh.Name] = sh.Engine.Metrics()
+		metricsMu.Unlock()
 		backends = append(backends, serve.ShardBackend{Name: sh.Name, Handler: srv})
 		engines = append(engines, sh.Engine)
 
 		if restoreSnapshot(sh.Engine, snaps, sh.Name) {
-			log.Printf("shard %s: serving restored generation %d", sh.Name, sh.Engine.Snapshot().Generation)
+			slog.Info("serving restored generation", "shard", sh.Name, "generation", sh.Engine.Snapshot().Generation)
 			if store != nil && len(store.Vehicles()) > 0 {
 				go reconcileRetrain(sh.Engine, 0, sh.Name)
 			}
@@ -358,12 +414,12 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 					// failed cold train, so fail fast for the
 					// orchestrator; with one, stay up serving 503s.
 					if interval <= 0 && retrainDirty <= 0 {
-						log.Fatalf("shard %s: initial training failed: %v", sh.Name, err)
+						fatal("initial training failed", "shard", sh.Name, "error", err)
 					}
-					log.Printf("shard %s: initial training failed: %v (serving 503s until a retrain succeeds)", sh.Name, err)
+					slog.Error("initial training failed; serving 503s until a retrain succeeds", "shard", sh.Name, "error", err)
 					return
 				}
-				log.Printf("shard %s: trained %d vehicles in %.1fs", sh.Name, len(snap.Statuses), snap.TrainDuration.Seconds())
+				slog.Info("initial training complete", "shard", sh.Name, "vehicles", len(snap.Statuses), "seconds", snap.TrainDuration.Seconds())
 			}(sh)
 		}
 	}
@@ -375,47 +431,53 @@ func runSharded(addr string, shards int, ecfg engine.Config, base engine.Source,
 		// All in-process shards wrap this one store: upsert batches
 		// exactly once at the router.
 		SharedIngest: store,
+		Logger:       logger.With("shard", "router"),
+		Pprof:        pprofFlag,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building router", "error", err)
 	}
 	if waitForTelemetry {
-		log.Printf("ingest store empty; waiting for POST /telemetry before the first training")
+		slog.Info("ingest store empty; waiting for POST /telemetry before the first training")
 	}
 	if interval > 0 {
 		go retrainLoop(engines, interval)
-		log.Printf("retraining every %s", interval)
+		slog.Info("periodic retraining enabled", "interval", interval.String())
 	}
-	log.Printf("serving %d in-process shards on %s", shards, addr)
-	log.Fatal(http.ListenAndServe(addr, router))
+	slog.Info("listening", "addr", addr, "shards", shards, "pprof", pprofFlag)
+	fatal("http server exited", "error", http.ListenAndServe(addr, router))
 }
 
 // runRouter boots the engine-less front door of a multi-process
 // cluster.
-func runRouter(addr, peers string, guard serve.GuardOptions) {
+func runRouter(addr, peers string, guard serve.GuardOptions, logger *slog.Logger, pprofFlag bool) {
 	members := parsePeers(peers)
 	if len(members) == 0 {
-		log.Fatalf("router mode needs -peers name=url[,name=url...], got %q", peers)
+		fatal("router mode needs -peers name=url[,name=url...]", "peers", peers)
 	}
 	names := make([]string, 0, len(members))
 	backends := make([]serve.ShardBackend, 0, len(members))
 	for _, p := range members {
 		if p.url == "" {
-			log.Fatalf("router mode needs a URL for every peer; %q has none", p.name)
+			fatal("router mode needs a URL for every peer", "peer", p.name)
 		}
 		names = append(names, p.name)
 		backends = append(backends, serve.NewRemoteBackend(p.name, p.url, nil))
 	}
 	ring, err := cluster.NewRingOf(0, names...)
 	if err != nil {
-		log.Fatal(err)
+		fatal("building ring", "error", err)
 	}
-	router, err := serve.NewRouter(ring, backends, serve.RouterOptions{Telemetry: guard})
+	router, err := serve.NewRouter(ring, backends, serve.RouterOptions{
+		Telemetry: guard,
+		Logger:    logger.With("shard", "router"),
+		Pprof:     pprofFlag,
+	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building router", "error", err)
 	}
-	log.Printf("routing for shards %s on %s", strings.Join(names, ", "), addr)
-	log.Fatal(http.ListenAndServe(addr, router))
+	slog.Info("routing", "shards", strings.Join(names, ", "), "addr", addr, "pprof", pprofFlag)
+	fatal("http server exited", "error", http.ListenAndServe(addr, router))
 }
 
 // peer is one -peers entry.
@@ -459,10 +521,10 @@ func waitForTelemetryAtBoot(liveIngest bool, storedVehicles int, partitioned boo
 
 // initialTrain runs the eager cold train, retrying up to `retries`
 // times a second apart (partitioned shards race their peers' boot for
-// the first donor fetch). fatal selects the fail-fast contract: with
-// no later retrain trigger configured, nothing would ever recover a
-// failed cold train, so exit for the orchestrator.
-func initialTrain(eng *engine.Engine, retries int, fatal bool) {
+// the first donor fetch). failFast selects the fail-fast contract:
+// with no later retrain trigger configured, nothing would ever recover
+// a failed cold train, so exit for the orchestrator.
+func initialTrain(eng *engine.Engine, retries int, failFast bool) {
 	var snap *engine.Snapshot
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -471,19 +533,18 @@ func initialTrain(eng *engine.Engine, retries int, fatal bool) {
 			break
 		}
 		if attempt == 0 {
-			log.Printf("initial training failed: %v (retrying while the cluster assembles)", err)
+			slog.Warn("initial training failed; retrying while the cluster assembles", "error", err)
 		}
 		time.Sleep(time.Second)
 	}
 	if err != nil {
-		if fatal {
-			log.Fatalf("initial training failed: %v", err)
+		if failFast {
+			fatal("initial training failed", "error", err)
 		}
-		log.Printf("initial training failed: %v (serving 503s until a retrain succeeds)", err)
+		slog.Error("initial training failed; serving 503s until a retrain succeeds", "error", err)
 		return
 	}
-	log.Printf("trained %d vehicles in %.1fs on %d workers",
-		len(snap.Statuses), snap.TrainDuration.Seconds(), eng.Workers())
+	slog.Info("initial training complete", "vehicles", len(snap.Statuses), "seconds", snap.TrainDuration.Seconds(), "workers", eng.Workers())
 }
 
 // reconcileRetrain folds WAL-recovered telemetry into a restored
@@ -494,18 +555,18 @@ func initialTrain(eng *engine.Engine, retries int, fatal bool) {
 // next telemetry batch or periodic tick. ErrRetrainInFlight means some
 // other trigger is already rebuilding from the same source — done.
 func reconcileRetrain(eng *engine.Engine, retries int, shard string) {
-	log.Printf("%s: reconciling restored generation with recovered telemetry (incremental)", shard)
+	slog.Info("reconciling restored generation with recovered telemetry (incremental)", "shard", shard)
 	for attempt := 0; ; attempt++ {
 		_, err := eng.TryRetrainFromSource(context.Background(), false)
 		if err == nil || errors.Is(err, engine.ErrRetrainInFlight) {
 			return
 		}
 		if attempt >= retries {
-			log.Printf("%s: reconcile retrain failed: %v (still serving the restored generation)", shard, err)
+			slog.Error("reconcile retrain failed; still serving the restored generation", "shard", shard, "error", err)
 			return
 		}
 		if attempt == 0 {
-			log.Printf("%s: reconcile retrain failed: %v (retrying while the cluster assembles)", shard, err)
+			slog.Warn("reconcile retrain failed; retrying while the cluster assembles", "shard", shard, "error", err)
 		}
 		time.Sleep(time.Second)
 	}
@@ -520,15 +581,16 @@ func openIngestStore(walDir, fsyncPolicy string) *ingest.Store {
 	}
 	policy, err := wal.ParseFsyncPolicy(fsyncPolicy)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parsing -fsync", "error", err)
 	}
 	store, err := ingest.OpenDurable(timeseries.DefaultAllowance, ingest.DurableOptions{Dir: walDir, Fsync: policy})
 	if err != nil {
-		log.Fatal(err)
+		fatal("opening durable ingest store", "dir", walDir, "error", err)
 	}
 	if st := store.Stats(); st.WAL != nil {
-		log.Printf("wal %s: recovered %d vehicles (seq %d) — %d records replayed in %.3fs, %d truncated-tail events, fsync=%s",
-			walDir, st.Vehicles, st.Seq, st.WAL.ReplayRecords, st.WAL.ReplaySeconds, st.WAL.TruncatedTailEvents, policy)
+		slog.Info("wal recovered", "dir", walDir, "vehicles", st.Vehicles, "seq", st.Seq,
+			"replayed", st.WAL.ReplayRecords, "replay_seconds", st.WAL.ReplaySeconds,
+			"truncated_tail_events", st.WAL.TruncatedTailEvents, "fsync", fsyncPolicy)
 	}
 	return store
 }
@@ -538,13 +600,20 @@ func openIngestStore(walDir, fsyncPolicy string) *ingest.Store {
 // store checkpoints and compacts its WAL — the compaction gate: a
 // journal segment is only dropped once its content is covered by a
 // checkpoint written under a persisted generation.
-func snapshotSaver(snaps *snapstore.Store, shard string, store *ingest.Store) func(*engine.Snapshot) {
+func snapshotSaver(snaps *snapstore.Store, shard string, store *ingest.Store, metrics func() *engine.TrainMetrics) func(*engine.Snapshot) {
 	if snaps == nil {
 		return nil
 	}
 	return func(snap *engine.Snapshot) {
-		if err := snaps.Save(shard, snap); err != nil {
-			log.Printf("spilling generation %d: %v", snap.Generation, err)
+		t0 := time.Now()
+		err := snaps.Save(shard, snap)
+		if m := metrics(); m != nil {
+			// Attribute the gob encode + atomic rename to the encode
+			// stage of the training pipeline.
+			m.ObserveStage("encode", t0)
+		}
+		if err != nil {
+			slog.Error("snapshot spill failed", "shard", shard, "generation", snap.Generation, "error", err)
 			return
 		}
 		checkpointAfterSpill(store, shard, snap.Generation)
@@ -559,12 +628,12 @@ func checkpointAfterSpill(store *ingest.Store, shard string, generation uint64) 
 	}
 	res, err := store.CheckpointAndCompact()
 	if err != nil {
-		log.Printf("%s: checkpointing after generation %d: %v", shard, generation, err)
+		slog.Error("checkpoint after spill failed", "shard", shard, "generation", generation, "error", err)
 		return
 	}
 	if res.SegmentsRemoved > 0 {
-		log.Printf("%s: generation %d persisted; checkpoint at wal index %d compacted %d segments",
-			shard, generation, res.WALIndex, res.SegmentsRemoved)
+		slog.Info("generation persisted; wal checkpointed and compacted",
+			"shard", shard, "generation", generation, "wal_index", res.WALIndex, "segments_removed", res.SegmentsRemoved)
 	}
 }
 
@@ -578,12 +647,12 @@ func restoreSnapshot(eng *engine.Engine, snaps *snapstore.Store, shard string) b
 	snap, err := snaps.Load(shard)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("ignoring unrestorable snapshot for %s: %v", shard, err)
+			slog.Warn("ignoring unrestorable snapshot", "shard", shard, "error", err)
 		}
 		return false
 	}
 	if err := eng.Restore(snap); err != nil {
-		log.Printf("ignoring unrestorable snapshot for %s: %v", shard, err)
+		slog.Warn("ignoring unrestorable snapshot", "shard", shard, "error", err)
 		return false
 	}
 	return true
@@ -641,11 +710,11 @@ func retrainLoop(engines []*engine.Engine, interval time.Duration) {
 					return
 				}
 				if err != nil {
-					log.Printf("retrain failed (still serving generation %d): %v", eng.Status().Generation, err)
+					slog.Error("periodic retrain failed; still serving previous generation", "generation", eng.Status().Generation, "error", err)
 					return
 				}
-				log.Printf("retrained: generation %d, %d vehicles (%d reused, %d retrained) in %.1fs",
-					snap.Generation, len(snap.Statuses), snap.Reused, snap.Retrained, snap.TrainDuration.Seconds())
+				slog.Info("periodic retrain complete", "generation", snap.Generation, "vehicles", len(snap.Statuses),
+					"reused", snap.Reused, "retrained", snap.Retrained, "seconds", snap.TrainDuration.Seconds())
 			}(eng)
 		}
 		wg.Wait()

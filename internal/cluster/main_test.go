@@ -1,0 +1,16 @@
+package cluster
+
+import (
+	"log/slog"
+	"os"
+	"testing"
+)
+
+// TestMain discards the default structured logger: servers and routers
+// built without an explicit Options.Logger fall back to slog.Default(),
+// and per-request log lines would otherwise drown test and benchmark
+// output.
+func TestMain(m *testing.M) {
+	slog.SetDefault(slog.New(slog.DiscardHandler))
+	os.Exit(m.Run())
+}

@@ -188,6 +188,23 @@ type TrainTask struct {
 	Seed uint64
 }
 
+// StageObserver receives per-stage training timings: stage is "search"
+// (one candidate's evaluation in the §4.3 competition) or "fit" (the
+// winner's full-history refit, a similarity-donor fit, or the one
+// unified-model fit), alg is the algorithm the time was spent in.
+// Observers are called from whatever goroutine runs the task, so they
+// must be safe for concurrent use and cheap — the obs histograms are
+// both. A nil observer costs one branch. Like FitWorkers, the observer
+// is an execution-side knob with no effect on trained models.
+type StageObserver func(stage string, alg Algorithm, seconds float64)
+
+// observe records the time since t0 when an observer is installed.
+func (o StageObserver) observe(stage string, alg Algorithm, t0 time.Time) {
+	if o != nil {
+		o(stage, alg, time.Since(t0).Seconds())
+	}
+}
+
 // TrainShared is the read-only context shared by every training task of
 // one build: the old-vehicle donor pool and the build's single unified
 // model (§4.4.1 trains *one* Model_Uni on all old vehicles and serves
@@ -199,6 +216,11 @@ type TrainShared struct {
 	olds []*timeseries.VehicleSeries
 	cfg  PredictorConfig
 	seed uint64
+
+	// Observe, when non-nil, receives per-stage timings from every task
+	// trained against this context. Set it between planning and
+	// execution; it never influences what gets trained.
+	Observe StageObserver
 
 	once    sync.Once
 	unified ml.Regressor
@@ -216,8 +238,12 @@ func (sh *TrainShared) Unified() (ml.Regressor, error) {
 			sh.err = fmt.Errorf("no old vehicles available to train a unified model")
 			return
 		}
+		t0 := time.Now()
 		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed, FitWorkers: sh.cfg.FitWorkers}
 		sh.unified, sh.err = TrainUnified(sh.olds, sh.cfg.ColdStartAlgorithm, cs)
+		if sh.err == nil {
+			sh.Observe.observe("fit", sh.cfg.ColdStartAlgorithm, t0)
+		}
 	})
 	return sh.unified, sh.err
 }
@@ -255,7 +281,7 @@ func TrainVehicle(task TrainTask, shared *TrainShared) (VehicleStatus, ml.Regres
 	)
 	switch task.Category {
 	case Old:
-		st, model, err = trainOld(task.Vehicle, shared.cfg, task.Seed)
+		st, model, err = trainOld(task.Vehicle, shared.cfg, task.Seed, shared.Observe)
 	case SemiNew:
 		st, model, err = trainSemiNew(task.Vehicle, shared, task.Seed)
 	case New:
@@ -343,7 +369,7 @@ func (fp *FleetPredictor) oldVehicles() []*timeseries.VehicleSeries {
 
 // trainOld competes the candidate algorithms on a validation tail and
 // refits the winner on the vehicle's full history.
-func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (VehicleStatus, ml.Regressor, error) {
+func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64, obs StageObserver) (VehicleStatus, ml.Regressor, error) {
 	cfg := NewOldConfig()
 	cfg.Window = pcfg.Window
 	cfg.Normalize = pcfg.Normalize
@@ -356,10 +382,12 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 	bestScore := math.Inf(1)
 	var bestAlg Algorithm
 	for _, alg := range pcfg.Candidates {
+		t0 := time.Now()
 		res, err := EvaluateOld(vs, alg, cfg)
 		if err != nil {
 			return VehicleStatus{}, nil, err
 		}
+		obs.observe("search", alg, t0)
 		score := res.Report.MRE(pcfg.Eval)
 		if math.IsNaN(score) {
 			score = res.Report.Global()
@@ -374,6 +402,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 	}
 
 	// Refit the winner on all available records (restricted region).
+	tFit := time.Now()
 	fcfg := FeatureConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Restrict: pcfg.Eval}
 	recs, err := BuildRecords(vs, fcfg)
 	if err != nil {
@@ -394,6 +423,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64) (
 	if err := model.Fit(x, y); err != nil {
 		return VehicleStatus{}, nil, err
 	}
+	obs.observe("fit", bestAlg, tFit)
 	return VehicleStatus{Strategy: "per-vehicle", Algorithm: bestAlg, ValidationMRE: bestScore}, model, nil
 }
 
@@ -401,8 +431,10 @@ func trainSemiNew(vs *timeseries.VehicleSeries, shared *TrainShared, seed uint64
 	pcfg := shared.cfg
 	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed, FitWorkers: pcfg.FitWorkers}
 	if olds := shared.Olds(); len(olds) > 0 {
+		t0 := time.Now()
 		model, donor, err := TrainSimilarityForLive(vs, olds, pcfg.ColdStartAlgorithm, cs)
 		if err == nil {
+			shared.Observe.observe("fit", pcfg.ColdStartAlgorithm, t0)
 			return VehicleStatus{Strategy: "similarity", Algorithm: pcfg.ColdStartAlgorithm, ValidationMRE: math.NaN(), Donor: donor}, model, nil
 		}
 		// Fall through to unified on similarity failure.

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -72,12 +74,19 @@ type Config struct {
 	// Restore it. Failures inside the callback are the callback's
 	// problem; the snapshot is already live when it runs.
 	OnSnapshot func(*Snapshot)
+	// Logger receives the engine's structured retrain logs; nil uses
+	// slog.Default(). Retrain log lines carry the trace ID of the
+	// request that kicked them (when there is one), tying a POST
+	// /admin/retrain or telemetry-triggered rebuild back to its cause.
+	Logger *slog.Logger
 }
 
 // Engine owns the training pool and the current snapshot.
 type Engine struct {
 	cfg     Config
 	workers int
+	log     *slog.Logger
+	metrics *TrainMetrics
 
 	snap atomic.Pointer[Snapshot]
 
@@ -104,7 +113,11 @@ func New(cfg Config) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{cfg: cfg, workers: workers}, nil
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Engine{cfg: cfg, workers: workers, log: logger, metrics: newTrainMetrics()}, nil
 }
 
 // Workers reports the bound of the training pool.
@@ -177,8 +190,11 @@ func (e *Engine) TryRetrainFromSource(ctx context.Context, full bool) (*Snapshot
 // BeginRetrainFromSource starts a detached background rebuild and
 // reports whether it started; like TryRetrainFromSource it refuses
 // when any build is in flight. full disables incremental reuse.
-// Failures surface via Status.
-func (e *Engine) BeginRetrainFromSource(full bool) bool {
+// Failures surface via Status. The build outlives ctx's cancellation
+// (the triggering request returns 202 immediately) but keeps its
+// values — in particular the trace ID, so the retrain's log lines name
+// the request that caused it.
+func (e *Engine) BeginRetrainFromSource(ctx context.Context, full bool) bool {
 	if !e.buildMu.TryLock() {
 		return false
 	}
@@ -188,7 +204,7 @@ func (e *Engine) BeginRetrainFromSource(full bool) bool {
 	e.setRetraining(true)
 	go func() {
 		defer e.buildMu.Unlock()
-		_, _ = e.retrainLocked(context.Background(), e.sourceFetch, full)
+		_, _ = e.retrainLocked(context.WithoutCancel(ctx), e.sourceFetch, full)
 	}()
 	return true
 }
@@ -210,14 +226,18 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 	e.setRetraining(true)
 	defer e.setRetraining(false)
 
+	tPrep := time.Now()
 	fleet, err := fetch(ctx)
 	if err != nil {
 		e.recordError(err)
+		e.logRetrainError(ctx, "fetch", err)
 		return nil, err
 	}
+	e.metrics.ObserveStage("prep", tPrep)
 	snap, err := e.build(ctx, fleet, full)
 	if err != nil {
 		e.recordError(err)
+		e.logRetrainError(ctx, "build", err)
 		return nil, err
 	}
 	e.generation++
@@ -233,7 +253,22 @@ func (e *Engine) retrainLocked(ctx context.Context, fetch func(context.Context) 
 	if e.cfg.OnSnapshot != nil {
 		e.cfg.OnSnapshot(snap)
 	}
+	e.log.LogAttrs(ctx, slog.LevelInfo, "retrain complete",
+		slog.String("trace", obs.TraceID(ctx)),
+		slog.Uint64("generation", snap.Generation),
+		slog.Int("vehicles", len(snap.Statuses)),
+		slog.Int("reused", snap.Reused),
+		slog.Int("retrained", snap.Retrained),
+		slog.Bool("full", full),
+		slog.Float64("seconds", snap.TrainDuration.Seconds()))
 	return snap, nil
+}
+
+func (e *Engine) logRetrainError(ctx context.Context, stage string, err error) {
+	e.log.LogAttrs(ctx, slog.LevelError, "retrain failed",
+		slog.String("trace", obs.TraceID(ctx)),
+		slog.String("stage", stage),
+		slog.String("error", err.Error()))
 }
 
 // Restore installs a previously persisted snapshot (see
@@ -305,11 +340,15 @@ func (e *Engine) build(ctx context.Context, fleet []Vehicle, full bool) (*Snapsh
 	if err != nil {
 		return nil, err
 	}
+	e.metrics.ObserveStage("plan", t0)
+	plan.Shared.Observe = e.metrics.observer()
 
+	tFit := time.Now()
 	trained, models, err := e.runPool(ctx, plan.Tasks, plan.Shared)
 	if err != nil {
 		return nil, err
 	}
+	e.metrics.ObserveStage("fit", tFit)
 	statuses := mergeStatuses(plan.Reused, trained)
 	for id, m := range plan.ReusedModels {
 		models[id] = m
@@ -329,7 +368,10 @@ func (e *Engine) build(ctx context.Context, fleet []Vehicle, full bool) (*Snapsh
 	if err := fp.InstallTrained(statuses, models); err != nil {
 		return nil, err
 	}
-	return newSnapshot(fp, statuses, models, plan, e.cfg.Predictor.Hash(), time.Since(t0)), nil
+	tSnap := time.Now()
+	snap := newSnapshot(fp, statuses, models, plan, e.cfg.Predictor.Hash(), time.Since(t0))
+	e.metrics.ObserveStage("snapshot", tSnap)
+	return snap, nil
 }
 
 // mergeStatuses interleaves the carried-forward and freshly trained

@@ -216,11 +216,11 @@ func TestSingleFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !eng.BeginRetrainFromSource(false) {
+	if !eng.BeginRetrainFromSource(context.Background(), false) {
 		t.Fatal("first background retrain refused")
 	}
 	<-entered // the build holds the engine now
-	if eng.BeginRetrainFromSource(false) {
+	if eng.BeginRetrainFromSource(context.Background(), false) {
 		t.Fatal("second background retrain started while one is in flight")
 	}
 	if _, err := eng.TryRetrainFromSource(context.Background(), false); err != ErrRetrainInFlight {

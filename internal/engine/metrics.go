@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TrainMetrics is the engine's training-time telemetry: wall-clock per
+// pipeline stage and per (model family, search/fit) pair. It lives on
+// the engine — not the snapshot — because it accumulates across
+// generations; a scrape answers "where does retrain time go" without
+// waiting for one to finish.
+type TrainMetrics struct {
+	// stages times the build pipeline: prep (source fetch), plan
+	// (registration + reuse planning), fit (worker-pool training),
+	// snapshot (freeze + forecast precompute), encode (persistence gob,
+	// observed by the snapshot saver).
+	stages *obs.Family
+	// models times the core training stages per algorithm family:
+	// stage="search" is one candidate's validation evaluation, "fit" a
+	// final/similarity/unified model fit (see core.StageObserver).
+	models *obs.Family
+}
+
+func newTrainMetrics() *TrainMetrics {
+	return &TrainMetrics{
+		stages: obs.NewHistogramFamily("fleet_train_stage_seconds",
+			"Wall-clock seconds per training pipeline stage.", obs.TrainBuckets, "stage"),
+		models: obs.NewHistogramFamily("fleet_train_model_seconds",
+			"Seconds spent training per model family and core stage.", obs.TrainBuckets, "family", "stage"),
+	}
+}
+
+// ObserveStage records one pipeline-stage duration. Exported so the
+// persistence layer can attribute snapshot-encode time to the same
+// family the engine's own stages land in.
+func (m *TrainMetrics) ObserveStage(stage string, t0 time.Time) {
+	m.stages.With(stage).ObserveSince(t0)
+}
+
+// observer adapts the metrics into the core training hook.
+func (m *TrainMetrics) observer() core.StageObserver {
+	return func(stage string, alg core.Algorithm, seconds float64) {
+		m.models.With(string(alg), stage).Observe(seconds)
+	}
+}
+
+// Write renders the training histograms into w.
+func (m *TrainMetrics) Write(w *obs.TextWriter) {
+	m.stages.Write(w)
+	m.models.Write(w)
+}
+
+// Metrics returns the engine's training-time telemetry, for the serve
+// layer's /metrics assembly and the persistence hook's encode timing.
+func (e *Engine) Metrics() *TrainMetrics { return e.metrics }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/dataprep"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/telematics"
 	"repro/internal/timeseries"
 	"repro/internal/wal"
@@ -137,6 +138,11 @@ type Store struct {
 
 	replayRecords  int
 	replayDuration time.Duration
+
+	// batchHist distributes UpsertBatch sizes (reports per batch) — the
+	// knob that decides whether ingest cost is dominated by per-batch or
+	// per-report overhead.
+	batchHist *obs.Histogram
 }
 
 // preparedEntry caches one vehicle's §3 preparation output keyed by the
@@ -158,6 +164,7 @@ func New(allowance float64) *Store {
 	return &Store{
 		vehicles:  make(map[string]*vehicleRecord),
 		allowance: allowance,
+		batchHist: obs.NewHistogram(obs.SizeBuckets),
 	}
 }
 
@@ -246,6 +253,7 @@ func validate(r Report, now time.Time) error {
 func (s *Store) UpsertBatch(reports []Report) (BatchResult, error) {
 	res := BatchResult{Vehicles: make(map[string]*VehicleResult)}
 	now := time.Now()
+	s.batchHist.Observe(float64(len(reports)))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -585,6 +593,17 @@ type WALStats struct {
 }
 
 const dayLayout = "2006-01-02"
+
+// WriteMetrics renders the store's histograms — batch sizes plus, on a
+// durable store, the journal's append/fsync latency — into w. The
+// serve layer adds the gauge counterparts from Stats.
+func (s *Store) WriteMetrics(w *obs.TextWriter) {
+	w.Histogram("fleet_ingest_batch_reports",
+		"Reports per UpsertBatch call (accepted or not).", "", s.batchHist)
+	if s.journal != nil {
+		s.journal.WriteMetrics(w)
+	}
+}
 
 // Stats reports the store's current state.
 func (s *Store) Stats() Stats {

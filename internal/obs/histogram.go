@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Standard bucket layouts. Bounds are upper bounds in ascending order;
+// every histogram gets an implicit +Inf bucket on top. The layouts are
+// documented in ARCHITECTURE.md ("Observability") — changing them is a
+// dashboard-breaking change.
+var (
+	// LatencyBuckets covers HTTP request and shard-call latencies:
+	// 500µs to 10s, roughly ×2.5 per step.
+	LatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// SyncBuckets covers WAL append/fsync critical sections: 50µs to
+	// 500ms (an fsync on a loaded disk can stall far past the median).
+	SyncBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
+	// TrainBuckets covers model/stage training times: 1ms to 2min.
+	TrainBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+	// SizeBuckets covers batch sizes (reports per telemetry batch).
+	SizeBuckets = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 500000}
+)
+
+// Histogram is a fixed-bucket, lock-free histogram. Observe is a
+// linear scan over the bounds plus three atomic adds — no locks, no
+// allocations — so it is safe on the pinned zero-allocation serving
+// path and inside the WAL append critical section. Readers (exposition,
+// Count, Sum) see a possibly-torn but monotonically consistent view,
+// which is all a scrape needs.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound; +Inf derived from count
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The slice is retained; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value. Zero allocations.
+func (h *Histogram) Observe(v float64) {
+	for i, bound := range h.bounds {
+		if v <= bound {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0. Zero allocations.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by
+// linear interpolation inside the winning bucket — the same estimate
+// Prometheus's histogram_quantile computes. It returns NaN for an
+// empty histogram; an estimate landing in the +Inf bucket clamps to
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (bound-lower)*((rank-float64(cum))/float64(c))
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// atomicFloat accumulates a float64 via CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a lock-free monotonic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter. Zero allocations.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one. Zero allocations.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Family is a set of same-named series distinguished by label values —
+// route latencies keyed by route, fit timings keyed by model family.
+// Children are created on first With and live forever (label
+// cardinality is bounded by construction: routes, shards, algorithms).
+// A warm With is a read-lock plus a map read — no allocations — but
+// hot paths should still resolve once at wiring time and hold the
+// child pointer.
+type Family struct {
+	name      string
+	help      string
+	kind      string
+	labelKeys []string
+	bounds    []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]*familyChild
+	order    []string
+}
+
+type familyChild struct {
+	labels  string // pre-rendered interior
+	hist    *Histogram
+	counter *Counter
+}
+
+// NewHistogramFamily builds a histogram family whose children are
+// distinguished by the given label keys.
+func NewHistogramFamily(name, help string, bounds []float64, labelKeys ...string) *Family {
+	return &Family{name: name, help: help, kind: KindHistogram, labelKeys: labelKeys, bounds: bounds,
+		children: make(map[string]*familyChild)}
+}
+
+// NewCounterFamily builds a counter family whose children are
+// distinguished by the given label keys.
+func NewCounterFamily(name, help string, labelKeys ...string) *Family {
+	return &Family{name: name, help: help, kind: KindCounter, labelKeys: labelKeys,
+		children: make(map[string]*familyChild)}
+}
+
+// Name returns the family's metric name.
+func (f *Family) Name() string { return f.name }
+
+// With returns the histogram child for the given label values (one per
+// label key, in key order), creating it on first use.
+func (f *Family) With(labelValues ...string) *Histogram {
+	return f.child(labelValues).hist
+}
+
+// CounterWith returns the counter child for the given label values,
+// creating it on first use.
+func (f *Family) CounterWith(labelValues ...string) *Counter {
+	return f.child(labelValues).counter
+}
+
+func (f *Family) child(values []string) *familyChild {
+	key := childKey(values)
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.children[key]; c != nil {
+		return c
+	}
+	kv := make([]string, 0, 2*len(values))
+	for i, v := range values {
+		k := "label"
+		if i < len(f.labelKeys) {
+			k = f.labelKeys[i]
+		}
+		kv = append(kv, k, v)
+	}
+	c = &familyChild{labels: RenderLabels(kv...)}
+	if f.kind == KindHistogram {
+		c.hist = NewHistogram(f.bounds)
+	} else {
+		c.counter = NewCounter()
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+func childKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	total := 0
+	for _, v := range values {
+		total += len(v) + 1
+	}
+	var b []byte
+	b = make([]byte, 0, total)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, '\xff')
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// Write renders every child in sorted label order (deterministic
+// scrapes regardless of creation order).
+func (f *Family) Write(w *TextWriter) {
+	f.mu.RLock()
+	keys := sortedStrings(f.order)
+	children := make([]*familyChild, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+	for _, c := range children {
+		if c.hist != nil {
+			w.Histogram(f.name, f.help, c.labels, c.hist)
+			continue
+		}
+		w.Meta(f.name, f.help, f.kind)
+		w.SampleUint(f.name, c.labels, c.counter.Value())
+	}
+}

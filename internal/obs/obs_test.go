@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", got)
+	}
+
+	var w TextWriter
+	w.Histogram("fleet_test_seconds", "help text", `route="x"`, h)
+	out := w.String()
+	wantLines := []string{
+		`# HELP fleet_test_seconds help text`,
+		`# TYPE fleet_test_seconds histogram`,
+		`fleet_test_seconds_bucket{route="x",le="0.1"} 1`,
+		`fleet_test_seconds_bucket{route="x",le="1"} 3`,
+		`fleet_test_seconds_bucket{route="x",le="10"} 4`,
+		`fleet_test_seconds_bucket{route="x",le="+Inf"} 5`,
+		`fleet_test_seconds_sum{route="x"} 56.05`,
+		`fleet_test_seconds_count{route="x"} 5`,
+	}
+	if got := strings.Split(strings.TrimSpace(out), "\n"); len(got) != len(wantLines) {
+		t.Fatalf("exposition:\n%s\nwant %d lines, got %d", out, len(wantLines), len(got))
+	} else {
+		for i := range wantLines {
+			if got[i] != wantLines[i] {
+				t.Errorf("line %d = %q, want %q", i, got[i], wantLines[i])
+			}
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 10 observations in (1,2]: quantiles interpolate inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("p100 = %g, want 2", got)
+	}
+	// A value past every bound clamps to the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %g, want clamp to 1", got)
+	}
+}
+
+func TestFamilyWriteSortedAndDedup(t *testing.T) {
+	f := NewHistogramFamily("fleet_route_seconds", "per-route", []float64{1}, "route")
+	f.With("/b").Observe(0.5)
+	f.With("/a").Observe(0.5)
+	if f.With("/a") != f.With("/a") {
+		t.Fatal("With should return the same child for the same labels")
+	}
+	var w TextWriter
+	f.Write(&w)
+	out := w.String()
+	ai := strings.Index(out, `route="/a"`)
+	bi := strings.Index(out, `route="/b"`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("children not sorted by label:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE fleet_route_seconds histogram") != 1 {
+		t.Fatalf("HELP/TYPE must appear once:\n%s", out)
+	}
+}
+
+func TestCounterFamily(t *testing.T) {
+	f := NewCounterFamily("fleet_errs_total", "errors", "shard")
+	f.CounterWith("s0").Add(3)
+	f.CounterWith("s0").Inc()
+	var w TextWriter
+	f.Write(&w)
+	if !strings.Contains(w.String(), `fleet_errs_total{shard="s0"} 4`) {
+		t.Fatalf("exposition:\n%s", w.String())
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := RenderLabels("k", `a"b\c`+"\n")
+	want := `k="a\"b\\c\n"`
+	if got != want {
+		t.Fatalf("RenderLabels = %q, want %q", got, want)
+	}
+}
+
+func TestTextWriterMetaOnce(t *testing.T) {
+	var w TextWriter
+	w.Gauge("g", "help", 1)
+	w.Gauge("g", "help", 2)
+	if strings.Count(w.String(), "# HELP g") != 1 {
+		t.Fatalf("meta written twice:\n%s", w.String())
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	var w TextWriter
+	w.Gauge("fleet_ready", "ready", 1)
+	h := NewHistogram(LatencyBuckets)
+	h.Observe(0.003)
+	h.Observe(0.2)
+	w.Histogram("fleet_http_request_seconds", "latency", `route="/healthz"`, h)
+	w.Meta("fleet_weird", "odd labels", KindGauge)
+	w.Sample("fleet_weird", RenderLabels("k", `a"b`), 7)
+
+	samples, err := ParseText(w.String())
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	byName := map[string]int{}
+	for _, s := range samples {
+		byName[s.Name]++
+	}
+	if byName["fleet_ready"] != 1 {
+		t.Fatalf("fleet_ready parsed %d times", byName["fleet_ready"])
+	}
+	if byName["fleet_http_request_seconds_bucket"] != len(LatencyBuckets)+1 {
+		t.Fatalf("bucket count = %d, want %d", byName["fleet_http_request_seconds_bucket"], len(LatencyBuckets)+1)
+	}
+	for _, s := range samples {
+		if s.Name == "fleet_weird" && s.Label("k") != `a"b` {
+			t.Fatalf("escaped label round-trip = %q", s.Label("k"))
+		}
+	}
+	if _, err := ParseText("not a metric line"); err == nil {
+		t.Fatal("garbage line should fail to parse")
+	}
+
+	// Literal braces inside a quoted label value must not end the
+	// label set early — route patterns carry them.
+	samples, err = ParseText(`m{route="GET /vehicles/{id}/forecast"} 3` + "\n")
+	if err != nil {
+		t.Fatalf("braced label value: %v", err)
+	}
+	if samples[0].Label("route") != "GET /vehicles/{id}/forecast" {
+		t.Fatalf("braced label value parsed as %q", samples[0].Label("route"))
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, math.Inf(1)}
+	cum := []uint64{0, 10, 10}
+	if got := QuantileFromBuckets(bounds, cum, 0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 1.5", got)
+	}
+	// Mass in the +Inf bucket reports the largest finite bound.
+	cum = []uint64{0, 0, 5}
+	if got := QuantileFromBuckets(bounds, cum, 0.5); got != 2 {
+		t.Fatalf("inf-bucket p50 = %g, want 2", got)
+	}
+	if !math.IsNaN(QuantileFromBuckets(bounds, []uint64{0, 0, 0}, 0.5)) {
+		t.Fatal("empty buckets should be NaN")
+	}
+}
+
+func TestTraceIDAndEnsureTrace(t *testing.T) {
+	id := NewTraceID()
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(id) {
+		t.Fatalf("trace ID %q not 32 hex chars", id)
+	}
+	if NewTraceID() == id {
+		t.Fatal("two trace IDs should differ")
+	}
+
+	// Adopt an inbound header.
+	r := httptest.NewRequest("GET", "/x", nil)
+	r.Header.Set(TraceHeader, "abc123")
+	w := httptest.NewRecorder()
+	r2, got := EnsureTrace(w, r)
+	if got != "abc123" || TraceID(r2.Context()) != "abc123" {
+		t.Fatalf("adopted trace = %q / ctx %q", got, TraceID(r2.Context()))
+	}
+	if w.Header().Get(TraceHeader) != "abc123" {
+		t.Fatal("trace not echoed on response")
+	}
+
+	// Mint when absent.
+	r = httptest.NewRequest("GET", "/x", nil)
+	_, minted := EnsureTrace(httptest.NewRecorder(), r)
+	if len(minted) != 32 {
+		t.Fatalf("minted trace %q", minted)
+	}
+	if TraceID(context.Background()) != "" {
+		t.Fatal("background context should carry no trace")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("bad level should error")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var b strings.Builder
+	NewLogger(&b, slog.LevelInfo, "json").Info("hello", "k", "v")
+	if !strings.Contains(b.String(), `"msg":"hello"`) {
+		t.Fatalf("json log: %s", b.String())
+	}
+	b.Reset()
+	NewLogger(&b, slog.LevelWarn, "text").Info("dropped")
+	if b.Len() != 0 {
+		t.Fatalf("info below warn should be dropped: %s", b.String())
+	}
+}
+
+func TestWriteRuntimeMetricsParses(t *testing.T) {
+	var w TextWriter
+	WriteRuntimeMetrics(&w)
+	samples, err := ParseText(w.String())
+	if err != nil {
+		t.Fatalf("runtime metrics don't parse: %v", err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "fleet_go_goroutines" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fleet_go_goroutines missing")
+	}
+}
+
+// The observability contract: recording a sample never allocates, so
+// instrumentation is safe on the pinned 0 allocs/op serving path and
+// inside the WAL critical section.
+func TestRecordPathAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocs/op = %g, want 0", n)
+	}
+	t0 := time.Now()
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveSince(t0) }); n != 0 {
+		t.Fatalf("Histogram.ObserveSince allocs/op = %g, want 0", n)
+	}
+	c := NewCounter()
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocs/op = %g, want 0", n)
+	}
+	f := NewHistogramFamily("fleet_x_seconds", "x", LatencyBuckets, "route")
+	f.With("/warm") // create outside the measured loop
+	if n := testing.AllocsPerRun(1000, func() { f.With("/warm").Observe(0.001) }); n != 0 {
+		t.Fatalf("warm Family.With allocs/op = %g, want 0", n)
+	}
+}

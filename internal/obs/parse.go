@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: `name{labels} value`.
+type Sample struct {
+	Name   string
+	Labels map[string]string // nil when the series carries no labels
+	Value  float64
+}
+
+// Label returns the value of the named label, or "".
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseText parses a Prometheus text exposition into samples, skipping
+// comment and blank lines. It is the consumer-side complement to
+// TextWriter — fleetctl uses it to pretty-print scrapes, and the smoke
+// test's "every line parses" assertion mirrors its grammar. A line that
+// is neither a comment nor `name{labels} value` is an error.
+func ParseText(text string) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+		s.Name = rest[:brace]
+		end := closingBrace(rest, brace)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	// A sample may carry a trailing timestamp; take the first field.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// closingBrace returns the index of the `}` that closes the label set
+// opened at rest[open], skipping braces inside quoted label values
+// (route patterns like "GET /vehicles/{id}/forecast" put literal
+// braces there). Returns -1 if the set never closes.
+func closingBrace(rest string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(interior string) (map[string]string, error) {
+	interior = strings.TrimSpace(interior)
+	if interior == "" {
+		return nil, nil
+	}
+	labels := make(map[string]string)
+	rest := interior
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		labels[key] = val.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}
+
+// QuantileFromBuckets estimates the q-quantile from parsed cumulative
+// histogram buckets: parallel slices of upper bounds (ascending,
+// +Inf last) and cumulative counts. Same interpolation as
+// Histogram.Quantile, for scrape consumers that only have the text
+// form.
+func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(bounds) != len(cum) {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	prev := uint64(0)
+	for i, bound := range bounds {
+		c := cum[i] - prev
+		if float64(cum[i]) >= rank && c > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			if math.IsInf(bound, 1) {
+				return lower
+			}
+			return lower + (bound-lower)*((rank-float64(prev))/float64(c))
+		}
+		prev = cum[i]
+	}
+	last := bounds[len(bounds)-1]
+	if math.IsInf(last, 1) && len(bounds) > 1 {
+		return bounds[len(bounds)-2]
+	}
+	return last
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "runtime"
+
+// WriteRuntimeMetrics renders Go runtime health gauges — the
+// "is this process OK" block every /metrics scrape carries. Note
+// runtime.ReadMemStats stops the world briefly; /metrics is a
+// once-per-scrape-interval path, so that cost is fine here and this
+// must not be called from request handlers.
+func WriteRuntimeMetrics(w *TextWriter) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	w.GaugeInt("fleet_go_goroutines", "Number of live goroutines.", int64(runtime.NumGoroutine()))
+	w.GaugeUint("fleet_go_heap_alloc_bytes", "Bytes of allocated heap objects.", m.HeapAlloc)
+	w.GaugeUint("fleet_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", m.HeapSys)
+	w.GaugeUint("fleet_go_heap_objects", "Number of allocated heap objects.", m.HeapObjects)
+	w.CounterUint("fleet_go_gc_runs_total", "Completed GC cycles.", uint64(m.NumGC))
+	w.Meta("fleet_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", KindCounter)
+	w.Sample("fleet_go_gc_pause_seconds_total", "", float64(m.PauseTotalNs)/1e9)
+	w.GaugeInt("fleet_go_gomaxprocs", "Value of GOMAXPROCS.", int64(runtime.GOMAXPROCS(0)))
+	w.GaugeInt("fleet_go_num_cpu", "Number of logical CPUs usable by this process.", int64(runtime.NumCPU()))
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"context"
+	"math/rand/v2"
+	"net/http"
+)
+
+// TraceHeader carries the request trace ID across process boundaries:
+// the router stamps it on every scatter call, shards adopt it, and both
+// echo it back on the response so a curl shows the ID to grep for.
+const TraceHeader = "X-Fleet-Trace"
+
+type traceKey struct{}
+
+// NewTraceID mints a 128-bit random trace ID as 32 lowercase hex
+// characters.
+func NewTraceID() string {
+	var buf [32]byte
+	hex128(&buf, rand.Uint64(), rand.Uint64())
+	return string(buf[:])
+}
+
+func hex128(dst *[32]byte, hi, lo uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		dst[i] = digits[hi&0xf]
+		hi >>= 4
+		dst[16+i] = digits[lo&0xf]
+		lo >>= 4
+	}
+}
+
+// WithTrace returns a context carrying the given trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" if none.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// EnsureTrace adopts the trace ID from the request's X-Fleet-Trace
+// header (minting a fresh one if absent or oversized), stores it on the
+// request context, and echoes it on the response. It returns the
+// updated request and the ID.
+func EnsureTrace(w http.ResponseWriter, r *http.Request) (*http.Request, string) {
+	id := r.Header.Get(TraceHeader)
+	if id == "" || len(id) > 64 {
+		id = NewTraceID()
+	}
+	w.Header().Set(TraceHeader, id)
+	return r.WithContext(WithTrace(r.Context(), id)), id
+}

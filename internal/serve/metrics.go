@@ -1,134 +1,136 @@
 // Prometheus-style plain-text metrics (GET /metrics) for the single
-// server and the cluster router. The exposition is the minimal subset
-// of the text format every scraper accepts — bare `name value` lines —
-// assembled from the engine status, the response-cache counters and,
-// when an ingest store is mounted, its store/WAL statistics. The router
+// server and the cluster router. The exposition is assembled with
+// internal/obs: described gauges and counters for engine/ingest/WAL
+// state, latency histograms per HTTP route and per scatter-gather shard
+// call, per-stage training timings, and Go runtime health. The router
 // scatters its shards' /metrics and relabels every sample with a
 // shard="name" label, so one scrape of the front door sees the whole
 // cluster without losing the per-shard breakdown.
 package serve
 
 import (
-	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // metricsContentType is the Prometheus text exposition content type.
 const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
-
-// metricsBuf accumulates exposition lines.
-type metricsBuf struct {
-	b strings.Builder
-}
-
-func (m *metricsBuf) add(name string, value float64) {
-	m.b.WriteString(name)
-	m.b.WriteByte(' ')
-	m.b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
-	m.b.WriteByte('\n')
-}
-
-func (m *metricsBuf) addUint(name string, value uint64) {
-	m.b.WriteString(name)
-	m.b.WriteByte(' ')
-	m.b.WriteString(strconv.FormatUint(value, 10))
-	m.b.WriteByte('\n')
-}
-
-func (m *metricsBuf) addInt(name string, value int64) {
-	m.b.WriteString(name)
-	m.b.WriteByte(' ')
-	m.b.WriteString(strconv.FormatInt(value, 10))
-	m.b.WriteByte('\n')
-}
-
-func (m *metricsBuf) addBool(name string, value bool) {
-	if value {
-		m.addInt(name, 1)
-	} else {
-		m.addInt(name, 0)
-	}
-}
 
 // handleMetrics renders this server's operational state as Prometheus
 // text. Everything here is lock-free or a short mutex away — the
 // endpoint is safe to scrape at any frequency, concurrently with
 // retrains and snapshot swaps.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var m metricsBuf
+	var m obs.TextWriter
 
 	st := s.engine.Status()
-	m.addBool("fleet_ready", st.Ready)
-	m.addBool("fleet_retraining", st.Retraining)
-	m.addUint("fleet_generation", st.Generation)
-	m.addInt("fleet_vehicles", int64(st.Vehicles))
-	m.addInt("fleet_vehicles_reused", int64(st.Reused))
-	m.addInt("fleet_vehicles_retrained", int64(st.Retrained))
-	m.addInt("fleet_vehicles_failed", int64(len(st.FailedVehicles)))
-	m.add("fleet_train_seconds", st.TrainSeconds)
-	m.addInt("fleet_train_workers", int64(st.Workers))
+	m.GaugeBool("fleet_ready", "Whether a model snapshot is live.", st.Ready)
+	m.GaugeBool("fleet_retraining", "Whether a snapshot build is in flight.", st.Retraining)
+	m.GaugeUint("fleet_generation", "Generation of the current snapshot.", st.Generation)
+	m.GaugeInt("fleet_vehicles", "Vehicles in the current snapshot.", int64(st.Vehicles))
+	m.GaugeInt("fleet_vehicles_reused", "Vehicles carried forward by the last build.", int64(st.Reused))
+	m.GaugeInt("fleet_vehicles_retrained", "Vehicles trained by the last build.", int64(st.Retrained))
+	m.GaugeInt("fleet_vehicles_failed", "Vehicles whose training failed in the current snapshot.", int64(len(st.FailedVehicles)))
+	m.Gauge("fleet_train_seconds", "Wall-clock duration of the last snapshot build.", st.TrainSeconds)
+	m.GaugeInt("fleet_train_workers", "Training worker-pool bound.", int64(st.Workers))
 
 	hits, misses := s.CacheStats()
-	m.addUint("fleet_response_cache_hits", hits)
-	m.addUint("fleet_response_cache_misses", misses)
+	m.CounterUint("fleet_response_cache_hits", "Forecast responses served from the snapshot byte cache.", hits)
+	m.CounterUint("fleet_response_cache_misses", "Forecast responses marshaled fresh.", misses)
+
+	s.routeHist.Write(&m)
+	s.engine.Metrics().Write(&m)
 
 	if s.ingest != nil {
 		ist := s.ingest.Stats()
-		m.addInt("fleet_ingest_vehicles", int64(ist.Vehicles))
-		m.addUint("fleet_ingest_accepted", ist.Accepted)
-		m.addUint("fleet_ingest_rejected", ist.Rejected)
-		m.addUint("fleet_ingest_changed", ist.Changed)
-		m.addUint("fleet_ingest_seq", ist.Seq)
-		m.addUint("fleet_ingest_prep_cache_hits", ist.PrepCacheHits)
-		m.addUint("fleet_ingest_prep_cache_misses", ist.PrepCacheMisses)
+		m.GaugeInt("fleet_ingest_vehicles", "Vehicles in the telemetry store.", int64(ist.Vehicles))
+		m.CounterUint("fleet_ingest_accepted", "Telemetry reports accepted.", ist.Accepted)
+		m.CounterUint("fleet_ingest_rejected", "Telemetry reports rejected.", ist.Rejected)
+		m.CounterUint("fleet_ingest_changed", "Accepted reports that changed stored content.", ist.Changed)
+		m.GaugeUint("fleet_ingest_seq", "Store change sequence.", ist.Seq)
+		m.CounterUint("fleet_ingest_prep_cache_hits", "Prepared-series cache hits across retrains.", ist.PrepCacheHits)
+		m.CounterUint("fleet_ingest_prep_cache_misses", "Prepared-series cache misses across retrains.", ist.PrepCacheMisses)
 		if ws := ist.WAL; ws != nil {
-			m.addInt("fleet_wal_segments", int64(ws.Segments))
-			m.addInt("fleet_wal_bytes", ws.Bytes)
-			m.addUint("fleet_wal_first_index", ws.FirstIndex)
-			m.addUint("fleet_wal_last_index", ws.LastIndex)
-			m.addUint("fleet_wal_last_appended", ws.LastAppended)
-			m.addUint("fleet_wal_appends", ws.Appends)
-			m.addUint("fleet_wal_rotations", ws.Rotations)
-			m.addUint("fleet_wal_fsyncs", ws.Fsyncs)
-			m.addInt("fleet_wal_truncated_tail_events", int64(ws.TruncatedTailEvents))
-			m.addInt("fleet_wal_replay_records", int64(ws.ReplayRecords))
-			m.add("fleet_wal_replay_seconds", ws.ReplaySeconds)
-			m.addUint("fleet_wal_compacted_segments", ws.CompactedSegments)
-			m.addUint("fleet_wal_checkpoint_index", ws.CheckpointIndex)
-			m.addUint("fleet_wal_checkpoint_seq", ws.CheckpointSeq)
+			m.GaugeInt("fleet_wal_segments", "WAL segment files (sealed + active).", int64(ws.Segments))
+			m.GaugeInt("fleet_wal_bytes", "Total bytes across WAL segments.", ws.Bytes)
+			m.GaugeUint("fleet_wal_first_index", "First record index still in the WAL.", ws.FirstIndex)
+			m.GaugeUint("fleet_wal_last_index", "Last record index in the WAL.", ws.LastIndex)
+			m.GaugeUint("fleet_wal_last_appended", "Newest record index this store journaled.", ws.LastAppended)
+			m.CounterUint("fleet_wal_appends", "WAL appends since open.", ws.Appends)
+			m.CounterUint("fleet_wal_rotations", "WAL segment rotations since open.", ws.Rotations)
+			m.CounterUint("fleet_wal_fsyncs", "WAL fsyncs since open.", ws.Fsyncs)
+			m.GaugeInt("fleet_wal_truncated_tail_events", "Corrupt tail frames cut off at the last open.", int64(ws.TruncatedTailEvents))
+			m.GaugeInt("fleet_wal_replay_records", "Records replayed at the last boot recovery.", int64(ws.ReplayRecords))
+			m.Gauge("fleet_wal_replay_seconds", "Duration of the last boot replay.", ws.ReplaySeconds)
+			m.CounterUint("fleet_wal_compacted_segments", "WAL segments removed by compaction.", ws.CompactedSegments)
+			m.GaugeUint("fleet_wal_checkpoint_index", "WAL index the durable checkpoint covers.", ws.CheckpointIndex)
+			m.GaugeUint("fleet_wal_checkpoint_seq", "Store sequence the durable checkpoint covers.", ws.CheckpointSeq)
 		}
+		s.ingest.WriteMetrics(&m)
 	}
 
+	obs.WriteRuntimeMetrics(&m)
+
 	w.Header().Set("Content-Type", metricsContentType)
-	_, _ = w.Write([]byte(m.b.String()))
+	_, _ = w.Write([]byte(m.String()))
 }
 
 // relabelMetrics rewrites one shard's exposition so every sample
 // carries a shard="name" label: `a 1` becomes `a{shard="s0"} 1` and
-// `a{x="y"} 1` becomes `a{shard="s0",x="y"} 1`. Unparseable lines are
-// dropped rather than relayed mislabeled.
-func relabelMetrics(text, shard string) string {
+// `a{x="y"} 1` becomes `a{shard="s0",x="y"} 1` — the shard label is
+// merged into an existing label set, never assumed absent. `# HELP` and
+// `# TYPE` comments are relayed once per metric name across all shards
+// (described tracks names already commented — pass the scrape-wide set
+// so N shards do not yield N copies); other comment and unparseable
+// lines are dropped rather than relayed mislabeled.
+func relabelMetrics(text, shard string, described map[string]bool) string {
+	shardLabel := obs.RenderLabels("shard", shard)
 	var b strings.Builder
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// "# HELP <name> ..." / "# TYPE <name> <kind>"
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				// One described set covers both comment kinds: HELP and
+				// TYPE always arrive as a pair from obs.TextWriter, so
+				// keying on "<kind> <name>" relays both exactly once.
+				key := fields[1] + " " + fields[2]
+				if described[key] {
+					continue
+				}
+				described[key] = true
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
 			continue
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp <= 0 {
 			continue
 		}
-		name, value := line[:sp], line[sp+1:]
-		if brace := strings.IndexByte(name, '{'); brace >= 0 {
-			b.WriteString(name[:brace+1])
-			b.WriteString(`shard="` + shard + `",`)
-			b.WriteString(name[brace+1:])
+		series, value := line[:sp], line[sp+1:]
+		if brace := strings.IndexByte(series, '{'); brace >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				continue // torn label set; drop rather than mislabel
+			}
+			b.WriteString(series[:brace+1])
+			b.WriteString(shardLabel)
+			if series[brace+1] != '}' {
+				b.WriteByte(',')
+			}
+			b.WriteString(series[brace+1:])
 		} else {
-			b.WriteString(name)
-			b.WriteString(`{shard="` + shard + `"}`)
+			b.WriteString(series)
+			b.WriteByte('{')
+			b.WriteString(shardLabel)
+			b.WriteByte('}')
 		}
 		b.WriteByte(' ')
 		b.WriteString(value)
@@ -137,24 +139,37 @@ func relabelMetrics(text, shard string) string {
 	return b.String()
 }
 
-// handleMetrics on the router scatters GET /metrics to every shard and
-// concatenates the relabeled expositions in shard-name order, so the
-// merged scrape is deterministic. A shard that fails to answer
-// contributes a fleet_shard_up 0 marker instead of failing the scrape —
-// metrics must stay readable exactly when parts of the fleet are not.
+// handleMetrics on the router writes the router's own state (route
+// latencies, per-shard call latencies, runtime health), then scatters
+// GET /metrics to every shard and concatenates the relabeled
+// expositions in shard-name order, so the merged scrape is
+// deterministic. A shard that fails to answer contributes a
+// fleet_shard_up 0 marker instead of failing the scrape — metrics must
+// stay readable exactly when parts of the fleet are not.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m obs.TextWriter
+	rt.routeHist.Write(&m)
+	rt.shardCall.Write(&m)
+	rt.shardCallErrs.Write(&m)
+	obs.WriteRuntimeMetrics(&m)
+
 	resps := rt.scatter(r.Context(), http.MethodGet, "/metrics", nil, nil, rt.timeout)
 	sort.Slice(resps, func(i, j int) bool { return resps[i].shard < resps[j].shard })
-	var b strings.Builder
+	described := make(map[string]bool)
+	for _, name := range m.DescribedNames() {
+		described["HELP "+name] = true
+		described["TYPE "+name] = true
+	}
+	m.Meta("fleet_shard_up", "Whether the shard answered the metrics scatter.", obs.KindGauge)
 	for _, resp := range resps {
 		up := resp.err == nil && resp.status == http.StatusOK
-		fmt.Fprintf(&b, "fleet_shard_up{shard=%q} %d\n", resp.shard, boolInt(up))
+		m.SampleInt("fleet_shard_up", obs.RenderLabels("shard", resp.shard), int64(boolInt(up)))
 		if up {
-			b.WriteString(relabelMetrics(string(resp.body), resp.shard))
+			m.Raw(relabelMetrics(string(resp.body), resp.shard, described))
 		}
 	}
 	w.Header().Set("Content-Type", metricsContentType)
-	_, _ = w.Write([]byte(b.String()))
+	_, _ = w.Write([]byte(m.String()))
 }
 
 func boolInt(v bool) int {

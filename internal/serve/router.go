@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -120,6 +122,13 @@ type RouterOptions struct {
 	// in the multi-process topology, where the router instead routes
 	// each vehicle's reports to its ring owner's store only.
 	SharedIngest *ingest.Store
+	// Logger receives one structured line per handled request, carrying
+	// the trace ID the router minted (or adopted from X-Fleet-Trace).
+	// nil falls back to slog.Default(). Probe routes (/healthz, /readyz,
+	// /metrics) log at Debug; data and admin routes at Info.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the router mux.
+	Pprof bool
 }
 
 // Router fans the public endpoints out over the shard backends.
@@ -131,6 +140,17 @@ type Router struct {
 	timeout   time.Duration
 	telemetry *guard
 	ingest    *ingest.Store // shared store fast path; nil = partition by owner
+	log       *slog.Logger
+	// routeHist shares the fleet_http_request_seconds family with shard
+	// servers; on a router scrape the shard copies arrive relabeled with
+	// shard="...", so the router's own unlabeled-by-shard series stays
+	// distinguishable.
+	routeHist *obs.Family
+	// shardCall times each per-shard call of a scatter or owner-route
+	// relay, keyed by shard name; shardCallErrs counts the calls that
+	// failed (transport error or per-shard deadline).
+	shardCall     *obs.Family
+	shardCallErrs *obs.Family
 }
 
 // NewRouter builds the cluster front door. Every ring shard must have
@@ -146,6 +166,10 @@ func NewRouter(ring *cluster.Ring, backends []ShardBackend, opts RouterOptions) 
 	if timeout <= 0 {
 		timeout = 15 * time.Second
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	rt := &Router{
 		ring:      ring,
 		backends:  backends,
@@ -154,6 +178,13 @@ func NewRouter(ring *cluster.Ring, backends []ShardBackend, opts RouterOptions) 
 		timeout:   timeout,
 		telemetry: newGuard(opts.Telemetry),
 		ingest:    opts.SharedIngest,
+		log:       logger,
+		routeHist: newRouteFamily(),
+		shardCall: obs.NewHistogramFamily("fleet_shard_call_seconds",
+			"Per-shard call latency of scatter-gathers and owner-route relays.",
+			obs.LatencyBuckets, "shard"),
+		shardCallErrs: obs.NewCounterFamily("fleet_shard_call_errors_total",
+			"Per-shard calls that failed (transport error or deadline).", "shard"),
 	}
 	for i := range backends {
 		b := &backends[i]
@@ -175,20 +206,50 @@ func NewRouter(ring *cluster.Ring, backends []ShardBackend, opts RouterOptions) 
 		}
 	}
 
-	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
-	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
-	rt.mux.HandleFunc("GET /vehicles", rt.handleVehicles)
-	rt.mux.HandleFunc("GET /vehicles/{id}/forecast", rt.handleOwnerRoute)
-	rt.mux.HandleFunc("GET /fleet/forecast", rt.handleFleetForecast)
-	rt.mux.HandleFunc("GET /fleet/plan", rt.handlePlan)
-	rt.mux.HandleFunc("POST /admin/retrain", rt.handleRetrain)
-	rt.mux.HandleFunc("GET /admin/status", rt.handleStatus)
-	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.route("GET /healthz", probeRoute, rt.handleHealth)
+	rt.route("GET /readyz", probeRoute, rt.handleReady)
+	rt.route("GET /vehicles", dataRoute, rt.handleVehicles)
+	rt.route("GET /vehicles/{id}/forecast", dataRoute, rt.handleOwnerRoute)
+	rt.route("GET /fleet/forecast", dataRoute, rt.handleFleetForecast)
+	rt.route("GET /fleet/plan", dataRoute, rt.handlePlan)
+	rt.route("POST /admin/retrain", dataRoute, rt.handleRetrain)
+	rt.route("GET /admin/status", dataRoute, rt.handleStatus)
+	rt.route("GET /metrics", probeRoute, rt.handleMetrics)
 	if !opts.DisableIngest {
-		rt.mux.HandleFunc("POST /telemetry", rt.handleTelemetry)
-		rt.mux.HandleFunc("GET /admin/ingest", rt.handleIngest)
+		rt.route("POST /telemetry", dataRoute, rt.handleTelemetry)
+		rt.route("GET /admin/ingest", dataRoute, rt.handleIngest)
+	}
+	if opts.Pprof {
+		obs.RegisterPprof(rt.mux)
 	}
 	return rt, nil
+}
+
+// route registers one router handler behind the shared observability
+// middleware: the trace ID is minted here (or adopted from an inbound
+// X-Fleet-Trace) and rides the request context into every shard call,
+// the route latency lands in the fleet_http_request_seconds histogram,
+// and one structured line logs the outcome.
+func (rt *Router) route(pattern string, probe bool, h http.HandlerFunc) {
+	hist := rt.routeHist.With(pattern)
+	level := slog.LevelInfo
+	if probe {
+		level = slog.LevelDebug
+	}
+	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		r, trace := obs.EnsureTrace(w, r)
+		t0 := time.Now()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r)
+		dur := time.Since(t0)
+		hist.Observe(dur.Seconds())
+		rt.log.LogAttrs(r.Context(), level, "http request",
+			slog.String("trace", trace),
+			slog.String("route", pattern),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Float64("seconds", dur.Seconds()))
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -221,8 +282,12 @@ func (m *memWriter) Write(p []byte) (int, error) { return m.body.Write(p) }
 // call invokes one shard with a deadline. The handler runs in its own
 // goroutine; on timeout the call abandons it (the goroutine finishes
 // against its private writer) and reports the error, so one wedged
-// shard cannot hang a scatter-gather.
+// shard cannot hang a scatter-gather. The request's trace ID travels to
+// the shard as the X-Fleet-Trace header, so the shard's request log
+// line carries the same trace as the router's, and the call lands in
+// the per-shard latency histogram (errors in the per-shard counter).
 func (rt *Router) call(ctx context.Context, b *ShardBackend, method, target string, body []byte, hdr http.Header, timeout time.Duration) shardResponse {
+	t0 := time.Now()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -234,10 +299,14 @@ func (rt *Router) call(ctx context.Context, b *ShardBackend, method, target stri
 	}
 	req, err := http.NewRequestWithContext(ctx, method, target, rdr)
 	if err != nil {
+		rt.shardCallErrs.CounterWith(b.Name).Inc()
 		return shardResponse{shard: b.Name, err: err}
 	}
 	if hdr != nil {
 		req.Header = hdr.Clone()
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	mem := newMemWriter()
 	done := make(chan struct{})
@@ -247,8 +316,11 @@ func (rt *Router) call(ctx context.Context, b *ShardBackend, method, target stri
 	}()
 	select {
 	case <-done:
+		rt.shardCall.With(b.Name).ObserveSince(t0)
 		return shardResponse{shard: b.Name, status: mem.status, header: mem.header, body: mem.body.Bytes()}
 	case <-ctx.Done():
+		rt.shardCall.With(b.Name).ObserveSince(t0)
+		rt.shardCallErrs.CounterWith(b.Name).Inc()
 		return shardResponse{shard: b.Name, err: fmt.Errorf("shard %s: %w", b.Name, ctx.Err())}
 	}
 }
@@ -377,7 +449,9 @@ func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if fr, ok := b.Handler.(forecastResponder); ok {
+		t0 := time.Now()
 		status, body := fr.ForecastResponse(id)
+		rt.shardCall.With(owner).ObserveSince(t0)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Fleet-Shard", owner)
 		w.WriteHeader(status)

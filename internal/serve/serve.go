@@ -42,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -71,6 +73,14 @@ type Options struct {
 	// sharded deployment the guard belongs on the router — shards stay
 	// trusted-internal — so cluster shard servers leave this zero.
 	Telemetry GuardOptions
+	// Logger receives the server's structured request logs; nil uses
+	// slog.Default(). Every handled request logs one line carrying its
+	// trace ID (adopted from X-Fleet-Trace or minted), so router and
+	// shard logs join on the ID. Probe routes (/healthz, /readyz,
+	// /metrics) log at Debug to keep Info greppable.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
 }
 
 // Server wraps a fleet engine. All handlers are safe for arbitrary
@@ -78,6 +88,12 @@ type Options struct {
 type Server struct {
 	engine *engine.Engine
 	mux    *http.ServeMux
+	log    *slog.Logger
+
+	// routeHist times every handled request per route pattern
+	// (fleet_http_request_seconds); children are resolved once at route
+	// registration, so the per-request cost is one Observe.
+	routeHist *obs.Family
 
 	ingest       *ingest.Store
 	retrainDirty int
@@ -117,9 +133,15 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 	if opts.RetrainDirty > 0 && opts.Ingest == nil {
 		return nil, errors.New("serve: RetrainDirty needs an ingest store")
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		engine:       eng,
 		mux:          http.NewServeMux(),
+		log:          logger,
+		routeHist:    newRouteFamily(),
 		ingest:       opts.Ingest,
 		retrainDirty: opts.RetrainDirty,
 		telemetry:    newGuard(opts.Telemetry),
@@ -131,21 +153,76 @@ func NewWithOptions(eng *engine.Engine, opts Options) (*Server, error) {
 		s.lastKickSeq = s.ingest.Seq()
 		s.prevKickSeq = s.lastKickSeq
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /vehicles", s.handleVehicles)
-	s.mux.HandleFunc("GET /vehicles/{id}/forecast", s.handleForecast)
-	s.mux.HandleFunc("GET /fleet/forecast", s.handleFleetForecast)
-	s.mux.HandleFunc("GET /fleet/plan", s.handlePlan)
-	s.mux.HandleFunc("POST /admin/retrain", s.handleRetrain)
-	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", probeRoute, s.handleHealth)
+	s.route("GET /readyz", probeRoute, s.handleReady)
+	s.route("GET /vehicles", dataRoute, s.handleVehicles)
+	s.route("GET /vehicles/{id}/forecast", dataRoute, s.handleForecast)
+	s.route("GET /fleet/forecast", dataRoute, s.handleFleetForecast)
+	s.route("GET /fleet/plan", dataRoute, s.handlePlan)
+	s.route("POST /admin/retrain", dataRoute, s.handleRetrain)
+	s.route("GET /admin/status", dataRoute, s.handleStatus)
+	s.route("GET /metrics", probeRoute, s.handleMetrics)
 	if s.ingest != nil {
-		s.mux.HandleFunc("POST /telemetry", s.handleTelemetry)
-		s.mux.HandleFunc("GET /admin/ingest", s.handleIngestStats)
-		s.mux.HandleFunc("GET "+cluster.DonorsPath, s.handleDonors)
+		s.route("POST /telemetry", dataRoute, s.handleTelemetry)
+		s.route("GET /admin/ingest", dataRoute, s.handleIngestStats)
+		s.route("GET "+cluster.DonorsPath, dataRoute, s.handleDonors)
+	}
+	if opts.Pprof {
+		obs.RegisterPprof(s.mux)
 	}
 	return s, nil
+}
+
+// newRouteFamily builds the per-route latency family both the single
+// server and the cluster router export.
+func newRouteFamily() *obs.Family {
+	return obs.NewHistogramFamily("fleet_http_request_seconds",
+		"Handled HTTP request latency per route pattern.", obs.LatencyBuckets, "route")
+}
+
+// Route classes: probe routes (health/readiness/scrape) log at Debug so
+// an orchestrator's poll loop does not drown the Info log.
+const (
+	dataRoute  = false
+	probeRoute = true
+)
+
+// route registers one handler wrapped in the observability middleware:
+// adopt-or-mint the request trace ID (echoed on the response), time the
+// request into the route's latency histogram, and emit one structured
+// log line. The histogram child is resolved here, once, so the
+// per-request record path is allocation-free.
+func (s *Server) route(pattern string, probe bool, h http.HandlerFunc) {
+	hist := s.routeHist.With(pattern)
+	level := slog.LevelInfo
+	if probe {
+		level = slog.LevelDebug
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		r, trace := obs.EnsureTrace(w, r)
+		t0 := time.Now()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(&sw, r)
+		dur := time.Since(t0)
+		hist.Observe(dur.Seconds())
+		s.log.LogAttrs(r.Context(), level, "http request",
+			slog.String("trace", trace),
+			slog.String("route", pattern),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Float64("seconds", dur.Seconds()))
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // ServeHTTP implements http.Handler.
@@ -441,7 +518,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	// The engine's single-flight covers every initiator — handler
 	// kicks and the periodic retrain loop alike. Failures of the
 	// detached rebuild land in /admin/status.
-	if !s.engine.BeginRetrainFromSource(full) {
+	if !s.engine.BeginRetrainFromSource(r.Context(), full) {
 		writeError(w, http.StatusConflict, engine.ErrRetrainInFlight.Error())
 		return
 	}
@@ -518,7 +595,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	// cluster), the router upserts a batch once and scatters the shards
 	// an *empty* batch — but every shard must still notice the store
 	// moved and judge its own retrain trigger.
-	out.RetrainStarted = s.maybeKickRetrain()
+	out.RetrainStarted = s.maybeKickRetrain(r.Context())
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -544,7 +621,7 @@ func reportsFromJSON(in []ReportJSON) []ingest.Report {
 // flight re-triggers on the next batch instead of getting lost — and
 // if a kicked build *fails*, the baseline rolls back so the failed
 // build's dirty set counts again instead of being silently consumed.
-func (s *Server) maybeKickRetrain() bool {
+func (s *Server) maybeKickRetrain(ctx context.Context) bool {
 	if s.retrainDirty <= 0 {
 		return false
 	}
@@ -563,7 +640,7 @@ func (s *Server) maybeKickRetrain() bool {
 		return false
 	}
 	seq := s.ingest.Seq()
-	if !s.engine.BeginRetrainFromSource(false) {
+	if !s.engine.BeginRetrainFromSource(ctx, false) {
 		return false
 	}
 	s.prevKickSeq, s.lastKickSeq = s.lastKickSeq, seq

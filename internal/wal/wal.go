@@ -51,6 +51,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -190,6 +192,11 @@ type Log struct {
 	replayRecs  int
 	replayDur   time.Duration
 	compacted   uint64
+
+	// Latency histograms, atomic and allocation-free so observing them
+	// inside the append critical section costs nanoseconds, not a lock.
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
 }
 
 // Open opens (creating if needed) the log directory, scans every
@@ -208,7 +215,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, nextIndex: 1}
+	l := &Log{
+		dir: dir, opts: opts, nextIndex: 1,
+		appendHist: obs.NewHistogram(obs.SyncBuckets),
+		fsyncHist:  obs.NewHistogram(obs.SyncBuckets),
+	}
 
 	paths, err := segmentPaths(dir)
 	if err != nil {
@@ -416,8 +427,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordBytes {
 		return 0, fmt.Errorf("wal: %d-byte record exceeds the %d-byte limit", len(payload), maxRecordBytes)
 	}
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	defer l.appendHist.ObserveSince(t0) // whole critical section, incl. policy fsync
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
@@ -491,7 +504,10 @@ func (l *Log) syncLocked() error {
 	if !l.dirty || l.active == nil {
 		return nil
 	}
-	if err := l.active.Sync(); err != nil {
+	t0 := time.Now()
+	err := l.active.Sync()
+	l.fsyncHist.ObserveSince(t0)
+	if err != nil {
 		// After a failed fsync the kernel may mark the dirty pages clean
 		// without persisting them, so a *later* successful fsync could
 		// acknowledge records behind a frame that never reached disk.
@@ -674,6 +690,16 @@ func (l *Log) Stats() Stats {
 		st.FirstIndex = 0
 	}
 	return st
+}
+
+// WriteMetrics renders the log's latency histograms into w. Gauges
+// derived from Stats are the serve layer's job; the histograms live
+// here because only the log can observe its own critical sections.
+func (l *Log) WriteMetrics(w *obs.TextWriter) {
+	w.Histogram("fleet_wal_append_seconds",
+		"WAL append critical-section latency (frame write plus any policy fsync).", "", l.appendHist)
+	w.Histogram("fleet_wal_fsync_seconds",
+		"WAL fsync latency.", "", l.fsyncHist)
 }
 
 // Close syncs and closes the active segment. The log cannot be used

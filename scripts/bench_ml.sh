@@ -17,17 +17,22 @@ OUT=${1:-BENCH_ml.json}
 BENCHTIME=${BENCHTIME:-1x}
 PATTERN='^(BenchmarkTreeFit|BenchmarkForestFit|BenchmarkGBMFit|BenchmarkTrainRF|BenchmarkTrainXGB|BenchmarkGridSearchCV)$'
 
+NUM_CPU=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo null) | head -1)
+
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
 
-awk -v benchtime="$BENCHTIME" '
+awk -v benchtime="$BENCHTIME" -v num_cpu="$NUM_CPU" '
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; iters = $2; ns = $3
+    # The -N suffix testing appends to every benchmark name IS the
+    # GOMAXPROCS the run used; record it before stripping.
+    if (match(name, /-[0-9]+$/)) gomaxprocs = substr(name, RSTART + 1)
     sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
     b = ""; allocs = ""
     for (i = 4; i <= NF; i++) {
@@ -38,7 +43,7 @@ awk -v benchtime="$BENCHTIME" '
     results = results sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, b == "" ? "null" : b, allocs == "" ? "null" : allocs)
 }
 END {
-    printf "{\n  \"benchtime\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n", benchtime, goos, goarch, cpu, results
+    printf "{\n  \"benchtime\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"num_cpu\": %s,\n  \"gomaxprocs\": %s,\n  \"results\": [\n%s\n  ]\n}\n", benchtime, goos, goarch, cpu, num_cpu == "" ? "null" : num_cpu, gomaxprocs == "" ? (n ? "1" : "null") : gomaxprocs, results
 }' "$TMP" > "$OUT"
 
 echo "wrote $OUT"

@@ -16,7 +16,13 @@
 #   4. per-vehicle routes answer from the owning shard (X-Fleet-Shard);
 #   5. the router-level telemetry guard rejects a bad bearer token;
 #   6. WAL stats (segments, replay, checkpoint) surface in
-#      /admin/ingest.
+#      /admin/ingest;
+#   7. one router scrape of /metrics parses line by line, reports
+#      fleet_shard_up 1 for every shard, and carries the relabeled
+#      route-latency/training-stage/WAL-fsync histograms;
+#   8. a single request through the router emits one trace ID, echoed
+#      in X-Fleet-Trace and present in the router's and every shard's
+#      structured log.
 #
 # Usage: scripts/cluster_smoke.sh [workdir]
 set -euo pipefail
@@ -125,9 +131,10 @@ wait "$REPLAY_PID" 2>/dev/null || true # replay may abort on 503s — expected
 # acknowledged before the kill must already be back before we redeliver.
 start_shard 0
 wait_ready http://127.0.0.1:18081 300
-# The first boot logs "recovered 0 vehicles" over an empty WAL; the
-# restart must have recovered a non-empty store from the journal.
-if ! grep -Eq "wal .*shard0: recovered [1-9][0-9]* vehicles" "$WORK/shard0.log"; then
+# The first boot logs a "wal recovered" record with vehicles=0 over an
+# empty WAL; the restart must have recovered a non-empty store from the
+# journal.
+if ! grep -Eq '"msg":"wal recovered".*"vehicles":[1-9]' "$WORK/shard0.log"; then
   echo "cluster-smoke: FAIL — restarted shard0 did not replay its WAL" >&2
   cat "$WORK/shard0.log" >&2
   exit 1
@@ -216,5 +223,64 @@ if ! grep -q "segments" "$WORK/fleetctl-ingest.txt"; then
   exit 1
 fi
 echo "cluster-smoke: WAL stats visible via /admin/ingest and fleetctl ingest"
+
+# 7. One router scrape sees the whole cluster: every line is a comment
+# or a `name{labels} value` sample, every shard reports up, and the
+# relabeled histograms (route latency, training stages, WAL fsync) are
+# all present.
+curl -fsS http://127.0.0.1:18084/metrics >"$WORK/metrics.txt"
+if grep -vE '^#' "$WORK/metrics.txt" |
+  grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eE]+$' | grep -q .; then
+  echo "cluster-smoke: FAIL — /metrics has unparseable lines:" >&2
+  grep -vE '^#' "$WORK/metrics.txt" |
+    grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [-+0-9.eE]+$' | head >&2
+  exit 1
+fi
+for i in 0 1 2; do
+  if ! grep -q "fleet_shard_up{shard=\"shard$i\"} 1" "$WORK/metrics.txt"; then
+    echo "cluster-smoke: FAIL — fleet_shard_up for shard$i is not 1" >&2
+    grep fleet_shard_up "$WORK/metrics.txt" >&2 || true
+    exit 1
+  fi
+done
+for series in fleet_http_request_seconds_bucket fleet_train_stage_seconds_bucket fleet_wal_fsync_seconds_bucket fleet_shard_call_seconds_bucket; do
+  if ! grep -q "^$series" "$WORK/metrics.txt"; then
+    echo "cluster-smoke: FAIL — /metrics is missing $series" >&2
+    exit 1
+  fi
+done
+"$WORK/fleetctl" metrics -url http://127.0.0.1:18084 >"$WORK/fleetctl-metrics.txt"
+if ! grep -q "p99" "$WORK/fleetctl-metrics.txt"; then
+  echo "cluster-smoke: FAIL — fleetctl metrics printed no latency quantiles" >&2
+  cat "$WORK/fleetctl-metrics.txt" >&2
+  exit 1
+fi
+echo "cluster-smoke: /metrics parses, all shards up, histograms present, fleetctl metrics prints quantiles"
+
+# 8. Trace propagation: one scatter request through the router echoes a
+# trace ID and the same ID appears in the router's and every shard's
+# structured log (shards adopt it from the X-Fleet-Trace header).
+TRACE=$(curl -fsS -D - -o /dev/null http://127.0.0.1:18084/vehicles |
+  tr -d '\r' | awk -F': ' 'tolower($1)=="x-fleet-trace"{print $2}')
+if [ -z "$TRACE" ]; then
+  echo "cluster-smoke: FAIL — router echoed no X-Fleet-Trace header" >&2
+  exit 1
+fi
+for log in router.log shard0.log shard1.log shard2.log; do
+  found=0
+  for _ in $(seq 20); do # shard log lines may flush just after the response
+    if grep -q "$TRACE" "$WORK/$log"; then
+      found=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$found" != 1 ]; then
+    echo "cluster-smoke: FAIL — trace $TRACE missing from $log" >&2
+    tail -5 "$WORK/$log" >&2
+    exit 1
+  fi
+done
+echo "cluster-smoke: trace $TRACE visible in router and all shard logs"
 
 echo "cluster-smoke: PASS"
