@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same commands.
 
-.PHONY: build test race bench-ml bench-serve cluster-smoke
+.PHONY: build test race bench-ml bench-serve bench-ingest cluster-smoke
 
 build:
 	go build ./...
@@ -24,6 +24,15 @@ bench-ml:
 # BENCH_serve.json. The cached-bytes row pins 0 allocs/op.
 bench-serve:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench_serve.sh BENCH_serve.json
+
+# bench-ingest measures the telemetry ingest doors (JSON HTTP, binary
+# HTTP, UDP apply path) at the canonical 100-report batch. The binary
+# row must hold ≥5x the JSON row's reports/s and ≤1 alloc/report. It
+# writes a fresh run record to bench-ingest-run.json; the committed
+# BENCH_ingest.json is a curated [before, after] array of such records
+# — append to it rather than overwriting.
+bench-ingest:
+	BENCHTIME=$(BENCHTIME) ./scripts/bench_ingest.sh bench-ingest-run.json
 
 # cluster-smoke spins up 3 shard fleetservers (each with its own WAL
 # and snapshot spill) + a router that partitions telemetry to ring

@@ -12,11 +12,19 @@
 //	fleetgen -o fleet.csv                                # CSV dataset
 //	fleetgen -vehicles 24 -post http://localhost:8080    # live replay
 //
+// The soak subcommand (see soak.go) is the ingest load harness: it
+// sustains synthetic telemetry against /telemetry over the JSON,
+// binary-HTTP or UDP door and reports accept/ack/loss:
+//
+//	fleetgen soak -target http://localhost:8080 -transport binary \
+//	    -vehicles 1000000 -duration 30s -concurrency 8
+//
 // Usage:
 //
 //	fleetgen [-vehicles 24] [-days 1735] [-seed 42] [-corrupt]
 //	         [-o fleet.csv | -post http://host:8080 [-batch-days 90]
 //	          [-auth-token SECRET]]
+//	fleetgen soak -target URL [-transport json|binary|udp] ...
 package main
 
 import (
@@ -38,6 +46,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetgen: ")
+
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		soakMain(os.Args[2:])
+		return
+	}
 
 	var (
 		vehicles  = flag.Int("vehicles", 24, "fleet size")

@@ -1,0 +1,318 @@
+// The soak subcommand: a sustained-load generator for the telemetry
+// ingest path. It hammers a running fleetserver (or cluster router)
+// with synthetic reports over one of the three doors — JSON HTTP,
+// binary HTTP, or ack-less UDP datagrams — cycling through up to a
+// million vehicle IDs, and closes with an accept/ack/loss accounting:
+//
+//	sent      reports the generator pushed out
+//	acked     reports a door acknowledged (accepted + rejected) — HTTP
+//	          only; UDP has no ack by design
+//	applied   the server's own accepted+rejected delta, read from
+//	          GET /admin/ingest before and after the run
+//	loss      sent - applied: for HTTP doors this must be 0 (every
+//	          2xx is a durable ack); for UDP it is the measured
+//	          datagram loss under the offered load
+//
+// With -quantiles the run ends by scraping GET /metrics and printing
+// the server-side fleet_ingest_batch_reports histogram quantiles and
+// the per-door counters, so the generator's view and the server's view
+// sit side by side.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// soakCounters aggregates worker progress; all fields are atomics.
+type soakCounters struct {
+	batches  atomic.Uint64
+	sent     atomic.Uint64 // reports pushed out
+	acked    atomic.Uint64 // reports acknowledged (HTTP doors)
+	rejected atomic.Uint64 // rejected per the acks
+	errors   atomic.Uint64 // failed posts / sends (batches)
+}
+
+// soakMain is the `fleetgen soak` entry point.
+func soakMain(args []string) {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	var (
+		target      = fs.String("target", "http://localhost:8080", "fleetserver or router base URL (admin scrapes always go here)")
+		transport   = fs.String("transport", "json", "ingest door to load: json, binary, or udp")
+		udpAddr     = fs.String("udp-addr", "", "with -transport udp: the server's -udp-listen address (host:port)")
+		vehicles    = fs.Int("vehicles", 1_000_000, "distinct vehicle IDs to cycle through")
+		batch       = fs.Int("batch", 100, "reports per batch (one POST or one datagram)")
+		concurrency = fs.Int("concurrency", 4, "concurrent sender workers")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to sustain the load")
+		authToken   = fs.String("auth-token", "", "bearer token for a guarded /telemetry endpoint")
+		quantiles   = fs.Bool("quantiles", false, "scrape GET /metrics after the run and print server-side ingest histograms")
+	)
+	_ = fs.Parse(args)
+	if *vehicles <= 0 || *batch <= 0 || *concurrency <= 0 {
+		log.Fatal("soak: -vehicles, -batch and -concurrency must be positive")
+	}
+	if *transport == "udp" && *udpAddr == "" {
+		log.Fatal("soak: -transport udp needs -udp-addr (the server's -udp-listen address)")
+	}
+
+	before, err := scrapeIngestTotals(*target)
+	if err != nil {
+		log.Fatalf("soak: reading %s/admin/ingest before the run: %v", *target, err)
+	}
+
+	var ctr soakCounters
+	deadline := time.Now().Add(*duration)
+	next := new(atomic.Uint64) // global report index: vehicle = idx % vehicles
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var send func(reports []ingest.Report) error
+			switch *transport {
+			case "json":
+				send = newHTTPSender(&ctr, *target, *authToken, false)
+			case "binary":
+				send = newHTTPSender(&ctr, *target, *authToken, true)
+			case "udp":
+				conn, err := net.Dial("udp", *udpAddr)
+				if err != nil {
+					log.Fatalf("soak: dialing %s: %v", *udpAddr, err)
+				}
+				defer conn.Close()
+				send = newUDPSender(conn)
+			default:
+				log.Fatalf("soak: unknown transport %q (want json, binary or udp)", *transport)
+			}
+			runSoakWorker(&ctr, send, next, *vehicles, *batch, deadline)
+		}()
+	}
+	wg.Wait()
+
+	after, err := scrapeIngestTotals(*target)
+	if err != nil {
+		log.Fatalf("soak: reading %s/admin/ingest after the run: %v", *target, err)
+	}
+	report(&ctr, *transport, *duration, before, after)
+
+	if *quantiles {
+		printServerQuantiles(*target, *transport)
+	}
+}
+
+// runSoakWorker sends batches until the deadline, reusing its report
+// slice across batches.
+func runSoakWorker(ctr *soakCounters, send func([]ingest.Report) error, next *atomic.Uint64, vehicles, batch int, deadline time.Time) {
+	reports := make([]ingest.Report, batch)
+	// Every generated day lands inside the store's accept window; the
+	// base sits far enough back that a year of distinct days fits.
+	base := time.Now().UTC().Truncate(24*time.Hour).AddDate(-2, 0, 0)
+	for time.Now().Before(deadline) {
+		first := next.Add(uint64(batch)) - uint64(batch)
+		for i := range reports {
+			idx := first + uint64(i)
+			v := idx % uint64(vehicles)
+			reports[i] = ingest.Report{
+				VehicleID: fmt.Sprintf("soak-%07d", v),
+				Date:      base.AddDate(0, 0, int((idx/uint64(vehicles))%365)),
+				Seconds:   float64(idx % 86_000),
+			}
+		}
+		if err := send(reports); err != nil {
+			ctr.errors.Add(1)
+			continue
+		}
+		ctr.batches.Add(1)
+		ctr.sent.Add(uint64(batch))
+	}
+}
+
+// newHTTPSender returns a worker-local sender posting batches to
+// /telemetry, JSON or framed binary, crediting acks to ctr.
+func newHTTPSender(ctr *soakCounters, target, authToken string, binary bool) func([]ingest.Report) error {
+	client := &http.Client{Timeout: time.Minute}
+	url := target + "/telemetry"
+	return func(reports []ingest.Report) error {
+		var body []byte
+		var contentType string
+		var err error
+		if binary {
+			contentType = ingest.ContentTypeBinary
+			body, err = ingest.EncodeWireFrame(reports)
+		} else {
+			contentType = "application/json"
+			rj := make([]serve.ReportJSON, len(reports))
+			for i, r := range reports {
+				rj[i] = serve.ReportJSON{Vehicle: r.VehicleID, Date: r.Date.Format("2006-01-02"), Seconds: r.Seconds}
+			}
+			body, err = json.Marshal(serve.TelemetryRequest{Reports: rj})
+		}
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", contentType)
+		if authToken != "" {
+			req.Header.Set("Authorization", "Bearer "+authToken)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server answered %s", resp.Status)
+		}
+		var out serve.TelemetryResponse
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return err
+		}
+		ctr.acked.Add(uint64(out.Accepted + out.Rejected))
+		ctr.rejected.Add(uint64(out.Rejected))
+		return nil
+	}
+}
+
+// newUDPSender returns a sender writing one framed datagram per batch.
+func newUDPSender(conn net.Conn) func([]ingest.Report) error {
+	return func(reports []ingest.Report) error {
+		frame, err := ingest.EncodeWireFrame(reports)
+		if err != nil {
+			return err
+		}
+		_, err = conn.Write(frame)
+		return err
+	}
+}
+
+// ingestTotals is the slice of GET /admin/ingest the soak accounting
+// needs. A single fleetserver answers the flat shape; a cluster router
+// answers {"shards": {name: stats}}, which sums to the cluster total.
+type ingestTotals struct {
+	Accepted uint64                  `json:"accepted"`
+	Rejected uint64                  `json:"rejected"`
+	Shards   map[string]ingestTotals `json:"shards"`
+}
+
+func scrapeIngestTotals(target string) (ingestTotals, error) {
+	var out ingestTotals
+	resp, err := http.Get(target + "/admin/ingest")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("server answered %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, err
+	}
+	for _, s := range out.Shards {
+		out.Accepted += s.Accepted
+		out.Rejected += s.Rejected
+	}
+	out.Shards = nil
+	return out, nil
+}
+
+// report prints the closing accounting.
+func report(ctr *soakCounters, transport string, d time.Duration, before, after ingestTotals) {
+	sent := ctr.sent.Load()
+	applied := (after.Accepted + after.Rejected) - (before.Accepted + before.Rejected)
+	loss := int64(sent) - int64(applied)
+	rate := float64(sent) / d.Seconds()
+	log.Printf("soak %s: %d batches, %d reports in %s (%.0f reports/s), %d send errors",
+		transport, ctr.batches.Load(), sent, d, rate, ctr.errors.Load())
+	if transport == "udp" {
+		log.Printf("soak %s: no acks (UDP is ack-less); server applied %d of %d sent — loss %d (%.2f%%)",
+			transport, applied, sent, loss, 100*float64(loss)/math.Max(float64(sent), 1))
+	} else {
+		log.Printf("soak %s: acked %d (rejected %d); server applied %d of %d sent — acknowledged loss %d (must be 0)",
+			transport, ctr.acked.Load(), ctr.rejected.Load(), applied, sent, loss)
+	}
+}
+
+// printServerQuantiles scrapes GET /metrics and prints the server-side
+// view of the run: batch-size histogram quantiles and the per-door
+// counters.
+func printServerQuantiles(target, transport string) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		log.Printf("soak: scraping /metrics: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		log.Printf("soak: reading /metrics: %v", err)
+		return
+	}
+	samples, err := obs.ParseText(string(text))
+	if err != nil {
+		log.Printf("soak: parsing /metrics: %v", err)
+		return
+	}
+
+	// Cumulative buckets of fleet_ingest_batch_reports, keyed by "le".
+	type bucket struct {
+		bound float64
+		count uint64
+	}
+	var buckets []bucket
+	for _, s := range samples {
+		switch s.Name {
+		case "fleet_ingest_batch_reports_bucket":
+			bound := math.Inf(1)
+			if le := s.Label("le"); le != "+Inf" {
+				fmt.Sscanf(le, "%g", &bound)
+			}
+			buckets = append(buckets, bucket{bound, uint64(s.Value)})
+		case "fleet_ingest_door_batches", "fleet_ingest_door_reports",
+			"fleet_ingest_door_rejected", "fleet_ingest_door_allocs_per_report":
+			if s.Label("door") == transport {
+				log.Printf("soak server: %s{door=%q} = %g", s.Name, transport, s.Value)
+			}
+		case "fleet_udp_datagrams", "fleet_udp_frame_errors", "fleet_udp_apply_errors":
+			if transport == "udp" {
+				log.Printf("soak server: %s = %g", s.Name, s.Value)
+			}
+		}
+	}
+	if len(buckets) > 0 {
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound })
+		bounds := make([]float64, len(buckets))
+		cum := make([]uint64, len(buckets))
+		for i, b := range buckets {
+			bounds[i], cum[i] = b.bound, b.count
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			log.Printf("soak server: fleet_ingest_batch_reports p%.0f ≈ %.0f", q*100, obs.QuantileFromBuckets(bounds, cum, q))
+		}
+	}
+}

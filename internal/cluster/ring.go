@@ -117,12 +117,40 @@ func (r *Ring) Remove(shard string) error {
 // Owner returns the shard owning the given key (vehicle ID), or "" on
 // an empty ring.
 func (r *Ring) Owner(key string) string {
+	return r.ownerOf(fnvHashBytes(nil, key))
+}
+
+// OwnerBytes is Owner for a byte-slice key without the string
+// conversion — the telemetry router's binary split path asks once per
+// wire group, on slices aliasing the request body.
+func (r *Ring) OwnerBytes(key []byte) string {
+	return r.ownerOf(fnvHashBytes(key, ""))
+}
+
+// fnvHashBytes computes fnvHash over one key given as bytes or string
+// (exactly one of the two is used), allocation-free.
+func fnvHashBytes(b []byte, s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= 0xff // the fnvHash part separator
+	h *= prime64
+	return h
+}
+
+func (r *Ring) ownerOf(h uint64) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {
 		return ""
 	}
-	h := fnvHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap: first point clockwise from the top of the ring

@@ -154,3 +154,25 @@ func TestRingEdgeCases(t *testing.T) {
 		t.Errorf("Size = %d, want 1", got)
 	}
 }
+
+// TestOwnerBytesMatchesOwner: the allocation-free byte-slice lookup
+// (the telemetry router's binary split path) must agree with Owner for
+// every key — same FNV-1a hash, same ring walk.
+func TestOwnerBytesMatchesOwner(t *testing.T) {
+	r, err := NewRingOf(0, ShardNames(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"", "a", "v01", "bench-001", "vehicle-12345", "soak-0999999"}
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("veh-%04d", i))
+	}
+	for _, k := range keys {
+		if got, want := r.OwnerBytes([]byte(k)), r.Owner(k); got != want {
+			t.Errorf("OwnerBytes(%q) = %q, Owner = %q", k, got, want)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { r.OwnerBytes([]byte("veh-0001")[:]) }); n > 0 {
+		t.Errorf("OwnerBytes allocates %.1f per lookup, want 0", n)
+	}
+}

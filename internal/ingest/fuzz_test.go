@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// FuzzBinaryFrame is the parser-hardening target the binary doors rely
+// on: arbitrary bytes go through the exact transport path — frame
+// parse, structure walk, store application — and must reject cleanly.
+// No panic, no over-read (checked-in seeds under testdata/fuzz cover
+// truncated frames, oversized length fields, CRC mismatches, bad
+// versions, hostile group counts and trailing bytes; the fuzzer
+// mutates from there).
+func FuzzBinaryFrame(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := wal.ParseFrame(data)
+		if err != nil {
+			return // malformed frame, cleanly rejected
+		}
+		if n > len(data) {
+			t.Fatalf("ParseFrame consumed %d of %d bytes (over-read)", n, len(data))
+		}
+		if len(payload) > n-wal.FrameHead {
+			t.Fatalf("ParseFrame returned %d payload bytes from a %d-byte frame (over-read)", len(payload), n)
+		}
+
+		s := New(600_000)
+		total, walkErr := WalkWireGroups(payload, nil)
+		res, err := s.UpsertBinary(payload, 100_000)
+		if walkErr != nil {
+			// A structurally bad batch must reject wholesale: no error
+			// from the walk may coexist with applied reports.
+			if err == nil {
+				t.Fatalf("walk rejected (%v) but UpsertBinary accepted %+v", walkErr, res)
+			}
+			if st := s.Stats(); st.Accepted != 0 || st.Rejected != 0 {
+				t.Fatalf("structure error %v but store counters moved: %+v", walkErr, st)
+			}
+			return
+		}
+		if err != nil {
+			return // batch cap or journal-less store conditions
+		}
+		if res.Accepted+res.Rejected != total {
+			t.Fatalf("walk counted %d reports, upsert accounted %d+%d", total, res.Accepted, res.Rejected)
+		}
+	})
+}
+
+// fuzzSeeds builds the in-code complement of the checked-in corpus —
+// each classic failure shape, derived from one valid frame.
+func fuzzSeeds() [][]byte {
+	valid, err := EncodeWireFrame(wireReports())
+	if err != nil {
+		panic(err)
+	}
+	flip := func(b []byte, i int) []byte {
+		out := append([]byte(nil), b...)
+		out[i] ^= 0xff
+		return out
+	}
+	seeds := [][]byte{
+		valid,
+		{},                         // empty
+		valid[:4],                  // cut inside the frame head
+		valid[:len(valid)-3],       // cut inside the payload
+		flip(valid, 0),             // length field corrupted (oversize / mismatch)
+		flip(valid, 4),             // CRC corrupted
+		flip(valid, wal.FrameHead), // version byte corrupted
+		append(append([]byte(nil), valid...), 0xaa), // trailing byte
+	}
+	// A structurally valid frame whose payload lies: insane group count.
+	lying := append([]byte(nil), valid[wal.FrameHead:]...)
+	lying[1], lying[2], lying[3], lying[4] = 0xff, 0xff, 0xff, 0xff
+	seeds = append(seeds, wal.AppendFrame(nil, lying))
+	return seeds
+}

@@ -30,6 +30,7 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -216,26 +217,73 @@ const futureSlack = 48 * time.Hour
 // donor-exchange wire format trivially safe.
 const maxVehicleIDBytes = 256
 
-func validate(r Report, now time.Time) error {
+// minReportDay is minReportDate as an epoch day: the wire format
+// carries epoch days, so the date rules are defined on days and every
+// door (JSON, binary-HTTP, UDP) enforces the identical bound.
+var minReportDay = epochDay(minReportDate)
+
+// Shared rejection reasons. The helpers below are the one set of
+// reject rules every ingest door goes through; a report rejected on
+// one door is rejected with the same error on all of them.
+var (
+	errEmptyVehicleID   = errors.New("empty vehicle id")
+	errVehicleIDTooLong = fmt.Errorf("vehicle id longer than %d bytes", maxVehicleIDBytes)
+	errMissingDate      = errors.New("missing or invalid date")
+	errNonFiniteSeconds = errors.New("non-finite seconds")
+)
+
+// validateIDLen checks the vehicle-ID byte bound. Only the length
+// matters, so one helper serves string IDs and wire byte slices alike
+// without converting.
+func validateIDLen(n int) error {
 	switch {
-	case r.VehicleID == "":
-		return fmt.Errorf("empty vehicle id")
-	case len(r.VehicleID) > maxVehicleIDBytes:
-		return fmt.Errorf("vehicle id longer than %d bytes", maxVehicleIDBytes)
-	case r.Date.IsZero():
-		return fmt.Errorf("missing or invalid date")
-	case r.Date.Before(minReportDate):
-		return fmt.Errorf("date %s before the %s horizon", r.Date.Format(dayLayout), minReportDate.Format(dayLayout))
-	case r.Date.After(now.Add(futureSlack)):
-		return fmt.Errorf("date %s is in the future", r.Date.Format(dayLayout))
-	case math.IsNaN(r.Seconds) || math.IsInf(r.Seconds, 0):
-		return fmt.Errorf("non-finite seconds")
-	case r.Seconds < 0:
-		return fmt.Errorf("negative seconds %v", r.Seconds)
-	case r.Seconds > dataprep.MaxDailySeconds:
-		return fmt.Errorf("seconds %v exceed the physical daily maximum %v", r.Seconds, dataprep.MaxDailySeconds)
+	case n == 0:
+		return errEmptyVehicleID
+	case n > maxVehicleIDBytes:
+		return errVehicleIDTooLong
 	}
 	return nil
+}
+
+// validateDay checks the report-date bounds on an epoch day.
+func validateDay(day int64, now time.Time) error {
+	switch {
+	case day < minReportDay:
+		return fmt.Errorf("date %s before the %s horizon", dayString(day), minReportDate.Format(dayLayout))
+	case day > epochDay(now.Add(futureSlack)):
+		return fmt.Errorf("date %s is in the future", dayString(day))
+	}
+	return nil
+}
+
+// validateSeconds checks the daily working-seconds range.
+func validateSeconds(sec float64) error {
+	switch {
+	case math.IsNaN(sec) || math.IsInf(sec, 0):
+		return errNonFiniteSeconds
+	case sec < 0:
+		return fmt.Errorf("negative seconds %v", sec)
+	case sec > dataprep.MaxDailySeconds:
+		return fmt.Errorf("seconds %v exceed the physical daily maximum %v", sec, dataprep.MaxDailySeconds)
+	}
+	return nil
+}
+
+func dayString(day int64) string {
+	return time.Unix(day*86400, 0).UTC().Format(dayLayout)
+}
+
+func validate(r Report, now time.Time) error {
+	if err := validateIDLen(len(r.VehicleID)); err != nil {
+		return err
+	}
+	if r.Date.IsZero() {
+		return errMissingDate
+	}
+	if err := validateDay(epochDay(r.Date), now); err != nil {
+		return err
+	}
+	return validateSeconds(r.Seconds)
 }
 
 // UpsertBatch applies one batch of reports. Validation is per report:
@@ -310,12 +358,21 @@ func (s *Store) upsertLocked(vehicleID string, day int64, seconds float64, now t
 		rec = &vehicleRecord{days: make(map[int64]float64)}
 		s.vehicles[vehicleID] = rec
 	}
+	return day, s.upsertDayLocked(rec, day, seconds, now)
+}
+
+// upsertDayLocked applies one validated (epoch day, seconds) report to
+// an already-resolved vehicle record — the allocation-free inner step
+// the binary wire path drives directly with a byte-slice ID, resolving
+// the record once per group instead of once per report. Callers hold
+// the write lock.
+func (s *Store) upsertDayLocked(rec *vehicleRecord, day int64, seconds float64, now time.Time) bool {
 	rec.reports++
 	rec.lastReport = now
 
 	old, existed := rec.days[day]
 	if existed && old == seconds {
-		return day, false // idempotent re-delivery
+		return false // idempotent re-delivery
 	}
 	if existed {
 		rec.hash ^= dayHash(day, old)
@@ -334,7 +391,7 @@ func (s *Store) upsertLocked(vehicleID string, day int64, seconds float64, now t
 	}
 	s.seq++
 	rec.lastSeq = s.seq
-	return day, true
+	return true
 }
 
 // Seq returns the store's change sequence: it increments on every

@@ -1,0 +1,228 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// wireReports builds a mixed batch: several vehicles, several days
+// each, including reports the store must reject.
+func wireReports() []Report {
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	var reports []Report
+	for v := 0; v < 4; v++ {
+		id := fmt.Sprintf("wire-%02d", v)
+		for d := 0; d < 5; d++ {
+			reports = append(reports, Report{VehicleID: id, Date: base.AddDate(0, 0, d), Seconds: float64(1000*v + d)})
+		}
+	}
+	// Rejections: bad seconds, date out of bounds, oversized ID.
+	reports = append(reports,
+		Report{VehicleID: "wire-00", Date: base, Seconds: -5},
+		Report{VehicleID: "wire-01", Date: base, Seconds: math.NaN()},
+		Report{VehicleID: "wire-02", Date: time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC), Seconds: 10},
+		Report{VehicleID: "wire-03", Date: base.AddDate(10, 0, 0), Seconds: 10},
+		Report{VehicleID: string(make([]byte, maxVehicleIDBytes+1)), Date: base, Seconds: 10},
+	)
+	return reports
+}
+
+// stripSeq zeroes the sequence for result comparison: two stores apply
+// batches in different global orders, but the per-batch accounting must
+// match exactly.
+func stripSeq(r BatchResult) BatchResult { r.Seq = 0; return r }
+
+// TestUpsertBinaryMatchesUpsertBatch is the bit-identity property at
+// the store level: the same reports through the JSON path's
+// UpsertBatch and through the wire codec + UpsertBinary leave two
+// stores with identical content hashes, counters and batch results.
+func TestUpsertBinaryMatchesUpsertBatch(t *testing.T) {
+	reports := wireReports()
+
+	jsonStore, binStore := New(0), New(0)
+	jsonRes, err := jsonStore.UpsertBatch(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := AppendWireBatch(nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRes, err := binStore.UpsertBinary(payload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(stripSeq(jsonRes), stripSeq(binRes)) {
+		t.Fatalf("batch results differ:\n json: %+v\n bin:  %+v", jsonRes, binRes)
+	}
+	if jsonRes.Seq != binRes.Seq {
+		t.Fatalf("seq %d vs %d", jsonRes.Seq, binRes.Seq)
+	}
+	jsonIDs, binIDs := jsonStore.Vehicles(), binStore.Vehicles()
+	if !reflect.DeepEqual(jsonIDs, binIDs) {
+		t.Fatalf("vehicles %v vs %v", jsonIDs, binIDs)
+	}
+	for _, id := range jsonIDs {
+		jh, _ := jsonStore.Hash(id)
+		bh, _ := binStore.Hash(id)
+		if jh != bh {
+			t.Errorf("vehicle %s hash %016x vs %016x", id, jh, bh)
+		}
+	}
+	js, bs := jsonStore.Stats(), binStore.Stats()
+	if js.Accepted != bs.Accepted || js.Rejected != bs.Rejected || js.Changed != bs.Changed {
+		t.Fatalf("stats differ: json %+v bin %+v", js, bs)
+	}
+}
+
+// TestEncodeWireFrameRoundTrip: the framed form parses back to the
+// payload AppendWireBatch built.
+func TestEncodeWireFrameRoundTrip(t *testing.T) {
+	reports := wireReports()
+	frame, err := EncodeWireFrame(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, n, err := wal.ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Fatalf("consumed %d of %d frame bytes", n, len(frame))
+	}
+	want, _ := AppendWireBatch(nil, reports)
+	if !reflect.DeepEqual(payload, want) {
+		t.Fatal("frame payload differs from AppendWireBatch output")
+	}
+	total, err := WalkWireGroups(payload, nil)
+	if err != nil || total != len(reports) {
+		t.Fatalf("walk: total=%d err=%v, want %d", total, err, len(reports))
+	}
+}
+
+// TestWireGrouping: consecutive same-vehicle reports share one group;
+// an interleaved vehicle opens a new one.
+func TestWireGrouping(t *testing.T) {
+	day := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	payload, err := AppendWireBatch(nil, []Report{
+		{VehicleID: "a", Date: day, Seconds: 1},
+		{VehicleID: "a", Date: day.AddDate(0, 0, 1), Seconds: 2},
+		{VehicleID: "b", Date: day, Seconds: 3},
+		{VehicleID: "a", Date: day.AddDate(0, 0, 2), Seconds: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []string
+	if _, err := WalkWireGroups(payload, func(id, _, recs []byte) error {
+		groups = append(groups, fmt.Sprintf("%s:%d", id, len(recs)/wireReportSize))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a:2", "b:1", "a:1"}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups %v, want %v", groups, want)
+	}
+}
+
+// TestWireStructureErrors: malformed payloads reject wholesale with
+// the typed errors and leave the store untouched.
+func TestWireStructureErrors(t *testing.T) {
+	reports := wireReports()[:3]
+	good, err := AppendWireBatch(nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		payload []byte
+		want    error
+	}{
+		"empty":        {nil, ErrWireTruncated},
+		"short-head":   {good[:3], ErrWireTruncated},
+		"bad-version":  {append([]byte{99}, good[1:]...), ErrWireVersion},
+		"cut-group":    {good[:len(good)-1], ErrWireTruncated},
+		"trailing":     {append(append([]byte{}, good...), 0xEE), ErrWireTrailing},
+		"insane-count": {insaneCount(good), ErrWireTruncated},
+	}
+	for name, tc := range cases {
+		store := New(0)
+		res, err := store.UpsertBinary(tc.payload, 0)
+		if err == nil {
+			t.Errorf("%s: accepted, res=%+v", name, res)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", name, err, tc.want)
+		}
+		if st := store.Stats(); st.Accepted+st.Rejected != 0 || st.Vehicles != 0 {
+			t.Errorf("%s: store touched: %+v", name, st)
+		}
+	}
+}
+
+// insaneCount corrupts the first group's report count to a huge value.
+func insaneCount(good []byte) []byte {
+	p := append([]byte{}, good...)
+	idLen := int(binary.LittleEndian.Uint16(p[wireBatchHead:]))
+	binary.LittleEndian.PutUint32(p[wireBatchHead+2+idLen:], math.MaxUint32)
+	return p
+}
+
+// TestUpsertBinaryMaxReports: the report cap rejects wholesale before
+// application.
+func TestUpsertBinaryMaxReports(t *testing.T) {
+	payload, err := AppendWireBatch(nil, wireReports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := New(0)
+	if _, err := store.UpsertBinary(payload, 3); err == nil {
+		t.Fatal("over-cap batch accepted")
+	}
+	if st := store.Stats(); st.Accepted+st.Rejected != 0 {
+		t.Fatalf("store touched: %+v", st)
+	}
+}
+
+// TestUpsertBinarySteadyStateAllocs pins the binary hot path: after
+// first delivery, re-delivering the same batch (the collector steady
+// state) must cost well under one allocation per report — the response
+// bookkeeping is the only thing still allocating.
+func TestUpsertBinarySteadyStateAllocs(t *testing.T) {
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	var reports []Report
+	for v := 0; v < 10; v++ {
+		id := fmt.Sprintf("steady-%02d", v)
+		for d := 0; d < 10; d++ {
+			reports = append(reports, Report{VehicleID: id, Date: base.AddDate(0, 0, d), Seconds: float64(100*v + d)})
+		}
+	}
+	payload, err := AppendWireBatch(nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := New(0)
+	if res, err := store.UpsertBinary(payload, 0); err != nil || res.Changed != len(reports) {
+		t.Fatalf("first delivery: res=%+v err=%v", res, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		res, err := store.UpsertBinary(payload, 0)
+		if err != nil || res.Accepted != len(reports) || res.Changed != 0 {
+			t.Fatalf("re-delivery: res=%+v err=%v", res, err)
+		}
+	})
+	perReport := allocs / float64(len(reports))
+	t.Logf("steady-state UpsertBinary: %.1f allocs/batch, %.3f allocs/report", allocs, perReport)
+	if perReport > 0.5 {
+		t.Fatalf("%.3f allocs/report on the binary store path, want <= 0.5", perReport)
+	}
+}

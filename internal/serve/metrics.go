@@ -70,6 +70,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			m.GaugeUint("fleet_wal_checkpoint_seq", "Store sequence the durable checkpoint covers.", ws.CheckpointSeq)
 		}
 		s.ingest.WriteMetrics(&m)
+
+		m.Meta("fleet_ingest_door_batches", "Telemetry batches per ingest door.", obs.KindCounter)
+		m.Meta("fleet_ingest_door_reports", "Telemetry reports (accepted or rejected) per ingest door.", obs.KindCounter)
+		m.Meta("fleet_ingest_door_rejected", "Telemetry reports rejected per ingest door.", obs.KindCounter)
+		m.Meta("fleet_ingest_door_allocs_per_report", "Sampled heap allocations per report on the door's decode+apply path.", obs.KindGauge)
+		for i := range s.doors {
+			d := &s.doors[i]
+			labels := obs.RenderLabels("door", doorNames[i])
+			m.SampleUint("fleet_ingest_door_batches", labels, d.batches.Load())
+			m.SampleUint("fleet_ingest_door_reports", labels, d.reports.Load())
+			m.SampleUint("fleet_ingest_door_rejected", labels, d.rejected.Load())
+			if apr := d.allocsPerReport(); apr >= 0 {
+				m.Sample("fleet_ingest_door_allocs_per_report", labels, apr)
+			}
+		}
+
+		if s.udp != nil {
+			ust := s.udp.Stats()
+			m.GaugeInt("fleet_udp_workers", "UDP telemetry door worker goroutines.", int64(ust.Workers))
+			m.CounterUint("fleet_udp_datagrams", "UDP telemetry datagrams read.", ust.Datagrams)
+			m.CounterUint("fleet_udp_frame_errors", "UDP datagrams dropped for framing or wire-structure faults.", ust.FrameErrors)
+			m.CounterUint("fleet_udp_apply_errors", "UDP batches applied but not durably journaled.", ust.ApplyErrors)
+			m.CounterUint("fleet_udp_read_errors", "Transient UDP socket read failures.", ust.ReadErrors)
+		}
 	}
 
 	obs.WriteRuntimeMetrics(&m)

@@ -47,6 +47,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/wal"
 )
 
 // jsonDecode strictly decodes one shard's JSON payload.
@@ -574,6 +575,10 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: reading telemetry batch: %v", err))
 		return
 	}
+	if isBinaryTelemetry(r) {
+		rt.routeTelemetryBinary(w, r, body)
+		return
+	}
 	var req TelemetryRequest
 	if err := jsonDecode(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
@@ -584,41 +589,17 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	hdr := make(http.Header)
-	hdr.Set("Content-Type", "application/json")
-
 	// Shared-store fast path (in-process topology): upsert once, then
 	// scatter an empty batch so each shard judges its retrain trigger
 	// against the store's new state.
 	if rt.ingest != nil {
-		res, err := rt.ingest.UpsertBatch(reportsFromJSON(req.Reports))
+		res, err := rt.ingest.UpsertBatch(appendReportsFromJSON(nil, req.Reports))
 		if err != nil {
 			// Applied in memory but not durably journaled: do not ack.
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		resps := rt.scatter(r.Context(), http.MethodPost, "/telemetry", []byte(`{"reports":[]}`), hdr, rt.timeout)
-		var fail fanoutError
-		out := TelemetryResponse{BatchResult: res}
-		for _, resp := range resps {
-			if resp.err != nil {
-				fail.add(resp.shard, resp.err.Error())
-				continue
-			}
-			var tr TelemetryResponse
-			if resp.status != http.StatusOK || jsonDecode(resp.body, &tr) != nil {
-				fail.add(resp.shard, fmt.Sprintf("status %d: %s", resp.status, strings.TrimSpace(string(resp.body))))
-				continue
-			}
-			if tr.RetrainStarted {
-				out.RetrainStarted = true
-			}
-		}
-		if len(fail.Shards) > 0 {
-			fail.write(w)
-			return
-		}
-		writeJSON(w, http.StatusOK, out)
+		rt.ackSharedTelemetry(w, r, res, false)
 		return
 	}
 
@@ -630,29 +611,181 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		owner := rt.ring.Owner(rep.Vehicle)
 		groups[owner] = append(groups[owner], rep)
 	}
-	owners := make([]string, 0, len(groups))
-	for name := range groups {
-		if rt.byName[name] == nil {
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: ring owner %q has no backend", name))
-			return
+	owners, ok := rt.sortedOwners(w, len(groups), func(yield func(string)) {
+		for name := range groups {
+			yield(name)
 		}
-		owners = append(owners, name)
+	})
+	if !ok {
+		return
 	}
-	sort.Strings(owners)
-
-	resps := make([]shardResponse, len(owners))
-	var wg sync.WaitGroup
+	parts := make([]ownerPart, len(owners))
 	for i, name := range owners {
 		sub, err := json.Marshal(TelemetryRequest{Reports: groups[name]})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: encoding sub-batch: %v", err))
 			return
 		}
+		parts[i] = ownerPart{shard: name, body: sub}
+	}
+	rt.forwardTelemetryParts(w, r, parts, "application/json", false)
+}
+
+// routeTelemetryBinary routes one framed binary wire batch. The
+// tentpole property: partitioning never decodes a report. Wire groups
+// are contiguous byte ranges, so splitting a batch across ring owners
+// copies each group's raw bytes into its owner's sub-batch and
+// reframes — no decode/re-encode round trip, no per-report
+// allocations at the router.
+func (rt *Router) routeTelemetryBinary(w http.ResponseWriter, r *http.Request, body []byte) {
+	payload, n, err := wal.ParseFrame(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: parsing telemetry frame: %v", err))
+		return
+	}
+	if n != len(body) {
+		writeError(w, http.StatusBadRequest, "serve: trailing bytes after telemetry frame")
+		return
+	}
+
+	// Shared store: apply the payload once, no splitting needed.
+	if rt.ingest != nil {
+		res, err := rt.ingest.UpsertBinary(payload, maxTelemetryReports)
+		if err != nil {
+			writeBinaryIngestError(w, err)
+			return
+		}
+		rt.ackSharedTelemetry(w, r, res, true)
+		return
+	}
+
+	total, err := ingest.WalkWireGroups(payload, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if total > maxTelemetryReports {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", total, maxTelemetryReports))
+		return
+	}
+	// The first walk validated the structure, so this one cannot fail;
+	// it streams raw groups into one builder per ring owner.
+	builders := make(map[string]*ingest.WireGroupBuilder)
+	_, _ = ingest.WalkWireGroups(payload, func(id, group, _ []byte) error {
+		owner := rt.ring.OwnerBytes(id)
+		b := builders[owner]
+		if b == nil {
+			b = new(ingest.WireGroupBuilder)
+			builders[owner] = b
+		}
+		b.Append(group)
+		return nil
+	})
+	owners, ok := rt.sortedOwners(w, len(builders), func(yield func(string)) {
+		for name := range builders {
+			yield(name)
+		}
+	})
+	if !ok {
+		return
+	}
+	parts := make([]ownerPart, len(owners))
+	for i, name := range owners {
+		parts[i] = ownerPart{shard: name, body: builders[name].Frame()}
+	}
+	rt.forwardTelemetryParts(w, r, parts, ingest.ContentTypeBinary, true)
+}
+
+// writeBinaryIngestError maps an UpsertBinary error onto the same
+// status codes the shard-level binary door uses.
+func writeBinaryIngestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ingest.ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, ingest.ErrWireTruncated), errors.Is(err, ingest.ErrWireTrailing), errors.Is(err, ingest.ErrWireVersion):
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		// Applied in memory but not durably journaled: do not ack.
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// sortedOwners collects n owner names from seq, verifies each has a
+// backend (500 and false otherwise) and returns them sorted.
+func (rt *Router) sortedOwners(w http.ResponseWriter, n int, seq func(yield func(string))) ([]string, bool) {
+	owners := make([]string, 0, n)
+	missing := ""
+	seq(func(name string) {
+		if rt.byName[name] == nil && missing == "" {
+			missing = name
+		}
+		owners = append(owners, name)
+	})
+	if missing != "" {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: ring owner %q has no backend", missing))
+		return nil, false
+	}
+	sort.Strings(owners)
+	return owners, true
+}
+
+// ackSharedTelemetry finishes a shared-store telemetry post: it
+// scatters every shard an *empty* JSON batch — each must still notice
+// the store moved and judge its own retrain trigger — and acks with
+// the router's own upsert result. compact mirrors the binary door's
+// ack contract: the per-vehicle breakdown is included only when
+// something was rejected.
+func (rt *Router) ackSharedTelemetry(w http.ResponseWriter, r *http.Request, res ingest.BatchResult, compact bool) {
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", "application/json")
+	resps := rt.scatter(r.Context(), http.MethodPost, "/telemetry", []byte(`{"reports":[]}`), hdr, rt.timeout)
+	var fail fanoutError
+	out := TelemetryResponse{BatchResult: res}
+	for _, resp := range resps {
+		if resp.err != nil {
+			fail.add(resp.shard, resp.err.Error())
+			continue
+		}
+		var tr TelemetryResponse
+		if resp.status != http.StatusOK || jsonDecode(resp.body, &tr) != nil {
+			fail.add(resp.shard, fmt.Sprintf("status %d: %s", resp.status, strings.TrimSpace(string(resp.body))))
+			continue
+		}
+		if tr.RetrainStarted {
+			out.RetrainStarted = true
+		}
+	}
+	if len(fail.Shards) > 0 {
+		fail.write(w)
+		return
+	}
+	if compact && out.Rejected == 0 {
+		out.Vehicles = nil
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ownerPart is one ring owner's sub-batch of a partitioned telemetry
+// post, in whichever wire format the client spoke.
+type ownerPart struct {
+	shard string
+	body  []byte
+}
+
+// forwardTelemetryParts posts each owner's sub-batch to its shard
+// concurrently and merges the acks (shards ack both wire formats in
+// JSON). compact as in ackSharedTelemetry.
+func (rt *Router) forwardTelemetryParts(w http.ResponseWriter, r *http.Request, parts []ownerPart, contentType string, compact bool) {
+	hdr := make(http.Header)
+	hdr.Set("Content-Type", contentType)
+	resps := make([]shardResponse, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, b *ShardBackend, sub []byte) {
 			defer wg.Done()
 			resps[i] = rt.call(r.Context(), b, http.MethodPost, "/telemetry", sub, hdr, rt.timeout)
-		}(i, rt.byName[name], sub)
+		}(i, rt.byName[p.shard], p.body)
 	}
 	wg.Wait()
 
@@ -701,6 +834,9 @@ func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if len(fail.Shards) > 0 {
 		fail.write(w)
 		return
+	}
+	if compact && merged.Rejected == 0 {
+		merged.Vehicles = nil
 	}
 	writeJSON(w, http.StatusOK, merged)
 }

@@ -98,6 +98,11 @@ type Server struct {
 	ingest       *ingest.Store
 	retrainDirty int
 	telemetry    *guard
+	// doors counts telemetry traffic per ingest door (JSON, binary
+	// HTTP, UDP) with a sampled allocs-per-report estimate each; udp is
+	// the optional datagram door (nil unless ServeUDP was started).
+	doors [numDoors]doorStats
+	udp   *UDPDoor
 	// kickMu guards the dirty-threshold retrain policy: lastKickSeq is
 	// the store sequence the latest auto-retrain was kicked at;
 	// prevKickSeq is the baseline to roll back to if that build fails,
@@ -556,64 +561,6 @@ const maxTelemetryBody = 32 << 20
 // of body size.
 const maxTelemetryReports = 500_000
 
-// handleTelemetry ingests one batch of per-vehicle daily-usage
-// reports. Validation is per report: a malformed JSON body is rejected
-// wholesale with 400, but individually invalid reports only mark their
-// own vehicle's slice of the accept/reject response — one bad sensor
-// must not discard a whole fleet upload. Re-delivering a batch is
-// harmless (idempotent upserts).
-func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
-	if !s.telemetry.admit(w, r) {
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxTelemetryBody)
-	var req TelemetryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: telemetry batch exceeds the %d-byte limit", tooLarge.Limit))
-			return
-		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("serve: decoding telemetry batch: %v", err))
-		return
-	}
-	if len(req.Reports) > maxTelemetryReports {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("serve: batch of %d reports exceeds the %d-report limit", len(req.Reports), maxTelemetryReports))
-		return
-	}
-	res, err := s.ingest.UpsertBatch(reportsFromJSON(req.Reports))
-	if err != nil {
-		// The batch may be applied in memory but is not durably
-		// journaled: do not acknowledge it. Idempotent upserts make the
-		// client's retry safe.
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	out := TelemetryResponse{BatchResult: res}
-	// Check the dirty threshold even when *this* batch changed nothing:
-	// with a shared store behind several shard servers (the in-process
-	// cluster), the router upserts a batch once and scatters the shards
-	// an *empty* batch — but every shard must still notice the store
-	// moved and judge its own retrain trigger.
-	out.RetrainStarted = s.maybeKickRetrain(r.Context())
-	writeJSON(w, http.StatusOK, out)
-}
-
-// reportsFromJSON converts wire reports to store reports. A bad date
-// leaves Date zero; the store rejects the report with a per-report
-// error, keeping one bookkeeping path.
-func reportsFromJSON(in []ReportJSON) []ingest.Report {
-	reports := make([]ingest.Report, len(in))
-	for i, rj := range in {
-		rep := ingest.Report{VehicleID: rj.Vehicle, Seconds: rj.Seconds}
-		if d, err := time.Parse("2006-01-02", rj.Date); err == nil {
-			rep.Date = d
-		}
-		reports[i] = rep
-	}
-	return reports
-}
-
 // maybeKickRetrain starts a background incremental retrain when the
 // number of vehicles changed since the last kick reaches the
 // configured threshold. The sequence point only advances when a
@@ -658,6 +605,11 @@ type IngestStatsJSON struct {
 	// DirtySinceLastRetrain lists vehicles changed since the last
 	// threshold-triggered retrain kick.
 	DirtySinceLastRetrain []string `json:"dirty_since_last_retrain,omitempty"`
+	// Doors breaks telemetry traffic down per ingest door (JSON,
+	// binary HTTP, UDP), each with its sampled allocs-per-report.
+	Doors []DoorStatsJSON `json:"doors"`
+	// UDP describes the datagram door (nil unless one is listening).
+	UDP *UDPStatsJSON `json:"udp,omitempty"`
 }
 
 // handleDonors serves the donor-series exchange (shard-to-shard; the
@@ -702,11 +654,17 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
 	s.kickMu.Lock()
 	lastKick := s.lastKickSeq
 	s.kickMu.Unlock()
-	writeJSON(w, http.StatusOK, IngestStatsJSON{
+	out := IngestStatsJSON{
 		Stats:                 s.ingest.Stats(),
 		RetrainDirtyThreshold: s.retrainDirty,
 		DirtySinceLastRetrain: s.ingest.DirtySince(lastKick),
-	})
+		Doors:                 s.doorStatsJSON(),
+	}
+	if s.udp != nil {
+		st := s.udp.Stats()
+		out.UDP = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func boolQuery(r *http.Request, key string) (bool, error) {

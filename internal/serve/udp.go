@@ -1,0 +1,213 @@
+// The UDP telemetry door: the ack-less, line-rate transport for
+// collectors that prefer losing a datagram to blocking on one. Each
+// datagram carries exactly one wal-framed binary wire batch (the same
+// bytes a binary HTTP body carries); workers read into per-worker
+// buffers — no per-datagram allocation — parse the frame in place and
+// apply it through the same durable store as the HTTP doors.
+//
+// Loss semantics, versus the HTTP doors' acknowledgement: a dropped,
+// reordered or corrupted datagram is silently gone — the sender gets
+// nothing back. The frame CRC turns corruption into a counted drop
+// (frame_errors) instead of poisoned data, idempotent upserts make
+// blind re-sends safe, and the datagrams/accepted counters on
+// /admin/ingest are the only delivery receipt there is. Telemetry that
+// must not be lost belongs on POST /telemetry, whose response is a
+// durable acknowledgement.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// maxUDPDatagram is the largest datagram the door reads — the UDP
+// payload ceiling; one frame must fit in one datagram.
+const maxUDPDatagram = 64 << 10
+
+// udpReadBuffer is the requested kernel receive-buffer size: bursts
+// from a fleet of collectors land faster than workers drain them, and
+// the kernel queue is the only cushion an ack-less transport has.
+const udpReadBuffer = 4 << 20
+
+// UDPOptions configures ServeUDP.
+type UDPOptions struct {
+	// Addr is the UDP listen address (e.g. ":19081"; ":0" picks a free
+	// port — see UDPDoor.Addr).
+	Addr string
+	// Workers is the number of goroutines reading and applying
+	// datagrams; 0 selects GOMAXPROCS (minimum 2, so a slow journal
+	// fsync cannot park the only reader).
+	Workers int
+	// MaxReports bounds the reports in one datagram; 0 selects the
+	// HTTP doors' batch limit (a 64 KiB datagram caps near 4k reports
+	// physically anyway).
+	MaxReports int
+}
+
+// UDPDoor is a running UDP telemetry listener. Close stops it.
+type UDPDoor struct {
+	srv        *Server
+	conn       *net.UDPConn
+	workers    int
+	maxReports int
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+
+	datagrams   atomic.Uint64
+	frameErrors atomic.Uint64
+	applyErrors atomic.Uint64
+	readErrors  atomic.Uint64
+
+	// lastKickSec rate-limits retrain-threshold checks to one per
+	// second: the door has no per-batch response to carry
+	// RetrainStarted, so the check is advisory housekeeping, not worth
+	// a mutex on every datagram.
+	lastKickSec atomic.Int64
+}
+
+// UDPStatsJSON is the UDP door's slice of GET /admin/ingest.
+type UDPStatsJSON struct {
+	Addr    string `json:"addr"`
+	Workers int    `json:"workers"`
+	// Datagrams counts everything read; FrameErrors the ones dropped
+	// for framing or wire-structure faults (truncation, CRC mismatch,
+	// trailing bytes); ApplyErrors the ones the store could not
+	// durably journal; ReadErrors transient socket read failures.
+	Datagrams   uint64 `json:"datagrams"`
+	FrameErrors uint64 `json:"frame_errors"`
+	ApplyErrors uint64 `json:"apply_errors"`
+	ReadErrors  uint64 `json:"read_errors"`
+}
+
+// ServeUDP opens the datagram telemetry door on opts.Addr and starts
+// its workers. Call it during boot, before the HTTP listener accepts
+// traffic — the door registers itself on the server's /metrics and
+// /admin/ingest, and that wiring is not synchronized against in-flight
+// requests. The returned door's Close stops the workers; the server
+// does not close it for you.
+func (s *Server) ServeUDP(opts UDPOptions) (*UDPDoor, error) {
+	if s.ingest == nil {
+		return nil, errors.New("serve: UDP telemetry needs an ingest store")
+	}
+	if s.udp != nil {
+		return nil, errors.New("serve: UDP telemetry door already started")
+	}
+	addr, err := net.ResolveUDPAddr("udp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: resolving UDP listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listening on UDP: %w", err)
+	}
+	// Best effort: some platforms clamp or refuse; the door still
+	// works, just with a smaller burst cushion.
+	_ = conn.SetReadBuffer(udpReadBuffer)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	maxReports := opts.MaxReports
+	if maxReports <= 0 {
+		maxReports = maxTelemetryReports
+	}
+	u := &UDPDoor{srv: s, conn: conn, workers: workers, maxReports: maxReports}
+	s.udp = u
+	for i := 0; i < workers; i++ {
+		u.wg.Add(1)
+		go u.worker()
+	}
+	return u, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (u *UDPDoor) Addr() net.Addr { return u.conn.LocalAddr() }
+
+// Stats snapshots the door's counters.
+func (u *UDPDoor) Stats() UDPStatsJSON {
+	return UDPStatsJSON{
+		Addr:        u.conn.LocalAddr().String(),
+		Workers:     u.workers,
+		Datagrams:   u.datagrams.Load(),
+		FrameErrors: u.frameErrors.Load(),
+		ApplyErrors: u.applyErrors.Load(),
+		ReadErrors:  u.readErrors.Load(),
+	}
+}
+
+// Close stops the door: the socket closes, workers drain and exit.
+func (u *UDPDoor) Close() error {
+	if !u.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}
+
+// worker reads datagrams into its own buffer and applies them in
+// place: multiple goroutines share one socket (the kernel distributes
+// reads), so a worker stuck behind a journal fsync never blocks the
+// others from draining the queue.
+func (u *UDPDoor) worker() {
+	defer u.wg.Done()
+	buf := make([]byte, maxUDPDatagram)
+	d := &u.srv.doors[doorUDP]
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			if u.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			u.readErrors.Add(1)
+			continue
+		}
+		u.datagrams.Add(1)
+		sampled, allocs0 := d.begin()
+		payload, consumed, err := wal.ParseFrame(buf[:n])
+		if err != nil || consumed != n {
+			u.frameErrors.Add(1)
+			continue
+		}
+		res, err := u.srv.ingest.UpsertBinary(payload, u.maxReports)
+		d.finish(res, sampled, allocs0)
+		if err != nil {
+			// Wire-structure errors reject before application; anything
+			// else means the batch applied but did not journal. Either
+			// way the sender hears nothing — count and move on.
+			if res.Accepted+res.Rejected > 0 {
+				u.applyErrors.Add(1)
+			} else {
+				u.frameErrors.Add(1)
+			}
+			continue
+		}
+		u.maybeKick()
+	}
+}
+
+// maybeKick runs the dirty-threshold retrain check at most once per
+// second across all workers.
+func (u *UDPDoor) maybeKick() {
+	if u.srv.retrainDirty <= 0 {
+		return
+	}
+	now := time.Now().Unix()
+	last := u.lastKickSec.Load()
+	if now == last || !u.lastKickSec.CompareAndSwap(last, now) {
+		return
+	}
+	u.srv.maybeKickRetrain(context.Background())
+}

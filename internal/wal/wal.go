@@ -443,10 +443,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 	}
 
-	frame := make([]byte, frameHead+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHead:], payload)
+	frame := AppendFrame(make([]byte, 0, FrameSize(len(payload))), payload)
 	if _, err := l.active.Write(frame); err != nil {
 		// A torn write leaves a bad frame at the tail; the next Open
 		// truncates it away, so the in-memory index must not advance —

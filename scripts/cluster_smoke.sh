@@ -22,7 +22,13 @@
 #      route-latency/training-stage/WAL-fsync histograms;
 #   8. a single request through the router emits one trace ID, echoed
 #      in X-Fleet-Trace and present in the router's and every shard's
-#      structured log.
+#      structured log;
+#   9. a binary-wire soak burst through the router (raw-group splitting
+#      to ring owners, no re-encode) finishes with zero acknowledged
+#      loss — every report a door acked was applied;
+#  10. a UDP datagram burst at a shard's -udp-listen door moves the
+#      datagram counter with zero frame/apply errors (fired last: UDP
+#      bypasses the ring, so it would pollute the byte-compares above).
 #
 # Usage: scripts/cluster_smoke.sh [workdir]
 set -euo pipefail
@@ -86,6 +92,7 @@ start_shard() { # index
     -join "shard$i" -peers "$PEERS" \
     -snapshot-dir "$WORK/snapshots" \
     -wal-dir "$WORK/wal/shard$i" -fsync always \
+    -udp-listen "127.0.0.1:1908$((i + 1))" \
     -addr "127.0.0.1:1808$((i + 1))" >>"$WORK/shard$i.log" 2>&1 &
   PIDS+=($!)
   SHARD_PID[$i]=$!
@@ -282,5 +289,46 @@ for log in router.log shard0.log shard1.log shard2.log; do
   fi
 done
 echo "cluster-smoke: trace $TRACE visible in router and all shard logs"
+
+# 9. Binary-wire soak burst through the router: framed batches hit the
+# guarded /telemetry, the router splits raw groups to ring owners
+# without re-encoding, and every report the doors acknowledged must be
+# applied — zero acknowledged loss on the durable HTTP path. This runs
+# AFTER the byte-compare assertions: soak vehicles are new store
+# content the single-process reference never saw.
+"$WORK/fleetgen" soak -target http://127.0.0.1:18084 -transport binary \
+  -auth-token "$TOKEN" -vehicles 50 -batch 100 -concurrency 2 \
+  -duration 2s >"$WORK/soak-binary.log" 2>&1
+if ! grep -q 'acknowledged loss 0 (must be 0)' "$WORK/soak-binary.log"; then
+  echo "cluster-smoke: FAIL — binary soak burst lost acknowledged reports" >&2
+  cat "$WORK/soak-binary.log" >&2
+  exit 1
+fi
+grep 'soak binary:' "$WORK/soak-binary.log" | sed 's/^/cluster-smoke: /'
+echo "cluster-smoke: binary soak through the router — zero acknowledged loss"
+
+# 10. UDP burst, LAST: datagrams bypass the ring entirely (they apply
+# straight into the receiving shard's store), so nothing below may
+# compare stores against the reference. Fire at shard0's UDP door and
+# require the datagram counter to move with zero frame/apply errors on
+# a clean localhost path.
+"$WORK/fleetgen" soak -target http://127.0.0.1:18081 -transport udp \
+  -udp-addr 127.0.0.1:19081 -vehicles 50 -batch 100 -concurrency 1 \
+  -duration 2s >"$WORK/soak-udp.log" 2>&1
+grep 'soak udp:' "$WORK/soak-udp.log" | sed 's/^/cluster-smoke: /'
+curl -fsS http://127.0.0.1:18081/metrics >"$WORK/metrics-udp.txt"
+UDP_SEEN=$(awk '$1 == "fleet_udp_datagrams" {print $2}' "$WORK/metrics-udp.txt")
+if [ -z "$UDP_SEEN" ] || [ "${UDP_SEEN%.*}" -lt 1 ]; then
+  echo "cluster-smoke: FAIL — shard0's UDP door saw no datagrams (fleet_udp_datagrams=$UDP_SEEN)" >&2
+  exit 1
+fi
+for m in fleet_udp_frame_errors fleet_udp_apply_errors; do
+  V=$(awk -v m="$m" '$1 == m {print $2}' "$WORK/metrics-udp.txt")
+  if [ -n "$V" ] && [ "${V%.*}" -gt 0 ]; then
+    echo "cluster-smoke: FAIL — $m = $V after a clean localhost UDP burst" >&2
+    exit 1
+  fi
+done
+echo "cluster-smoke: UDP door ingested $UDP_SEEN datagrams with zero frame/apply errors"
 
 echo "cluster-smoke: PASS"
