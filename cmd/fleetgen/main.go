@@ -19,12 +19,21 @@
 //	fleetgen soak -target http://localhost:8080 -transport binary \
 //	    -vehicles 1000000 -duration 30s -concurrency 8
 //
+// With soak -read it instead sustains a mixed GET workload against the
+// read path (per-vehicle forecast / fleet forecast / plan, ratio via
+// -read-mix) and reports req/s, the 304 share under -conditional
+// replay, and the server-side latency quantiles (see readsoak.go):
+//
+//	fleetgen soak -read -target http://localhost:8080 \
+//	    -read-mix 80/15/5 -conditional -duration 30s
+//
 // Usage:
 //
 //	fleetgen [-vehicles 24] [-days 1735] [-seed 42] [-corrupt]
 //	         [-o fleet.csv | -post http://host:8080 [-batch-days 90]
 //	          [-auth-token SECRET]]
 //	fleetgen soak -target URL [-transport json|binary|udp] ...
+//	fleetgen soak -read -target URL [-read-mix 80/15/5] [-conditional] ...
 package main
 
 import (

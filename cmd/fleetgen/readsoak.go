@@ -1,0 +1,258 @@
+// The read side of the soak subcommand (`fleetgen soak -read`): a
+// sustained mixed-GET workload against a running fleetserver or
+// cluster router, exercising the generation-keyed read path this
+// server optimizes for — per-vehicle forecasts, the whole-fleet
+// forecast, and the maintenance plan, in a configurable ratio.
+//
+// With -conditional each worker replays the last ETag it saw per
+// route as If-None-Match, so the steady state measures the 304 path
+// (tag comparison, no body) exactly like a well-behaved polling
+// dashboard. The run closes with the client-side accounting (req/s,
+// status mix, 304 share) and the server-side p50/p99 read from the
+// fleet_http_request_seconds histogram delta on GET /metrics.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// readRoutes are the soaked GETs and their fleet_http_request_seconds
+// route labels (mux patterns, not concrete paths).
+var readRoutes = []string{
+	"GET /vehicles/{id}/forecast",
+	"GET /fleet/forecast",
+	"GET /fleet/plan",
+}
+
+// readCounters aggregates read-worker progress.
+type readCounters struct {
+	requests    atomic.Uint64
+	ok          atomic.Uint64 // 200s
+	notModified atomic.Uint64 // 304s
+	errors      atomic.Uint64
+	bytes       atomic.Uint64
+}
+
+// parseReadMix parses "80/15/5" into cumulative percent thresholds for
+// vehicle-forecast / fleet-forecast / plan.
+func parseReadMix(mix string) ([3]uint64, error) {
+	var out [3]uint64
+	parts := strings.Split(mix, "/")
+	if len(parts) != 3 {
+		return out, fmt.Errorf("read-mix %q: want three /-separated percentages", mix)
+	}
+	sum := uint64(0)
+	for i, p := range parts {
+		var v uint64
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return out, fmt.Errorf("read-mix %q: %v", mix, err)
+		}
+		sum += v
+		out[i] = sum
+	}
+	if sum != 100 {
+		return out, fmt.Errorf("read-mix %q sums to %d, want 100", mix, sum)
+	}
+	return out, nil
+}
+
+// fetchVehicleIDs lists the fleet once so per-vehicle reads hit real
+// vehicles; limit caps how many IDs the workers cycle through.
+func fetchVehicleIDs(target string, limit int) ([]string, error) {
+	resp, err := http.Get(target + "/vehicles")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /vehicles answered %s", resp.Status)
+	}
+	var rows []serve.VehicleInfo
+	if err := json.Unmarshal(body, &rows); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(rows))
+	for _, r := range rows {
+		ids = append(ids, r.ID)
+		if len(ids) == limit {
+			break
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("server lists no vehicles; train a fleet first")
+	}
+	return ids, nil
+}
+
+// readHistState is one scrape's view of the read-route latency
+// histogram, cumulative buckets summed across the soaked routes.
+type readHistState map[float64]uint64
+
+func scrapeReadHistogram(target string) (readHistState, error) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	samples, err := obs.ParseText(string(text))
+	if err != nil {
+		return nil, err
+	}
+	soaked := make(map[string]bool, len(readRoutes))
+	for _, r := range readRoutes {
+		soaked[r] = true
+	}
+	out := make(readHistState)
+	for _, s := range samples {
+		// A router scrape relays shard-side series with a shard label;
+		// count only the front door's own histogram, once.
+		if s.Name != "fleet_http_request_seconds_bucket" || s.Label("shard") != "" || !soaked[s.Label("route")] {
+			continue
+		}
+		bound := math.Inf(1)
+		if le := s.Label("le"); le != "+Inf" {
+			fmt.Sscanf(le, "%g", &bound)
+		}
+		out[bound] += uint64(s.Value)
+	}
+	return out, nil
+}
+
+// readSoakMain drives the mixed-GET soak; flags are parsed by soakMain.
+func readSoakMain(target, mix string, conditional bool, vehicles, concurrency int, duration time.Duration) {
+	thresholds, err := parseReadMix(mix)
+	if err != nil {
+		log.Fatalf("soak -read: %v", err)
+	}
+	ids, err := fetchVehicleIDs(target, vehicles)
+	if err != nil {
+		log.Fatalf("soak -read: listing vehicles at %s: %v", target, err)
+	}
+
+	before, err := scrapeReadHistogram(target)
+	if err != nil {
+		log.Fatalf("soak -read: scraping %s/metrics before the run: %v", target, err)
+	}
+
+	paths := func(idx uint64) string {
+		switch r := idx % 100; {
+		case r < thresholds[0]:
+			return "/vehicles/" + ids[idx%uint64(len(ids))] + "/forecast"
+		case r < thresholds[1]:
+			return "/fleet/forecast"
+		default:
+			return "/fleet/plan"
+		}
+	}
+
+	var ctr readCounters
+	// tags maps path -> last seen ETag; per-vehicle reads share their
+	// snapshot-wide tag per path, plan tags fold in day+parameters.
+	var tags sync.Map
+	deadline := time.Now().Add(duration)
+	next := new(atomic.Uint64)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: time.Minute}
+			for time.Now().Before(deadline) {
+				idx := next.Add(1) - 1
+				path := paths(idx)
+				req, err := http.NewRequest(http.MethodGet, target+path, nil)
+				if err != nil {
+					ctr.errors.Add(1)
+					continue
+				}
+				if conditional {
+					if tag, ok := tags.Load(path); ok {
+						req.Header.Set("If-None-Match", tag.(string))
+					}
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					ctr.errors.Add(1)
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ctr.requests.Add(1)
+				ctr.bytes.Add(uint64(n))
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ctr.ok.Add(1)
+					if conditional {
+						if tag := resp.Header.Get("ETag"); tag != "" {
+							tags.Store(path, tag)
+						}
+					}
+				case http.StatusNotModified:
+					ctr.notModified.Add(1)
+				default:
+					ctr.errors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	after, err := scrapeReadHistogram(target)
+	if err != nil {
+		log.Fatalf("soak -read: scraping %s/metrics after the run: %v", target, err)
+	}
+	reportRead(&ctr, mix, conditional, duration, before, after)
+}
+
+// reportRead prints the closing accounting: the generator's view, then
+// the server's own latency histogram over exactly this run.
+func reportRead(ctr *readCounters, mix string, conditional bool, d time.Duration, before, after readHistState) {
+	requests := ctr.requests.Load()
+	rate := float64(requests) / d.Seconds()
+	share := 100 * float64(ctr.notModified.Load()) / math.Max(float64(requests), 1)
+	log.Printf("soak read (mix %s, conditional=%v): %d requests in %s (%.0f req/s), %d x 200, %d x 304 (%.1f%% not-modified), %d errors, %.1f MB read",
+		mix, conditional, requests, d, rate, ctr.ok.Load(), ctr.notModified.Load(), share, ctr.errors.Load(), float64(ctr.bytes.Load())/1e6)
+
+	// Delta the cumulative buckets so pre-run traffic doesn't skew the
+	// quantiles.
+	bounds := make([]float64, 0, len(after))
+	for b := range after {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	cum := make([]uint64, len(bounds))
+	total := uint64(0)
+	for i, b := range bounds {
+		cum[i] = after[b] - before[b]
+		total = cum[i] // buckets are cumulative; +Inf is last
+	}
+	if len(bounds) == 0 || total == 0 {
+		log.Printf("soak read server: no fleet_http_request_seconds delta on the soaked routes")
+		return
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		log.Printf("soak read server: read-route latency p%.0f ≈ %.6fs over %d observed requests",
+			q*100, obs.QuantileFromBuckets(bounds, cum, q), total)
+	}
+}

@@ -17,6 +17,11 @@
 // the server-side fleet_ingest_batch_reports histogram quantiles and
 // the per-door counters, so the generator's view and the server's view
 // sit side by side.
+//
+// With -read the soak flips to the serving side (see readsoak.go): a
+// sustained mixed GET workload over the forecast/plan routes, with
+// optional If-None-Match replay (-conditional) to measure the 304
+// steady state of the generation-keyed response caches.
 package main
 
 import (
@@ -61,10 +66,17 @@ func soakMain(args []string) {
 		duration    = fs.Duration("duration", 10*time.Second, "how long to sustain the load")
 		authToken   = fs.String("auth-token", "", "bearer token for a guarded /telemetry endpoint")
 		quantiles   = fs.Bool("quantiles", false, "scrape GET /metrics after the run and print server-side ingest histograms")
+		readMode    = fs.Bool("read", false, "soak the read path instead: a mixed GET workload (see -read-mix) reported with req/s, 304 share and server-side latency quantiles")
+		readMix     = fs.String("read-mix", "80/15/5", "with -read: percent mix of vehicle-forecast/fleet-forecast/plan GETs (must sum to 100)")
+		conditional = fs.Bool("conditional", false, "with -read: replay each route's last ETag as If-None-Match, measuring the 304 steady state")
 	)
 	_ = fs.Parse(args)
 	if *vehicles <= 0 || *batch <= 0 || *concurrency <= 0 {
 		log.Fatal("soak: -vehicles, -batch and -concurrency must be positive")
+	}
+	if *readMode {
+		readSoakMain(*target, *readMix, *conditional, *vehicles, *concurrency, *duration)
+		return
 	}
 	if *transport == "udp" && *udpAddr == "" {
 		log.Fatal("soak: -transport udp needs -udp-addr (the server's -udp-listen address)")

@@ -1,12 +1,35 @@
 package engine
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ml"
 )
+
+// FleetArtifact names one whole-fleet response body cached per
+// snapshot. Artifacts are built lazily on first read and live for the
+// snapshot's lifetime, so every fleet-wide GET after the first serves
+// pre-marshaled bytes.
+type FleetArtifact int
+
+const (
+	// ArtifactFleetForecast is the GET /fleet/forecast response body.
+	ArtifactFleetForecast FleetArtifact = iota
+	// ArtifactVehicles is the GET /vehicles response body.
+	ArtifactVehicles
+
+	numFleetArtifacts
+)
+
+// maxPlanCacheEntries bounds the per-snapshot plan cache. Plan query
+// parameters are client-controlled cache keys, so an unbounded map
+// would let a scanning client grow memory without limit; past the cap
+// plans are built per request, uncached.
+const maxPlanCacheEntries = 128
 
 // Snapshot is one immutable, fully materialized training result. All
 // fields are written before the snapshot is published and never
@@ -70,6 +93,88 @@ type Snapshot struct {
 	// unexported on purpose — gob-based persistence (internal/snapstore)
 	// skips it, so a restored snapshot simply starts with a cold cache.
 	respCache sync.Map
+
+	// etag is the lazily formatted generation identifier (see ETag).
+	// Lazy because Generation is stamped by the engine after the build,
+	// and because gob restores skip unexported fields — a zero-value
+	// Once simply reformats on first use.
+	etagOnce sync.Once
+	etag     string
+	genID    string
+
+	// fleetArtifacts holds the lazily built whole-fleet response bodies,
+	// one atomic slot per FleetArtifact. Like respCache, the slots live
+	// on the snapshot so the publish swap invalidates them wholesale.
+	fleetArtifacts [numFleetArtifacts]atomic.Pointer[[]byte]
+
+	// plans memoizes marshaled /fleet/plan bodies keyed by
+	// (day, capacity, horizon, maxlead) — the generation key is implicit
+	// in living on the snapshot. Guarded by planMu and bounded by
+	// maxPlanCacheEntries.
+	planMu sync.Mutex
+	plans  map[string][]byte
+}
+
+// GenerationID returns a cheap identifier that is unique per published
+// snapshot: the generation counter plus the build timestamp. The
+// timestamp disambiguates generations across process restarts and
+// cold retrains, where bare counters could repeat.
+func (s *Snapshot) GenerationID() string {
+	s.etagOnce.Do(func() {
+		s.genID = "g" + strconv.FormatUint(s.Generation, 10) +
+			"-" + strconv.FormatUint(uint64(s.BuiltAt.UnixNano()), 16)
+		s.etag = `"` + s.genID + `"`
+	})
+	return s.genID
+}
+
+// ETag is GenerationID quoted as a strong HTTP entity tag.
+func (s *Snapshot) ETag() string {
+	s.GenerationID()
+	return s.etag
+}
+
+// CachedFleetArtifact returns the memoized whole-fleet response body,
+// if a serving path has built it under this snapshot already. The
+// returned slice is shared and must not be mutated.
+func (s *Snapshot) CachedFleetArtifact(a FleetArtifact) ([]byte, bool) {
+	if p := s.fleetArtifacts[a].Load(); p != nil {
+		return *p, true
+	}
+	return nil, false
+}
+
+// StoreFleetArtifact memoizes one whole-fleet response body and
+// returns the canonical copy. First store wins: concurrent builders
+// marshal the same immutable snapshot, so the losers' bytes are
+// identical and simply dropped.
+func (s *Snapshot) StoreFleetArtifact(a FleetArtifact, body []byte) []byte {
+	if s.fleetArtifacts[a].CompareAndSwap(nil, &body) {
+		return body
+	}
+	return *s.fleetArtifacts[a].Load()
+}
+
+// CachedPlan returns the memoized plan body for one parameter key.
+func (s *Snapshot) CachedPlan(key string) ([]byte, bool) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	b, ok := s.plans[key]
+	return b, ok
+}
+
+// StorePlan memoizes one plan body. Past maxPlanCacheEntries new keys
+// are silently dropped — the caller already has the bytes to serve.
+func (s *Snapshot) StorePlan(key string, body []byte) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if s.plans == nil {
+		s.plans = make(map[string][]byte)
+	}
+	if _, ok := s.plans[key]; !ok && len(s.plans) >= maxPlanCacheEntries {
+		return
+	}
+	s.plans[key] = body
 }
 
 // CachedResponse returns the memoized response bytes for one vehicle,

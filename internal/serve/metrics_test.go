@@ -231,11 +231,11 @@ func TestTracePropagation(t *testing.T) {
 // including the route histogram it now feeds — at zero allocations.
 func TestForecastResponseAllocs(t *testing.T) {
 	srv := buildServer(t)
-	if status, _ := srv.ForecastResponse("v02"); status != http.StatusOK {
+	if status, _, _ := srv.ForecastResponse("v02"); status != http.StatusOK {
 		t.Fatalf("warm status %d", status)
 	}
 	if n := testing.AllocsPerRun(200, func() {
-		status, body := srv.ForecastResponse("v02")
+		status, _, body := srv.ForecastResponse("v02")
 		if status != http.StatusOK || len(body) == 0 {
 			t.Fatalf("status %d", status)
 		}

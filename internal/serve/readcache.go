@@ -1,0 +1,202 @@
+// Read-path response caching for the single server: whole-fleet
+// artifacts cached per snapshot generation, strong ETags derived from
+// the generation identifier, and If-None-Match short-circuits. The
+// cluster router builds its merged-response cache (router.go) on the
+// same primitives: shards echo their generation in X-Fleet-Generation
+// and the router keys its cache by the vector of shard generations.
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// HeaderFleetGeneration is the response header data routes echo their
+// snapshot generation identifier on (the unquoted ETag value). The
+// cluster router keys its merged-response cache by the vector of these
+// across shards.
+const HeaderFleetGeneration = "X-Fleet-Generation"
+
+const noSnapshotMsg = "no model snapshot yet; initial training in progress"
+
+// etagMatch reports whether an If-None-Match header matches the given
+// strong entity tag. Weak-prefixed tags compare equal — RFC 7232 weak
+// comparison is what If-None-Match uses — and "*" matches any current
+// representation.
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for len(header) > 0 {
+		tok := header
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			tok, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "W/")
+		if tok == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCached writes one cacheable data response: strong ETag, the
+// generation echo for the cluster router, and the If-None-Match
+// short-circuit — a client holding the current tag gets an empty 304
+// instead of the body.
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, gen, etag string, body []byte) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set(HeaderFleetGeneration, gen)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// buildFleetForecastBody marshals the GET /fleet/forecast body exactly
+// as a fresh per-request marshal would, so cached bytes are
+// indistinguishable on the wire.
+func buildFleetForecastBody(snap *engine.Snapshot) []byte {
+	out := FleetForecastJSON{Forecasts: make([]ForecastJSON, len(snap.Forecasts))}
+	for i, f := range snap.Forecasts {
+		out.Forecasts[i] = toJSON(f)
+	}
+	if len(snap.ForecastErrors) > 0 {
+		out.Errors = snap.ForecastErrors
+	}
+	return encodeJSON(out)
+}
+
+// buildVehiclesBody marshals the GET /vehicles body.
+func buildVehiclesBody(snap *engine.Snapshot) []byte {
+	out := make([]VehicleInfo, 0, len(snap.Statuses))
+	for _, st := range snap.Statuses {
+		out = append(out, VehicleInfo{
+			ID:       st.ID,
+			Category: st.Category.String(),
+			Strategy: st.Strategy,
+			Model:    string(st.Algorithm),
+			Error:    st.Err,
+		})
+	}
+	return encodeJSON(out)
+}
+
+// FleetForecastResponse resolves GET /fleet/forecast to its status,
+// entity tag, and body without touching an http.ResponseWriter. The
+// body is built once per snapshot generation and then served as cached
+// bytes — the warm path is an atomic load, zero allocations. The
+// cluster router calls this directly for in-process shards. The
+// returned bytes are shared — callers must write, not mutate, them.
+func (s *Server) FleetForecastResponse() (status int, etag string, body []byte) {
+	snap := s.engine.Snapshot()
+	if snap == nil {
+		return http.StatusServiceUnavailable, "", encodeJSON(map[string]string{"error": noSnapshotMsg})
+	}
+	if b, ok := snap.CachedFleetArtifact(engine.ArtifactFleetForecast); ok {
+		s.fleetForecastCacheHits.Add(1)
+		return http.StatusOK, snap.ETag(), b
+	}
+	s.fleetForecastCacheMisses.Add(1)
+	b := snap.StoreFleetArtifact(engine.ArtifactFleetForecast, buildFleetForecastBody(snap))
+	return http.StatusOK, snap.ETag(), b
+}
+
+// VehiclesResponse is FleetForecastResponse for GET /vehicles.
+func (s *Server) VehiclesResponse() (status int, etag string, body []byte) {
+	snap := s.engine.Snapshot()
+	if snap == nil {
+		return http.StatusServiceUnavailable, "", encodeJSON(map[string]string{"error": noSnapshotMsg})
+	}
+	if b, ok := snap.CachedFleetArtifact(engine.ArtifactVehicles); ok {
+		s.vehiclesCacheHits.Add(1)
+		return http.StatusOK, snap.ETag(), b
+	}
+	s.vehiclesCacheMisses.Add(1)
+	b := snap.StoreFleetArtifact(engine.ArtifactVehicles, buildVehiclesBody(snap))
+	return http.StatusOK, snap.ETag(), b
+}
+
+// planParams are the /fleet/plan query parameters.
+type planParams struct {
+	capacity, horizon, maxLead int
+}
+
+func parsePlanParams(r *http.Request) (planParams, error) {
+	var p planParams
+	var err error
+	if p.capacity, err = intQuery(r, "capacity", 2); err != nil {
+		return p, err
+	}
+	if p.horizon, err = intQuery(r, "horizon", 365); err != nil {
+		return p, err
+	}
+	if p.maxLead, err = intQuery(r, "maxlead", 7); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// cacheKey folds the scheduling day and every query parameter into the
+// plan cache key; the generation dimension is implicit in the cache
+// living on the snapshot (or, at the router, being keyed by the merged
+// tag).
+func (p planParams) cacheKey(day string) string {
+	return day + "|" + strconv.Itoa(p.capacity) + "|" + strconv.Itoa(p.horizon) + "|" + strconv.Itoa(p.maxLead)
+}
+
+// planETag extends a base entity tag (snapshot or merged-router tag)
+// with the plan cache key: a plan response also varies with the
+// scheduling day and parameters, so they join the validator.
+func planETag(base, key string) string {
+	return base[:len(base)-1] + "|" + key + `"`
+}
+
+// planDay returns the scheduling day every plan request on the same
+// UTC day shares — hoisted out of the scheduler call so it can key the
+// plan cache.
+func planDay() (time.Time, string) {
+	now := time.Now().UTC().Truncate(24 * time.Hour)
+	return now, now.Format("2006-01-02")
+}
+
+// buildPlanBody schedules and marshals the PlanJSON — the one
+// /fleet/plan implementation, shared by the single server (requests
+// from its snapshot) and the cluster router (requests decoded from the
+// merged fleet forecast; a plan is a fleet-global optimization, so
+// per-shard plans cannot merge). Vehicles in forecastErrors are listed
+// unscheduled so a plan never silently drops a vehicle.
+func buildPlanBody(reqs []sched.Request, forecastErrors map[string]string, p planParams, now time.Time) ([]byte, error) {
+	plan, err := sched.Schedule(reqs, sched.Config{Capacity: p.capacity, Start: now, Horizon: p.horizon, MaxLead: p.maxLead})
+	if err != nil {
+		return nil, err
+	}
+	out := PlanJSON{Unscheduled: plan.Unschedulable}
+	for _, id := range sortedKeys(forecastErrors) {
+		out.Unscheduled = append(out.Unscheduled, id)
+	}
+	for _, a := range plan.Assignments {
+		out.Assignments = append(out.Assignments, AssignmentJSON{
+			VehicleID: a.VehicleID,
+			Day:       a.Day.Format("2006-01-02"),
+			LeadDays:  a.LeadDays,
+		})
+	}
+	return encodeJSON(out), nil
+}

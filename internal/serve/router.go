@@ -11,7 +11,12 @@
 //     /admin/status, /admin/ingest, POST /admin/retrain) scatter to
 //     every shard and merge deterministically — forecasts and vehicle
 //     rows sort by vehicle ID, so the merged payload is byte-identical
-//     to a single unsharded server's;
+//     to a single unsharded server's. Data routes are cached keyed by
+//     the vector of shard generations (each shard echoes its
+//     generation in X-Fleet-Generation): an unchanged vector serves
+//     cached merged bytes, a moved vector re-gathers and merges raw
+//     per-vehicle JSON fragments without decode/re-encode, and clients
+//     get strong ETags with If-None-Match honored (routecache.go);
 //   - POST /telemetry is *partitioned*, not broadcast: after the
 //     router-level guard (rate limit, bearer auth) admits a batch, each
 //     vehicle's reports go only to the shard the ring names as its
@@ -40,6 +45,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -152,6 +158,28 @@ type Router struct {
 	// failed (transport error or per-shard deadline).
 	shardCall     *obs.Family
 	shardCallErrs *obs.Family
+
+	// merge is the per-route merged-response cache keyed by the shard
+	// generation vector (routecache.go); the plan cache memoizes
+	// /fleet/plan bodies under the merged tag they were built from.
+	merge   [numFleetRoutes]mergeCache
+	planMu  sync.Mutex
+	planTag string
+	plans   map[string][]byte
+
+	// Read-path counters, exported on /metrics: merged-cache
+	// hits/misses/invalidations, gathers left uncached because a shard's
+	// ETag and generation echo disagreed (torn mid-retrain), shard
+	// fetches validated unchanged (HTTP 304 or in-process tag match),
+	// plan-cache hits/misses, and client conditional GETs answered 304.
+	mergeHits          atomic.Uint64
+	mergeMisses        atomic.Uint64
+	mergeInvalidations atomic.Uint64
+	mergeTorn          atomic.Uint64
+	shardNotModified   atomic.Uint64
+	planCacheHits      atomic.Uint64
+	planCacheMisses    atomic.Uint64
+	notModified        atomic.Uint64
 }
 
 // NewRouter builds the cluster front door. Every ring shard must have
@@ -436,11 +464,14 @@ func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 // goroutine, no memWriter, no re-marshal — while remote backends keep
 // the generic relay.
 type forecastResponder interface {
-	ForecastResponse(id string) (status int, body []byte)
+	ForecastResponse(id string) (status int, etag string, body []byte)
 }
 
 // handleOwnerRoute is the single-owner fast path: the ring names the
-// owning shard and the response relays verbatim.
+// owning shard and the response relays verbatim — ETag included, so
+// conditional GETs work identically through the router (the in-process
+// path answers the 304 right here; the relay path forwards the
+// client's If-None-Match to the shard).
 func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	owner := rt.ring.Owner(id)
@@ -451,10 +482,20 @@ func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	if fr, ok := b.Handler.(forecastResponder); ok {
 		t0 := time.Now()
-		status, body := fr.ForecastResponse(id)
+		status, etag, body := fr.ForecastResponse(id)
 		rt.shardCall.With(owner).ObserveSince(t0)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Fleet-Shard", owner)
+		h := w.Header()
+		h.Set("X-Fleet-Shard", owner)
+		if status == http.StatusOK {
+			h.Set("ETag", etag)
+			h.Set(HeaderFleetGeneration, etag[1:len(etag)-1])
+			if etagMatch(r.Header.Get("If-None-Match"), etag) {
+				rt.notModified.Add(1)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		h.Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		_, _ = w.Write(body)
 		return
@@ -479,26 +520,21 @@ func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleVehicles(w http.ResponseWriter, r *http.Request) {
-	parts, fail := gatherJSON[[]VehicleInfo](rt, r.Context(), "/vehicles")
+	body, etag, fail := rt.gatherMerged(r.Context(), routeVehicles)
 	if fail != nil {
 		fail.write(w)
 		return
 	}
-	var out []VehicleInfo
-	for _, rows := range parts {
-		out = append(out, rows...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	if out == nil {
-		out = []VehicleInfo{}
-	}
-	writeJSON(w, http.StatusOK, out)
+	rt.writeCached(w, r, etag, body)
 }
 
 // mergeFleetForecasts combines per-shard /fleet/forecast payloads into
 // the fleet-wide one: forecasts sorted by vehicle ID (each vehicle is
 // owned by exactly one shard, so the merge is a disjoint union),
-// errors unioned.
+// errors unioned. The serving path now merges raw fragments instead
+// (routecache.go); this decoded merge remains as the independent
+// oracle the byte-identity tests and the uncached-baseline benchmarks
+// compare against.
 func mergeFleetForecasts(parts map[string]FleetForecastJSON) FleetForecastJSON {
 	out := FleetForecastJSON{Forecasts: []ForecastJSON{}}
 	for _, part := range parts {
@@ -515,39 +551,80 @@ func mergeFleetForecasts(parts map[string]FleetForecastJSON) FleetForecastJSON {
 }
 
 func (rt *Router) handleFleetForecast(w http.ResponseWriter, r *http.Request) {
-	parts, fail := gatherJSON[FleetForecastJSON](rt, r.Context(), "/fleet/forecast")
+	body, etag, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
 	if fail != nil {
 		fail.write(w)
 		return
 	}
-	writeJSON(w, http.StatusOK, mergeFleetForecasts(parts))
+	rt.writeCached(w, r, etag, body)
 }
 
-// handlePlan schedules the whole fleet through the shared writePlan
-// path: forecasts gather from every shard, then the workshop scheduler
+// handlePlan schedules the whole fleet: forecasts gather (through the
+// merged-fragment cache) from every shard, then the workshop scheduler
 // runs once at the router — a plan is a fleet-global optimization
 // (capacity is shared across shards), so per-shard plans cannot merge.
+// This is the one fleet-wide route that must fully decode the merged
+// payload; the decode runs only on a plan-cache miss, keyed by
+// (merged tag, day, capacity, horizon, maxlead).
 func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
-	parts, fail := gatherJSON[FleetForecastJSON](rt, r.Context(), "/fleet/forecast")
+	body, etag, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
 	if fail != nil {
 		fail.write(w)
 		return
 	}
-	merged := mergeFleetForecasts(parts)
-	writePlan(w, r, func(now time.Time) []sched.Request {
-		var reqs []sched.Request
-		for _, f := range merged.Forecasts {
-			// The due date came from a shard's own wire encoding; a
-			// parse failure is impossible short of a corrupted relay,
-			// and the clamp below keeps a zero date schedulable anyway.
-			due, _ := time.Parse("2006-01-02", f.DueDate)
-			if due.Before(now) {
-				due = now
-			}
-			reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+	p, err := parsePlanParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	now, day := planDay()
+	key := p.cacheKey(day)
+	ptag := planETag(etag, key)
+	rt.planMu.Lock()
+	if rt.planTag != etag {
+		// Some shard's generation moved: every cached plan is stale.
+		rt.planTag, rt.plans = etag, nil
+	}
+	cached := rt.plans[key]
+	rt.planMu.Unlock()
+	if cached != nil {
+		rt.planCacheHits.Add(1)
+		rt.writeCached(w, r, ptag, cached)
+		return
+	}
+	var merged FleetForecastJSON
+	if err := jsonDecode(body, &merged); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: decoding merged forecasts: %v", err))
+		return
+	}
+	reqs := make([]sched.Request, 0, len(merged.Forecasts))
+	for _, f := range merged.Forecasts {
+		// The due date came from a shard's own wire encoding; a parse
+		// failure is impossible short of a corrupted relay, and the
+		// clamp below keeps a zero date schedulable anyway.
+		due, _ := time.Parse("2006-01-02", f.DueDate)
+		if due.Before(now) {
+			due = now
 		}
-		return reqs
-	}, merged.Errors)
+		reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+	}
+	pbody, err := buildPlanBody(reqs, merged.Errors, p, now)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.planCacheMisses.Add(1)
+	rt.planMu.Lock()
+	if rt.planTag == etag {
+		if rt.plans == nil {
+			rt.plans = make(map[string][]byte)
+		}
+		if _, ok := rt.plans[key]; ok || len(rt.plans) < maxRouterPlanEntries {
+			rt.plans[key] = pbody
+		}
+	}
+	rt.planMu.Unlock()
+	rt.writeCached(w, r, ptag, pbody)
 }
 
 // handleTelemetry guards, then routes the batch. With a shared store

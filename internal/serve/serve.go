@@ -32,6 +32,13 @@
 // incremental — only vehicles whose telemetry changed retrain; the
 // rest carry their models forward (see internal/engine).
 //
+// Data routes are generation-keyed: response bytes (per-vehicle,
+// whole-fleet, and plan) are marshaled once per snapshot generation
+// and then served from cache, every 200 carries a strong ETag derived
+// from the generation plus an X-Fleet-Generation echo, and
+// If-None-Match is honored with 304s — a polling dashboard costs ~0
+// bytes between retrains (see readcache.go).
+//
 // The handler is a plain http.Handler built on the standard library,
 // so it embeds into any existing mux or server.
 package serve
@@ -121,6 +128,15 @@ type Server struct {
 	// after each generation is expected.
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	// The whole-fleet artifact and plan caches get the same accounting
+	// (readcache.go); notModified counts conditional GETs answered 304.
+	fleetForecastCacheHits   atomic.Uint64
+	fleetForecastCacheMisses atomic.Uint64
+	vehiclesCacheHits        atomic.Uint64
+	vehiclesCacheMisses      atomic.Uint64
+	planCacheHits            atomic.Uint64
+	planCacheMisses          atomic.Uint64
+	notModified              atomic.Uint64
 }
 
 // New builds the HTTP facade over an engine. The engine does not need a
@@ -251,7 +267,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 func (s *Server) snapshot(w http.ResponseWriter) (*engine.Snapshot, bool) {
 	snap := s.engine.Snapshot()
 	if snap == nil {
-		writeError(w, http.StatusServiceUnavailable, "no model snapshot yet; initial training in progress")
+		writeError(w, http.StatusServiceUnavailable, noSnapshotMsg)
 		return nil, false
 	}
 	return snap, true
@@ -290,22 +306,15 @@ type VehicleInfo struct {
 	Error string `json:"error,omitempty"`
 }
 
-func (s *Server) handleVehicles(w http.ResponseWriter, _ *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
+func (s *Server) handleVehicles(w http.ResponseWriter, r *http.Request) {
+	status, etag, body := s.VehiclesResponse()
+	if status != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
 		return
 	}
-	out := make([]VehicleInfo, 0, len(snap.Statuses))
-	for _, st := range snap.Statuses {
-		out = append(out, VehicleInfo{
-			ID:       st.ID,
-			Category: st.Category.String(),
-			Strategy: st.Strategy,
-			Model:    string(st.Algorithm),
-			Error:    st.Err,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeCached(w, r, etag[1:len(etag)-1], etag, body)
 }
 
 // ForecastJSON is the wire form of a core.Forecast.
@@ -337,34 +346,35 @@ func encodeJSON(v any) []byte {
 }
 
 // ForecastResponse resolves GET /vehicles/{id}/forecast to its status
-// code and response body without touching an http.ResponseWriter. The
-// 200 path serves (and populates) the current snapshot's response
-// cache, so a hot vehicle is marshaled once per generation and then
-// served as raw bytes; the cluster router calls this directly for
-// in-process shards, skipping the whole HTTP round trip. The returned
-// bytes are shared — callers must write, not mutate, them.
-func (s *Server) ForecastResponse(id string) (status int, body []byte) {
+// code, entity tag, and response body without touching an
+// http.ResponseWriter. The 200 path serves (and populates) the current
+// snapshot's response cache, so a hot vehicle is marshaled once per
+// generation and then served as raw bytes; the cluster router calls
+// this directly for in-process shards, skipping the whole HTTP round
+// trip. Error responses carry no tag — they are uncacheable. The
+// returned bytes are shared — callers must write, not mutate, them.
+func (s *Server) ForecastResponse(id string) (status int, etag string, body []byte) {
 	snap := s.engine.Snapshot()
 	if snap == nil {
-		return http.StatusServiceUnavailable, encodeJSON(map[string]string{"error": "no model snapshot yet; initial training in progress"})
+		return http.StatusServiceUnavailable, "", encodeJSON(map[string]string{"error": noSnapshotMsg})
 	}
 	if b, ok := snap.CachedResponse(id); ok {
 		s.cacheHits.Add(1)
-		return http.StatusOK, b
+		return http.StatusOK, snap.ETag(), b
 	}
 	// Precomputed at snapshot build: the hot path does no model math.
 	if f, ok := snap.ForecastByID[id]; ok {
 		s.cacheMisses.Add(1)
 		b := encodeJSON(toJSON(f))
 		snap.StoreCachedResponse(id, b)
-		return http.StatusOK, b
+		return http.StatusOK, snap.ETag(), b
 	}
 	// Error responses stay uncached: failed-forecast vehicles are cold
 	// paths, and unknown IDs are attacker-controlled cache keys.
 	if msg, ok := snap.ForecastErrors[id]; ok {
-		return http.StatusInternalServerError, encodeJSON(map[string]string{"error": msg})
+		return http.StatusInternalServerError, "", encodeJSON(map[string]string{"error": msg})
 	}
-	return http.StatusNotFound, encodeJSON(map[string]string{"error": fmt.Sprintf("unknown vehicle %q", id)})
+	return http.StatusNotFound, "", encodeJSON(map[string]string{"error": fmt.Sprintf("unknown vehicle %q", id)})
 }
 
 // CacheStats reports the response-cache hit/miss counters.
@@ -373,7 +383,11 @@ func (s *Server) CacheStats() (hits, misses uint64) {
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
-	status, body := s.ForecastResponse(r.PathValue("id"))
+	status, etag, body := s.ForecastResponse(r.PathValue("id"))
+	if status == http.StatusOK {
+		s.writeCached(w, r, etag[1:len(etag)-1], etag, body)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
@@ -387,19 +401,15 @@ type FleetForecastJSON struct {
 	Errors    map[string]string `json:"errors,omitempty"`
 }
 
-func (s *Server) handleFleetForecast(w http.ResponseWriter, _ *http.Request) {
-	snap, ok := s.snapshot(w)
-	if !ok {
+func (s *Server) handleFleetForecast(w http.ResponseWriter, r *http.Request) {
+	status, etag, body := s.FleetForecastResponse()
+	if status != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
 		return
 	}
-	out := FleetForecastJSON{Forecasts: make([]ForecastJSON, len(snap.Forecasts))}
-	for i, f := range snap.Forecasts {
-		out.Forecasts[i] = toJSON(f)
-	}
-	if len(snap.ForecastErrors) > 0 {
-		out.Errors = snap.ForecastErrors
-	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeCached(w, r, etag[1:len(etag)-1], etag, body)
 }
 
 // PlanJSON is the wire form of a workshop plan.
@@ -420,61 +430,38 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writePlan(w, r, func(now time.Time) []sched.Request {
-		var reqs []sched.Request
-		for _, f := range snap.Forecasts {
-			due := f.DueDate
-			if due.Before(now) {
-				due = now
-			}
-			reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+	p, err := parsePlanParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The scheduling day is computed once and folded into the cache key,
+	// so identical same-day queries hit cached bytes and the key rolls
+	// over at UTC midnight by construction.
+	now, day := planDay()
+	key := p.cacheKey(day)
+	etag := planETag(snap.ETag(), key)
+	if body, ok := snap.CachedPlan(key); ok {
+		s.planCacheHits.Add(1)
+		s.writeCached(w, r, snap.GenerationID(), etag, body)
+		return
+	}
+	reqs := make([]sched.Request, 0, len(snap.Forecasts))
+	for _, f := range snap.Forecasts {
+		due := f.DueDate
+		if due.Before(now) {
+			due = now
 		}
-		return reqs
-	}, snap.ForecastErrors)
-}
-
-// writePlan is the one /fleet/plan implementation, shared by the
-// single server (requests from its snapshot) and the cluster router
-// (requests gathered from every shard — a plan is a fleet-global
-// optimization, so per-shard plans cannot merge). It parses the common
-// query parameters, schedules, and writes the PlanJSON; vehicles in
-// forecastErrors are listed unscheduled so a plan never silently drops
-// a vehicle.
-func writePlan(w http.ResponseWriter, r *http.Request, requests func(now time.Time) []sched.Request, forecastErrors map[string]string) {
-	capacity, err := intQuery(r, "capacity", 2)
+		reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+	}
+	body, err := buildPlanBody(reqs, snap.ForecastErrors, p, now)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	horizon, err := intQuery(r, "horizon", 365)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	maxLead, err := intQuery(r, "maxlead", 7)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-
-	now := time.Now().UTC().Truncate(24 * time.Hour)
-	plan, err := sched.Schedule(requests(now), sched.Config{Capacity: capacity, Start: now, Horizon: horizon, MaxLead: maxLead})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	out := PlanJSON{Unscheduled: plan.Unschedulable}
-	for _, id := range sortedKeys(forecastErrors) {
-		out.Unscheduled = append(out.Unscheduled, id)
-	}
-	for _, a := range plan.Assignments {
-		out.Assignments = append(out.Assignments, AssignmentJSON{
-			VehicleID: a.VehicleID,
-			Day:       a.Day.Format("2006-01-02"),
-			LeadDays:  a.LeadDays,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
+	s.planCacheMisses.Add(1)
+	snap.StorePlan(key, body)
+	s.writeCached(w, r, snap.GenerationID(), etag, body)
 }
 
 // RetrainJSON acknowledges a retrain request.

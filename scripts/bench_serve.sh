@@ -1,21 +1,26 @@
 #!/bin/sh
 # Runs the serving-path benchmarks (single-vehicle forecast GET through
-# the server mux, the router's single-owner fast path, and the raw
-# cached-bytes lookup) and emits the results as JSON — the serving
-# counterpart of scripts/bench_ml.sh.
+# the server mux, the router's single-owner fast path, the raw
+# cached-bytes lookup, and the fleet-wide read path at 1k/10k/100k
+# vehicles — uncached marshal vs generation-keyed cache vs conditional
+# 304, on both the single server and the 3-shard router) and emits the
+# results as JSON — the serving counterpart of scripts/bench_ml.sh.
 #
 # Usage:  scripts/bench_serve.sh [output.json]
 #   BENCHTIME=2s scripts/bench_serve.sh BENCH_serve.json
 #
 # The output is one JSON run record in the same shape as BENCH_ml.json;
 # the committed BENCH_serve.json keeps an array of such records. The
-# cached-bytes variant is the zero-allocation pin: allocs_per_op must
-# stay 0 (a warm hit returns already-marshaled bytes, no JSON encode).
+# cached-bytes variants are the zero-allocation pins: allocs_per_op
+# must stay 0 (a warm hit returns already-marshaled bytes, no JSON
+# encode). The fleet uncached variants are the pre-cache baseline the
+# speedup acceptance (>=10x single, >=5x router at 10k) is judged
+# against.
 set -eu
 
 OUT=${1:-BENCH_serve.json}
 BENCHTIME=${BENCHTIME:-1s}
-PATTERN='^BenchmarkForecastServe$'
+PATTERN='^(BenchmarkForecastServe|BenchmarkFleetForecastRead|BenchmarkFleetForecastRouter)$'
 
 NUM_CPU=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo null) | head -1)
 

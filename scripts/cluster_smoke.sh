@@ -7,7 +7,11 @@
 # telemetry to ring owners only), replays fleetgen telemetry through
 # the router — SIGKILLing a shard mid-replay — and asserts:
 #   1. the recovered cluster's merged /fleet/forecast is byte-identical
-#      to a single unsharded fleetserver over the same data;
+#      to a single unsharded fleetserver over the same data — and stays
+#      byte-identical on a warm (merge-cached) second read, answers a
+#      conditional GET holding the merged ETag with an empty 304, and
+#      survives a mixed conditional read soak with the router's
+#      merge-cache hit counter moving and the bytes unchanged after;
 #   2. raw telemetry genuinely partitions ~1/N: per-shard stores are
 #      disjoint, sum to the fleet, and none holds everything;
 #   3. a shard SIGKILLed *after* the replay (everything acknowledged)
@@ -162,6 +166,50 @@ if ! cmp -s "$WORK/single.json" "$WORK/cluster.json"; then
   exit 1
 fi
 echo "cluster-smoke: merged forecasts are byte-identical to single-process (through a mid-replay SIGKILL)"
+
+# 1b. The generation-keyed read path: a second (merge-cached) read
+# serves the same bytes, a conditional GET holding the merged ETag gets
+# an empty 304, and a mixed conditional read soak leaves the bytes
+# untouched while the router's merge cache takes hits.
+curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster-warm.json"
+if ! cmp -s "$WORK/cluster.json" "$WORK/cluster-warm.json"; then
+  echo "cluster-smoke: FAIL — warm merge-cached /fleet/forecast differs from the cold read" >&2
+  exit 1
+fi
+ETAG=$(curl -fsS -D - -o /dev/null http://127.0.0.1:18084/fleet/forecast |
+  tr -d '\r' | awk -F': ' 'tolower($1)=="etag"{print $2}')
+if [ -z "$ETAG" ]; then
+  echo "cluster-smoke: FAIL — merged /fleet/forecast carries no ETag" >&2
+  exit 1
+fi
+COND=$(curl -s -o "$WORK/cond-body" -w '%{http_code}' \
+  -H "If-None-Match: $ETAG" http://127.0.0.1:18084/fleet/forecast)
+if [ "$COND" != "304" ] || [ -s "$WORK/cond-body" ]; then
+  echo "cluster-smoke: FAIL — conditional GET with current ETag got $COND (body $(wc -c <"$WORK/cond-body") bytes), want empty 304" >&2
+  exit 1
+fi
+"$WORK/fleetgen" soak -read -target http://127.0.0.1:18084 \
+  -read-mix 60/30/10 -conditional -concurrency 2 -duration 2s \
+  >"$WORK/soak-read.log" 2>&1
+grep 'soak read' "$WORK/soak-read.log" | sed 's/^/cluster-smoke: /'
+N304=$(sed -n 's/.* \([0-9][0-9]*\) x 304.*/\1/p' "$WORK/soak-read.log" | head -1)
+if [ -z "$N304" ] || [ "$N304" -lt 1 ]; then
+  echo "cluster-smoke: FAIL — conditional read soak produced no 304s" >&2
+  cat "$WORK/soak-read.log" >&2
+  exit 1
+fi
+MERGE_HITS=$(curl -fsS http://127.0.0.1:18084/metrics |
+  awk '$1 == "fleet_router_merge_cache_hits" {print $2}')
+if [ -z "$MERGE_HITS" ] || [ "${MERGE_HITS%.*}" -lt 1 ]; then
+  echo "cluster-smoke: FAIL — router merge cache took no hits under the read soak (fleet_router_merge_cache_hits=$MERGE_HITS)" >&2
+  exit 1
+fi
+curl -fsS http://127.0.0.1:18084/fleet/forecast >"$WORK/cluster-postsoak.json"
+if ! cmp -s "$WORK/cluster.json" "$WORK/cluster-postsoak.json"; then
+  echo "cluster-smoke: FAIL — /fleet/forecast bytes drifted across the read soak" >&2
+  exit 1
+fi
+echo "cluster-smoke: read path — warm bytes identical, 304 on current ETag, $N304 soak 304s, merge-cache hits $MERGE_HITS"
 
 # 2. Raw telemetry partitions ~1/N: per-shard stores are disjoint
 # slices summing to the fleet, and no shard holds everything.
