@@ -1,6 +1,6 @@
 # Developer entry points. CI runs the same commands.
 
-.PHONY: build test race bench-ml bench-serve bench-ingest cluster-smoke
+.PHONY: build test race bench-ml bench-serve bench-ingest bench-compare cluster-smoke
 
 build:
 	go build ./...
@@ -33,6 +33,16 @@ bench-serve:
 # — append to it rather than overwriting.
 bench-ingest:
 	BENCHTIME=$(BENCHTIME) ./scripts/bench_ingest.sh bench-ingest-run.json
+
+# bench-compare diffs the latest two run records of each committed
+# BENCH_*.json (the curated before/after pair of the most recent
+# measurement) as a per-benchmark ratio table, and exits nonzero if a
+# named hot benchmark regressed by more than 10%. CI runs it as a
+# non-blocking report; run it locally after appending a new record to
+# catch accidental slowdowns on the guarded paths.
+BENCH_HOT ?= BenchmarkGBMFit,BenchmarkForestFit,BenchmarkTreeFit
+bench-compare:
+	go run ./cmd/benchcompare -hot '$(BENCH_HOT)' BENCH_ml.json BENCH_serve.json BENCH_ingest.json
 
 # cluster-smoke spins up 3 shard fleetservers (each with its own WAL
 # and snapshot spill) + a router that partitions telemetry to ring

@@ -8,6 +8,9 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -372,8 +375,26 @@ func mlBenchData(n, p int, seed uint64) ([][]float64, []float64) {
 
 // mlBenchWorkers sweeps the intra-fit worker budget at the largest
 // size. Results are bit-identical across the sweep (pinned by the
-// internal/ml property tests), so any delta is pure scheduling.
-var mlBenchWorkers = []int{1, 4, 8}
+// internal/ml property tests), so any delta is pure scheduling. The
+// default sweep can be overridden with MLBENCH_WORKERS=1,2,4,8 — the CI
+// multi-core sweep uses that to measure worker counts this dev host
+// (historically nproc=1) cannot.
+var mlBenchWorkers = mlBenchWorkerList()
+
+func mlBenchWorkerList() []int {
+	if s := os.Getenv("MLBENCH_WORKERS"); s != "" {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && v > 0 {
+				out = append(out, v)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return []int{1, 4, 8}
+}
 
 // BenchmarkTreeFit measures a single exact-engine CART fit across
 // training-set sizes (the unit of work both ensembles multiply).
@@ -425,6 +446,30 @@ func BenchmarkForestFit(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m := forest.New(forest.Config{NEstimators: 20, MaxDepth: 12, MinSamplesLeaf: 2, Seed: 7, Workers: wk})
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Binned-mode forest: the histogram engine at full feature width,
+	// where the parent−sibling subtraction path carries the fill work.
+	b.Run("n=20000/bins=256", func(b *testing.B) {
+		x, y := mlBenchData(20000, 6, 42)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := forest.New(forest.Config{NEstimators: 20, MaxDepth: 12, MinSamplesLeaf: 2, Seed: 7, Bins: 256})
+			if err := m.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, wk := range mlBenchWorkers {
+		b.Run(fmt.Sprintf("n=20000/bins=256/workers=%d", wk), func(b *testing.B) {
+			x, y := mlBenchData(20000, 6, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := forest.New(forest.Config{NEstimators: 20, MaxDepth: 12, MinSamplesLeaf: 2, Seed: 7, Bins: 256, Workers: wk})
 				if err := m.Fit(x, y); err != nil {
 					b.Fatal(err)
 				}

@@ -30,6 +30,10 @@ type ColdStartConfig struct {
 	// FitWorkers caps the intra-fit worker budget (see
 	// PredictorConfig.FitWorkers); results are identical for every value.
 	FitWorkers int
+	// Bins is the fleet-level histogram resolution (see
+	// PredictorConfig.Bins): when > 1 it is folded into the parameter
+	// set unless Params pins "bins" itself.
+	Bins int
 }
 
 // NewColdStartConfig returns paper-style defaults for serving semi-new
@@ -121,7 +125,7 @@ func TrainUnified(train []*timeseries.VehicleSeries, alg Algorithm, cfg ColdStar
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
+	model, err := BuildWithOptions(alg, ApplyBins(params, cfg.Bins), cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +191,7 @@ func TrainSimilarity(test *timeseries.VehicleSeries, train []*timeseries.Vehicle
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
+	model, err := BuildWithOptions(alg, ApplyBins(params, cfg.Bins), cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, "", err
 	}

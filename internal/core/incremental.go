@@ -82,6 +82,7 @@ func (c PredictorConfig) Hash() uint64 {
 	h = fnvString(h, string(c.ColdStartAlgorithm))
 	h = fnvUint64(h, math.Float64bits(c.ValidationFraction))
 	h = fnvUint64(h, c.Seed)
+	h = fnvUint64(h, uint64(c.Bins))
 	// Normalize the evaluation set the same way NewFleetPredictor does
 	// (nil means the default D̃), then fold it in sorted order so two
 	// equal sets hash equally.

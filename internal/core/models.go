@@ -103,6 +103,23 @@ func BuildWithOptions(alg Algorithm, p ml.Params, seed uint64, opts ml.FitOption
 	}
 }
 
+// ApplyBins folds a fleet-level histogram resolution into a parameter
+// set: when bins > 1 and the set does not already pin "bins", a copy
+// carrying it is returned (the input is never mutated — parameter sets
+// are shared across folds and configurations). Algorithms without a
+// binned engine ignore the key.
+func ApplyBins(p ml.Params, bins int) ml.Params {
+	if bins <= 1 {
+		return p
+	}
+	if _, ok := p["bins"]; ok {
+		return p
+	}
+	c := p.Clone()
+	c["bins"] = float64(bins)
+	return c
+}
+
 // DefaultParams returns fixed, well-performing parameters used when no
 // grid search is requested (the repro harness default; see DESIGN.md S3).
 func DefaultParams(alg Algorithm) ml.Params {

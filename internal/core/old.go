@@ -42,6 +42,10 @@ type OldConfig struct {
 	// FitWorkers caps the intra-fit worker budget (see
 	// PredictorConfig.FitWorkers); results are identical for every value.
 	FitWorkers int
+	// Bins is the fleet-level histogram resolution (see
+	// PredictorConfig.Bins): when > 1 it is folded into every parameter
+	// set built here that does not pin "bins" itself.
+	Bins int
 }
 
 // NewOldConfig returns the paper-default configuration: W = 0, 70/30
@@ -155,7 +159,7 @@ func EvaluateOld(vs *timeseries.VehicleSeries, alg Algorithm, cfg OldConfig) (*O
 				return nil, derr
 			}
 			res, serr := ml.GridSearchCV(func(p ml.Params) ml.Regressor {
-				m, berr := BuildWithOptions(alg, p, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
+				m, berr := BuildWithOptions(alg, ApplyBins(p, cfg.Bins), cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 				if berr != nil {
 					panic(berr) // unreachable: alg validated above
 				}
@@ -166,7 +170,7 @@ func EvaluateOld(vs *timeseries.VehicleSeries, alg Algorithm, cfg OldConfig) (*O
 			}
 			params = res.Best
 		}
-		model, err = BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
+		model, err = BuildWithOptions(alg, ApplyBins(params, cfg.Bins), cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,14 @@ type PredictorConfig struct {
 	// is deliberately excluded from Hash() — a snapshot trained with a
 	// different worker count is still byte-for-byte reusable.
 	FitWorkers int
+	// Bins is the fleet-level histogram resolution for the tree
+	// ensembles (RF member trees, XGB stages): when > 1, every model
+	// built for this predictor trains on quantile-binned features at
+	// this resolution unless its parameter set pins "bins" itself. 0
+	// keeps the per-algorithm defaults (exact splits for RF, 256 bins
+	// for XGB). Unlike FitWorkers this changes the fitted models, so it
+	// IS part of Hash().
+	Bins int
 }
 
 // DefaultPredictorConfig mirrors the paper's deployed setup: all trained
@@ -239,7 +247,7 @@ func (sh *TrainShared) Unified() (ml.Regressor, error) {
 			return
 		}
 		t0 := time.Now()
-		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed, FitWorkers: sh.cfg.FitWorkers}
+		cs := ColdStartConfig{Window: sh.cfg.Window, Normalize: sh.cfg.Normalize, Seed: sh.seed, FitWorkers: sh.cfg.FitWorkers, Bins: sh.cfg.Bins}
 		sh.unified, sh.err = TrainUnified(sh.olds, sh.cfg.ColdStartAlgorithm, cs)
 		if sh.err == nil {
 			sh.Observe.observe("fit", sh.cfg.ColdStartAlgorithm, t0)
@@ -378,6 +386,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64, o
 	cfg.RestrictTrain = true // Table 1: restriction is strictly better
 	cfg.Seed = seed
 	cfg.FitWorkers = pcfg.FitWorkers
+	cfg.Bins = pcfg.Bins
 
 	bestScore := math.Inf(1)
 	var bestAlg Algorithm
@@ -415,7 +424,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64, o
 			return VehicleStatus{}, nil, err
 		}
 	}
-	model, err := BuildWithOptions(bestAlg, DefaultParams(bestAlg), seed, ml.FitOptions{Workers: pcfg.FitWorkers})
+	model, err := BuildWithOptions(bestAlg, ApplyBins(DefaultParams(bestAlg), pcfg.Bins), seed, ml.FitOptions{Workers: pcfg.FitWorkers})
 	if err != nil {
 		return VehicleStatus{}, nil, err
 	}
@@ -429,7 +438,7 @@ func trainOld(vs *timeseries.VehicleSeries, pcfg PredictorConfig, seed uint64, o
 
 func trainSemiNew(vs *timeseries.VehicleSeries, shared *TrainShared, seed uint64) (VehicleStatus, ml.Regressor, error) {
 	pcfg := shared.cfg
-	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed, FitWorkers: pcfg.FitWorkers}
+	cs := ColdStartConfig{Window: pcfg.Window, Normalize: pcfg.Normalize, Seed: seed, FitWorkers: pcfg.FitWorkers, Bins: pcfg.Bins}
 	if olds := shared.Olds(); len(olds) > 0 {
 		t0 := time.Now()
 		model, donor, err := TrainSimilarityForLive(vs, olds, pcfg.ColdStartAlgorithm, cs)
@@ -485,7 +494,7 @@ func TrainSimilarityForLive(test *timeseries.VehicleSeries, train []*timeseries.
 	if params == nil {
 		params = DefaultParams(alg)
 	}
-	model, err := BuildWithOptions(alg, params, cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
+	model, err := BuildWithOptions(alg, ApplyBins(params, cfg.Bins), cfg.Seed, ml.FitOptions{Workers: cfg.FitWorkers})
 	if err != nil {
 		return nil, "", err
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ml"
 	"repro/internal/obs"
 )
 
@@ -47,10 +48,42 @@ func (m *TrainMetrics) observer() core.StageObserver {
 	}
 }
 
-// Write renders the training histograms into w.
+// Write renders the training histograms into w, followed by the
+// process-wide histogram-engine work counters.
 func (m *TrainMetrics) Write(w *obs.TextWriter) {
 	m.stages.Write(w)
 	m.models.Write(w)
+	writeHistStats(w)
+}
+
+// writeHistStats exposes the ml package's histogram split-engine
+// accounting: how much work went into direct fills vs. parent−sibling
+// subtraction, and how often quantile binnings were rebuilt vs. served
+// from a matrix's cache. The subtract/fill cell ratio is the payoff of
+// the subtraction trick; builds/reuses the payoff of sharing one binned
+// layout across trees, boosting rounds and grid configurations.
+func writeHistStats(w *obs.TextWriter) {
+	hs := ml.HistStatsSnapshot()
+	w.CounterUint("fleet_ml_hist_fill_rows_total",
+		"Row-by-feature cell updates performed by direct histogram fills.", hs.FillRows)
+	w.CounterUint("fleet_ml_hist_fill_cells_total",
+		"Histogram cells written or zeroed by direct fills.", hs.FillCells)
+	w.CounterUint("fleet_ml_hist_subtract_cells_total",
+		"Histogram cells derived as parent minus sibling instead of refilled.", hs.SubtractCells)
+	w.CounterUint("fleet_ml_hist_sweep_cells_total",
+		"Histogram cells visited by split-gain sweeps.", hs.SweepCells)
+	w.CounterUint("fleet_ml_hist_direct_nodes_total",
+		"Tree nodes whose histogram was filled directly from rows.", hs.DirectNodes)
+	w.CounterUint("fleet_ml_hist_derived_nodes_total",
+		"Tree nodes whose histogram was derived by subtraction.", hs.DerivedNodes)
+	w.Meta("fleet_ml_hist_fill_seconds_total", "Seconds spent in large-node histogram fills.", obs.KindCounter)
+	w.Sample("fleet_ml_hist_fill_seconds_total", "", float64(hs.FillNanos)/1e9)
+	w.Meta("fleet_ml_hist_subtract_seconds_total", "Seconds spent in large-node histogram subtractions.", obs.KindCounter)
+	w.Sample("fleet_ml_hist_subtract_seconds_total", "", float64(hs.SubtractNanos)/1e9)
+	w.CounterUint("fleet_ml_bin_builds_total",
+		"Quantile binnings computed from column data.", ml.BinBuilds())
+	w.CounterUint("fleet_ml_bin_reuses_total",
+		"Bin requests served from a column matrix's cached layout.", ml.BinReuses())
 }
 
 // Metrics returns the engine's training-time telemetry, for the serve

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// TestTrainMetricsWriteHistStats checks that the /metrics assembly
+// carries the histogram split-engine counters and that training work
+// actually moves them.
+func TestTrainMetricsWriteHistStats(t *testing.T) {
+	// Tally some synthetic engine work so the counters are provably
+	// nonzero regardless of what other tests trained before us.
+	ml.AddHistStats(&ml.HistStats{FillRows: 7, SubtractCells: 3, DirectNodes: 2, DerivedNodes: 1})
+
+	m := newTrainMetrics()
+	var w obs.TextWriter
+	m.Write(&w)
+	out := w.String()
+	for _, name := range []string{
+		"fleet_ml_hist_fill_rows_total",
+		"fleet_ml_hist_fill_cells_total",
+		"fleet_ml_hist_subtract_cells_total",
+		"fleet_ml_hist_sweep_cells_total",
+		"fleet_ml_hist_direct_nodes_total",
+		"fleet_ml_hist_derived_nodes_total",
+		"fleet_ml_hist_fill_seconds_total",
+		"fleet_ml_hist_subtract_seconds_total",
+		"fleet_ml_bin_builds_total",
+		"fleet_ml_bin_reuses_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" counter") {
+			t.Errorf("missing counter %s in exposition", name)
+		}
+	}
+	if strings.Contains(out, "fleet_ml_hist_fill_rows_total 0\n") {
+		t.Error("fill rows counter stayed zero despite tallied work")
+	}
+	if strings.Contains(out, "fleet_ml_hist_derived_nodes_total 0\n") {
+		t.Error("derived nodes counter stayed zero despite tallied work")
+	}
+}

@@ -30,7 +30,11 @@ type ColMatrix struct {
 	binned map[int]*Binned
 }
 
-// Binned is one quantile-binned representation of a ColMatrix.
+// Binned is one quantile-binned representation of a ColMatrix: the
+// binned-row layout the histogram split engines train from. It is
+// computed once per (matrix, resolution) and shared read-only by every
+// tree of a forest, every GBM boosting round, and every grid-search
+// configuration at the same resolution.
 type Binned struct {
 	// Cols holds one uint8 bin code per (feature, row), column-major.
 	Cols [][]uint8
@@ -38,7 +42,20 @@ type Binned struct {
 	// feature: code(v) <= b  ⟺  v <= Edges[f][b]. A feature with k+1
 	// bins has k edges; a constant feature has none.
 	Edges [][]float64
+	// Start[f] is feature f's offset into a flat per-node histogram
+	// spanning all features back to back (feature f owns bins
+	// [Start[f], Start[f+1])); Start[p] == Total. Flat offsets size a
+	// node's histogram to the bins that exist (Σ len(Edges[f])+1)
+	// rather than features×256, which is what makes whole-node slabs —
+	// the unit the parent−sibling subtraction engine fills, derives and
+	// pools — compact enough to keep O(depth) of them live per fit.
+	Start []int
+	// Total is the summed bin count across features, Start[p].
+	Total int
 }
+
+// FeatureBins returns the number of bins of feature f.
+func (b *Binned) FeatureBins(f int) int { return b.Start[f+1] - b.Start[f] }
 
 // NewColMatrix validates x and copies it into column-major storage.
 func NewColMatrix(x [][]float64) (*ColMatrix, error) {
@@ -121,11 +138,14 @@ func (m *ColMatrix) Bin(maxBins int) *Binned {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if b, ok := m.binned[maxBins]; ok {
+		binReuses.Add(1)
 		return b
 	}
+	binBuilds.Add(1)
 	b := &Binned{
 		Cols:  make([][]uint8, m.p),
 		Edges: make([][]float64, m.p),
+		Start: make([]int, m.p+1),
 	}
 	backing := make([]uint8, m.n*m.p)
 	vals := make([]float64, m.n) // sort scratch, reused across features
@@ -137,7 +157,9 @@ func (m *ColMatrix) Bin(maxBins int) *Binned {
 			codes[i] = BinOf(v, edges)
 		}
 		b.Cols[j] = codes
+		b.Start[j+1] = b.Start[j] + len(edges) + 1
 	}
+	b.Total = b.Start[m.p]
 	if m.binned == nil {
 		m.binned = make(map[int]*Binned)
 	}

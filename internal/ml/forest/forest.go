@@ -80,6 +80,16 @@ type Model struct {
 var _ ml.Regressor = (*Model)(nil)
 var _ ml.MatrixFitter = (*Model)(nil)
 var _ ml.BatchPredictor = (*Model)(nil)
+var _ ml.BinsHinter = (*Model)(nil)
+
+// BinsHint reports the quantile-binning resolution this configuration's
+// trees train at (ml.BinsHinter); ≤ 1 means exact splits, no binning.
+func (m *Model) BinsHint() int {
+	if m.Bins > 256 {
+		return 256
+	}
+	return m.Bins
+}
 
 // New returns an unfitted forest with the given configuration.
 func New(cfg Config) *Model {

@@ -115,6 +115,17 @@ type bnode struct {
 var _ ml.Regressor = (*Model)(nil)
 var _ ml.MatrixFitter = (*Model)(nil)
 var _ ml.BatchPredictor = (*Model)(nil)
+var _ ml.BinsHinter = (*Model)(nil)
+
+// BinsHint reports the quantile-binning resolution this configuration
+// trains at (ml.BinsHinter), mirroring the clamp ColMatrix.Bin applies
+// at fit time — a boosted model always bins.
+func (m *Model) BinsHint() int {
+	if m.MaxBins <= 1 || m.MaxBins > 256 {
+		return 256
+	}
+	return m.MaxBins
+}
 
 // New returns an unfitted model, normalizing invalid config fields to
 // the defaults.
@@ -151,9 +162,16 @@ func New(cfg Config) *Model {
 // buffer is allocated once and reused across rounds.
 type trainer struct {
 	m    *Model
+	bn   *ml.Binned
 	bins [][]uint8 // column-major bin codes
 	grad []float64
 	pred []float64
+
+	// slabFree pools the stage trees' histogram slabs (slab.go); stats
+	// tallies fill/subtract/sweep work, merged into the package
+	// counters once per Fit.
+	slabFree []*gslab
+	stats    ml.HistStats
 
 	rows    []int32 // current round's rows, segment-partitioned in place
 	scratch []int32
@@ -187,6 +205,28 @@ type trainer struct {
 	featBin  []uint8
 	featGL   []float64
 	featHit  []bool
+
+	// Bin-range parallelism scratch for the univariate stage builder
+	// (growTree1D): per-range sweep prefixes and range-local bests,
+	// merged in bin order (see sweep1D).
+	rangePre []binRangePrefix
+	rangeRes []binRangeBest
+}
+
+// binRangePrefix is the serial sweep's running (gradient sum, row
+// count) snapshotted at a worker range's first bin.
+type binRangePrefix struct {
+	gl float64
+	nl int
+}
+
+// binRangeBest is one worker range's best split candidate.
+type binRangeBest struct {
+	gain float64
+	gl   float64
+	bin  int
+	nl   int
+	hit  bool
 }
 
 // scanState is one worker's private histogram accumulator.
@@ -245,6 +285,7 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 
 	t := &trainer{
 		m:       m,
+		bn:      bn,
 		bins:    bn.Cols,
 		grad:    make([]float64, n),
 		pred:    make([]float64, n),
@@ -264,6 +305,10 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 		t.featBin = make([]uint8, p)
 		t.featGL = make([]float64, p)
 		t.featHit = make([]bool, p)
+	}
+	if t.workers > 1 {
+		t.rangePre = make([]binRangePrefix, t.workers)
+		t.rangeRes = make([]binRangeBest, t.workers)
 	}
 	for i := range t.pred {
 		t.pred[i] = base
@@ -383,6 +428,8 @@ func (m *Model) FitMatrix(cm *ml.ColMatrix, y []float64) error {
 		m.stageStart = m.stageStart[:bestRound+2]
 		m.nodes = m.nodes[:m.stageStart[bestRound+1]]
 	}
+	t.recycleSlabs()
+	ml.AddHistStats(&t.stats)
 	m.fitted = true
 	return nil
 }
@@ -398,7 +445,16 @@ func (t *trainer) growTree(rows []int32, gRoot float64) {
 		t.growTree1D(rows, gRoot)
 		return
 	}
-	t.build(0, len(rows), 0, gRoot)
+	// Large multi-feature rounds run on the slab subtraction engine:
+	// the root's histogram is materialized once and descendants derive
+	// as parent − sibling (slab.go). Smaller rounds keep the
+	// per-candidate scan path, bit-identically.
+	var root *gslab
+	if len(rows) >= histSlabMinRows {
+		root = t.acquireSlab()
+		t.fillSlab(root, 0, len(rows))
+	}
+	t.build(0, len(rows), 0, gRoot, root)
 }
 
 // growTree1D grows a stage over a single-feature matrix (the paper's
@@ -413,13 +469,8 @@ func (t *trainer) growTree(rows []int32, gRoot float64) {
 func (t *trainer) growTree1D(rows []int32, gRoot float64) {
 	m := t.m
 	codes := t.bins[0]
-	grad := t.grad
-	for _, i := range rows {
-		c := codes[i]
-		t.hist[c].g += grad[i]
-		t.hist[c].n++
-	}
 	nb := len(m.edges[0]) + 1
+	t.fill1D(rows, nb)
 	recip := t.recip
 	minChild := m.MinChildSamples
 
@@ -431,36 +482,12 @@ func (t *trainer) growTree1D(rows []int32, gRoot float64) {
 		self := int32(len(m.nodes) - t.base)
 		m.nodes = append(m.nodes, bnode{feature: -1, value: val})
 		if depth < m.MaxDepth && cnt >= 2*minChild {
-			bestGain := 0.0
-			bestBin := -1
-			bestGL := 0.0
-			bestNL := 0
 			parent := g * g * recip[cnt]
-			var gl float64
-			var nl int
 			end := hi
 			if end > nb-2 {
 				end = nb - 2
 			}
-			for c := lo; c <= end; c++ {
-				cell := t.hist[c]
-				if cell.n == 0 {
-					continue
-				}
-				gl += cell.g
-				nl += int(cell.n)
-				nr := cnt - nl
-				if nl >= minChild && nr >= minChild {
-					gr := g - gl
-					gn := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
-					if gn > bestGain {
-						bestGain = gn
-						bestBin = c
-						bestGL = gl
-						bestNL = nl
-					}
-				}
-			}
+			bestGain, bestBin, bestGL, bestNL := t.sweep1D(lo, end, cnt, g, parent)
 			if bestGain > 1e-12 {
 				nd := &m.nodes[t.base+int(self)]
 				nd.feature = 0
@@ -480,29 +507,168 @@ func (t *trainer) growTree1D(rows []int32, gRoot float64) {
 	}
 	buildRange(0, nb-1, 0, len(rows), gRoot)
 
-	// Apply the stage to its rows through the bin table and reset the
-	// histogram for the next round.
-	for _, i := range rows {
-		t.pred[i] += t.valTab[codes[i]]
+	// Apply the stage to its rows through the bin table (row-chunk
+	// parallel on large rounds — every row's update is independent) and
+	// reset the histogram for the next round.
+	if t.workers > 1 && len(rows) >= binRangeMinRows {
+		pool.DoWorkers(t.workers, t.workers, func(_, w int) {
+			chunk := rows[len(rows)*w/t.workers : len(rows)*(w+1)/t.workers]
+			for _, i := range chunk {
+				t.pred[i] += t.valTab[codes[i]]
+			}
+		})
+	} else {
+		for _, i := range rows {
+			t.pred[i] += t.valTab[codes[i]]
+		}
 	}
 	for c := 0; c < nb; c++ {
 		t.hist[c] = histCell{}
 	}
 }
 
+// fill1D builds the univariate stage's single histogram. Large rounds
+// with Workers > 1 fill by bin-range ownership: every worker scans the
+// whole segment but accumulates only the bins in its range, so each
+// bin's sum is built in segment row order by exactly one worker —
+// bit-identical to the serial fill with no merge step. (The scan work
+// is duplicated per worker; the gate keeps the fan-out to rounds large
+// enough that splitting the accumulation wins wall-clock.)
+func (t *trainer) fill1D(rows []int32, nb int) {
+	codes := t.bins[0]
+	grad := t.grad
+	if t.workers > 1 && len(rows) >= binRangeMinRows && nb >= 2 {
+		nw := t.workers
+		if nw > nb {
+			nw = nb
+		}
+		pool.DoWorkers(nw, nw, func(_, w int) {
+			clo := uint8(nb * w / nw)
+			chi := uint8(nb*(w+1)/nw - 1)
+			for _, i := range rows {
+				c := codes[i]
+				if c < clo || c > chi {
+					continue
+				}
+				t.hist[c].g += grad[i]
+				t.hist[c].n++
+			}
+		})
+	} else {
+		for _, i := range rows {
+			c := codes[i]
+			t.hist[c].g += grad[i]
+			t.hist[c].n++
+		}
+	}
+	t.stats.FillRows += uint64(len(rows))
+	t.stats.DirectNodes++
+}
+
+// sweep1D finds the best split boundary over bin range [lo, end] of the
+// univariate histogram, for a node holding cnt rows with gradient sum
+// g. Large nodes sweep the range in parallel worker sub-ranges: one
+// serial prefix pass snapshots the running (gl, nl) at each sub-range's
+// start — the exact floats the serial sweep would carry in — then the
+// sub-ranges sweep concurrently and merge in bin order under the
+// strict-> rule, preserving first-candidate-wins. Results are
+// bit-identical at every worker count.
+func (t *trainer) sweep1D(lo, end, cnt int, g, parent float64) (bestGain float64, bestBin int, bestGL float64, bestNL int) {
+	bestBin = -1
+	recip := t.recip
+	minChild := t.m.MinChildSamples
+	nbins := end - lo + 1
+	if t.workers > 1 && cnt >= binRangeMinRows && nbins >= 2 {
+		nw := t.workers
+		if nw > nbins {
+			nw = nbins
+		}
+		pre := t.rangePre[:nw]
+		var gl float64
+		var nl int
+		for k := 0; k < nw; k++ {
+			pre[k] = binRangePrefix{gl, nl}
+			for c := lo + nbins*k/nw; c <= lo+nbins*(k+1)/nw-1; c++ {
+				cell := t.hist[c]
+				if cell.n == 0 {
+					continue
+				}
+				gl += cell.g
+				nl += int(cell.n)
+			}
+		}
+		res := t.rangeRes[:nw]
+		pool.DoWorkers(nw, nw, func(_, k int) {
+			gl, nl := pre[k].gl, pre[k].nl
+			best := binRangeBest{bin: -1}
+			for c := lo + nbins*k/nw; c <= lo+nbins*(k+1)/nw-1; c++ {
+				cell := t.hist[c]
+				if cell.n == 0 {
+					continue
+				}
+				gl += cell.g
+				nl += int(cell.n)
+				nr := cnt - nl
+				if nl >= minChild && nr >= minChild {
+					gr := g - gl
+					gn := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+					if gn > best.gain {
+						best = binRangeBest{gain: gn, gl: gl, bin: c, nl: nl, hit: true}
+					}
+				}
+			}
+			res[k] = best
+		})
+		for k := 0; k < nw; k++ {
+			if res[k].hit && res[k].gain > bestGain {
+				bestGain, bestBin, bestGL, bestNL = res[k].gain, res[k].bin, res[k].gl, res[k].nl
+			}
+		}
+		return bestGain, bestBin, bestGL, bestNL
+	}
+	var gl float64
+	var nl int
+	for c := lo; c <= end; c++ {
+		cell := t.hist[c]
+		if cell.n == 0 {
+			continue
+		}
+		gl += cell.g
+		nl += int(cell.n)
+		nr := cnt - nl
+		if nl >= minChild && nr >= minChild {
+			gr := g - gl
+			gn := gl*gl*recip[nl] + gr*gr*recip[nr] - parent
+			if gn > bestGain {
+				bestGain, bestBin, bestGL, bestNL = gn, c, gl, nl
+			}
+		}
+	}
+	return bestGain, bestBin, bestGL, bestNL
+}
+
 // build grows the subtree over segment [lo, hi) of the round's rows.
 // g threads the segment's gradient sum down the recursion: the root
 // computes it once, children receive the sums accumulated during the
 // parent's partition pass — the same float sequence a per-node pass
-// over the child's segment would produce.
-func (t *trainer) build(lo, hi, depth int, g float64) int32 {
+// over the child's segment would produce. s is the node's materialized
+// histogram on the slab path, nil on the direct path; build owns it and
+// releases it (or hands it to a child via derivation) before returning.
+func (t *trainer) build(lo, hi, depth int, g float64, s *gslab) int32 {
 	m := t.m
 	val := -g / (float64(hi-lo) + m.Lambda) * m.LearningRate
 	self := int32(len(m.nodes) - t.base)
 	m.nodes = append(m.nodes, bnode{feature: -1, value: val})
 
 	if depth < m.MaxDepth && hi-lo >= 2*m.MinChildSamples {
-		feat, bin, gl, gain := t.bestHistSplit(lo, hi, g)
+		var feat int
+		var bin uint8
+		var gl, gain float64
+		if s != nil {
+			feat, bin, gl, gain = t.bestSplitSlab(s, lo, hi, g)
+		} else {
+			feat, bin, gl, gain = t.bestHistSplit(lo, hi, g)
+		}
 		if gain > 1e-12 {
 			// The winning candidate's cumulative gradient sum IS the
 			// left child's total (same row set, summed in bin order);
@@ -517,8 +683,12 @@ func (t *trainer) build(lo, hi, depth int, g float64) int32 {
 				// bin, so raw x ≤ edge routes left like bin ≤ b.
 				nd.threshold = m.edges[feat][bin]
 				nd.bin = bin
-				l := t.build(lo, mid, depth+1, gl)
-				r := t.build(mid, hi, depth+1, gr)
+				var ls, rs *gslab
+				if s != nil {
+					ls, rs = t.childSlabs(s, lo, mid, hi, depth)
+				}
+				l := t.build(lo, mid, depth+1, gl, ls)
+				r := t.build(mid, hi, depth+1, gr, rs)
 				m.nodes[t.base+int(self)].kids = [2]int32{l, r}
 				return self
 			}
@@ -527,6 +697,7 @@ func (t *trainer) build(lo, hi, depth int, g float64) int32 {
 	// The node stays a leaf: its segment's rows take the leaf value
 	// into their running prediction (bit-identical to walking the
 	// finished tree, without the walk).
+	t.releaseSlab(s)
 	for _, i := range t.rows[lo:hi] {
 		t.pred[i] += val
 	}
@@ -593,6 +764,8 @@ func (t *trainer) bestHistSplit(lo, hi int, gTot float64) (feature int, bin uint
 			}
 		}
 	}
+	t.stats.FillRows += uint64(len(seg)) * uint64(len(t.bins))
+	t.stats.DirectNodes++
 	if bestFeat < 0 {
 		return 0, 0, 0, 0
 	}

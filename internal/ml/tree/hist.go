@@ -20,12 +20,20 @@ import (
 // the winning bin), so prediction needs no binning and behaves exactly
 // like an exact tree's.
 //
+// Large fits without feature subsampling run on the slab engine on top
+// (slab.go): each node's histogram is materialized once in a pooled
+// flat slab, children derive as parent − sibling, and only the smaller
+// child is ever refilled from rows. Small fits, small subtrees and
+// MaxFeatures-sampled fits keep this file's direct per-candidate path.
+//
 // With Config.Workers > 1 the engine parallelizes the same two ways as
 // the exact engine (see exactBuilder): concurrent candidate histogram
 // builds at large nodes — each worker fills a private histState over
-// its claimed features — and forked subtrees below the frontier depth.
-// Results are bit-identical for every worker count.
+// its claimed features (slab nodes instead fill feature chunks of the
+// shared slab and sweep it concurrently) — and forked subtrees below
+// the frontier depth. Results are bit-identical for every worker count.
 type histBuilder struct {
+	bn    *ml.Binned
 	bins  [][]uint8
 	edges [][]float64
 	y     []float64
@@ -36,6 +44,12 @@ type histBuilder struct {
 	feats   []int
 	nodes   []node
 	minLeaf float64
+
+	// slabFree pools this builder's histogram slabs (forked subtree
+	// builders pool their own); stats tallies fill/subtract/sweep work,
+	// merged into the package counters once per fit.
+	slabFree []*histSlab
+	stats    ml.HistStats
 
 	// gains accumulates per-feature importance on the root builder;
 	// forked subtree builders leave it nil and record into gainLog
@@ -59,6 +73,7 @@ func (m *Model) fitHist(cm *ml.ColMatrix, y []float64, w []float64) {
 	n, p := cm.Len(), cm.Width()
 	bn := cm.Bin(m.Bins)
 	b := &histBuilder{
+		bn:      bn,
 		bins:    bn.Cols,
 		edges:   bn.Edges,
 		y:       y,
@@ -90,7 +105,19 @@ func (m *Model) fitHist(cm *ml.ColMatrix, y []float64, w []float64) {
 		}
 	}
 
-	b.grow(0, len(b.idx), 0)
+	// Engage the slab subtraction engine for large full-feature fits:
+	// the root's histogram is materialized once and every descendant
+	// derives from it. MaxFeatures subsampling keeps the direct path
+	// (per-candidate fills — a slab fills all features, most of which a
+	// sampled node would never sweep).
+	var root *histSlab
+	if len(b.idx) >= histSlabMinRows && !(m.MaxFeatures > 0 && m.MaxFeatures < p) {
+		root = b.acquireSlab()
+		b.fillSlab(root, 0, len(b.idx))
+	}
+	b.grow(0, len(b.idx), 0, root)
+	b.recycleSlabs()
+	ml.AddHistStats(&b.stats)
 	m.nodes = b.nodes
 	m.width = p
 	m.importances = b.gains
@@ -128,20 +155,33 @@ func (b *histBuilder) logGain(feat int, improvement float64) {
 }
 
 // grow builds the subtree over segment [lo, hi) and returns its node
-// index.
-func (b *histBuilder) grow(lo, hi, depth int) int32 {
+// index. s is the node's materialized histogram on the slab path, nil
+// on the direct path; grow owns it and releases it (or hands it to a
+// child via derivation) before returning.
+func (b *histBuilder) grow(lo, hi, depth int, s *histSlab) int32 {
 	self := int32(len(b.nodes))
 	sum, count := b.nodeStats(lo, hi)
 	b.nodes = append(b.nodes, node{feature: -1, value: sum / count})
 
 	if count < float64(b.cfg.MinSamplesSplit) {
+		b.releaseSlab(s)
 		return self
 	}
 	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		b.releaseSlab(s)
 		return self
 	}
-	feat, bin, improvement, ok := b.bestSplit(lo, hi, sum, count)
+	var feat int
+	var bin uint8
+	var improvement, nl float64
+	var ok bool
+	if s != nil {
+		feat, bin, improvement, nl, ok = b.bestSplitSlab(s, lo, hi, sum, count)
+	} else {
+		feat, bin, improvement, ok = b.bestSplit(lo, hi, sum, count)
+	}
 	if !ok {
+		b.releaseSlab(s)
 		return self
 	}
 	b.logGain(feat, improvement)
@@ -150,13 +190,17 @@ func (b *histBuilder) grow(lo, hi, depth int) int32 {
 	// x <= edge routes left exactly like code <= bin did in training.
 	b.nodes[self].threshold = b.edges[feat][bin]
 	mid := b.partition(lo, hi, b.bins[feat], bin)
+	var ls, rs *histSlab
+	if s != nil {
+		ls, rs = b.childSlabs(s, lo, mid, hi, depth, nl, count-nl)
+	}
 	if b.par.shouldFork(depth, mid-lo, hi-mid) && b.par.acquire() {
-		l, r := b.growForked(lo, mid, hi, depth)
+		l, r := b.growForked(lo, mid, hi, depth, ls, rs)
 		b.nodes[self].kids = [2]int32{l, r}
 		return self
 	}
-	l := b.grow(lo, mid, depth+1)
-	r := b.grow(mid, hi, depth+1)
+	l := b.grow(lo, mid, depth+1, ls)
+	r := b.grow(mid, hi, depth+1, rs)
 	b.nodes[self].kids = [2]int32{l, r}
 	return self
 }
@@ -167,8 +211,9 @@ func (b *histBuilder) grow(lo, hi, depth int) int32 {
 // block into the serial node layout (see exactBuilder.growForked — the
 // mechanics are identical, minus the shared left/order arrays the
 // histogram engine does not have).
-func (b *histBuilder) growForked(lo, mid, hi, depth int) (l, r int32) {
+func (b *histBuilder) growForked(lo, mid, hi, depth int, ls, rs *histSlab) (l, r int32) {
 	child := &histBuilder{
+		bn:      b.bn,
 		bins:    b.bins,
 		edges:   b.edges,
 		y:       b.y,
@@ -184,9 +229,9 @@ func (b *histBuilder) growForked(lo, mid, hi, depth int) (l, r int32) {
 	go func() {
 		defer close(done)
 		defer b.par.release()
-		child.grow(mid, hi, depth+1)
+		child.grow(mid, hi, depth+1, rs)
 	}()
-	l = b.grow(lo, mid, depth+1)
+	l = b.grow(lo, mid, depth+1, ls)
 	<-done
 	b.nodes, r = spliceNodes(b.nodes, child.nodes)
 	if b.gains != nil {
@@ -196,6 +241,8 @@ func (b *histBuilder) growForked(lo, mid, hi, depth int) (l, r int32) {
 	} else {
 		b.gainLog = append(b.gainLog, child.gainLog...)
 	}
+	b.stats.Merge(&child.stats)
+	b.slabFree = append(b.slabFree, child.slabFree...)
 	return l, r
 }
 
@@ -254,6 +301,8 @@ func (b *histBuilder) bestSplit(lo, hi int, total, count float64) (feature int, 
 			}
 		}
 	}
+	b.stats.FillRows += uint64(hi-lo) * uint64(len(candidates))
+	b.stats.DirectNodes++
 	if ok {
 		improvement = bestGain - parentScore
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package tree
+
+// raceEnabled reports that this test binary runs under the race
+// detector; see race_test.go.
+const raceEnabled = false

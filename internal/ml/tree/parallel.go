@@ -65,10 +65,12 @@ type fitPar struct {
 	// Per-candidate results of a feature-parallel bestSplit, merged in
 	// candidate order by the calling goroutine. Sized to the feature
 	// count; only the root builder fans out feature scans, so one set
-	// of arrays suffices.
+	// of arrays suffices. nl carries the winning boundary's left-child
+	// weight, which the slab engine's child-derivation gate consumes.
 	gain []float64
 	thr  []float64
 	bin  []uint8
+	nl   []float64
 	hit  []bool
 
 	// scratch holds the extra workers' stable-partition spill buffers
@@ -98,6 +100,7 @@ func newFitPar(cfg Config, p int) *fitPar {
 		gain:     make([]float64, p),
 		thr:      make([]float64, p),
 		bin:      make([]uint8, p),
+		nl:       make([]float64, p),
 		hit:      make([]bool, p),
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package tree
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops Puts at random — the
+// recycler tests' pool-contents assertions would be flaky there.
+const raceEnabled = true

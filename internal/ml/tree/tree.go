@@ -89,6 +89,16 @@ type node struct {
 
 var _ ml.Regressor = (*Model)(nil)
 var _ ml.MatrixFitter = (*Model)(nil)
+var _ ml.BinsHinter = (*Model)(nil)
+
+// BinsHint reports the quantile-binning resolution this configuration
+// trains at (ml.BinsHinter); ≤ 1 means the exact engine, no binning.
+func (m *Model) BinsHint() int {
+	if m.Bins > 256 {
+		return 256
+	}
+	return m.Bins
+}
 
 // New returns a tree with the given config, applying defaults for unset
 // minimums.

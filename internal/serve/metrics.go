@@ -189,6 +189,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.CounterUint("fleet_router_shard_not_modified_total", "Per-shard fetches validated unchanged (HTTP 304 or in-process tag match).", rt.shardNotModified.Load())
 	m.CounterUint("fleet_router_plan_cache_hits", "GET /fleet/plan responses served from the router plan cache.", rt.planCacheHits.Load())
 	m.CounterUint("fleet_router_plan_cache_misses", "GET /fleet/plan bodies decoded, scheduled, and marshaled fresh at the router.", rt.planCacheMisses.Load())
+	m.CounterUint("fleet_router_plan_decode_hits", "Plan builds that reused the decoded requests of an earlier gather at the same merged tag and day.", rt.planDecodeHits.Load())
+	m.CounterUint("fleet_router_plan_decode_misses", "Plan builds that decoded the merged forecast payload.", rt.planDecodeMisses.Load())
+	m.CounterUint("fleet_router_plan_torn_bypass", "Plans built from torn gathers: served to the caller, never cached.", rt.planTornBypass.Load())
 	m.CounterUint("fleet_http_not_modified_total", "Conditional GETs answered 304 Not Modified by the router.", rt.notModified.Load())
 	obs.WriteRuntimeMetrics(&m)
 

@@ -251,8 +251,12 @@ func mergedETag(vector string) string {
 // with bytes from one generation and headers from another; the
 // ETag/X-Fleet-Generation pair exposes that, and such a torn gather is
 // served to the caller but never stored in the cache — only a gather
-// whose generation vector is consistent becomes a cache entry.
-func (rt *Router) gatherMerged(ctx context.Context, route fleetRoute) (body []byte, etag string, fail *fanoutError) {
+// whose generation vector is consistent becomes a cache entry. torn
+// reports that condition to the caller, because the never-cache rule
+// extends to anything *derived* from the body: a torn gather's etag
+// cannot vouch for its bytes, so derived artifacts (the router's plan
+// bodies) must not be memoized under it either.
+func (rt *Router) gatherMerged(ctx context.Context, route fleetRoute) (body []byte, etag string, torn bool, fail *fanoutError) {
 	mc := &rt.merge[route]
 	mc.mu.Lock()
 	prevShards, prevVector, prevETag, prevBody := mc.shards, mc.vector, mc.etag, mc.body
@@ -301,7 +305,7 @@ func (rt *Router) gatherMerged(ctx context.Context, route fleetRoute) (body []by
 		}
 	}
 	if len(fe.Shards) > 0 {
-		return nil, "", &fe
+		return nil, "", false, &fe
 	}
 
 	var vb strings.Builder
@@ -316,7 +320,7 @@ func (rt *Router) gatherMerged(ctx context.Context, route fleetRoute) (body []by
 
 	if vector == prevVector && prevBody != nil {
 		rt.mergeHits.Add(1)
-		return prevBody, prevETag, nil
+		return prevBody, prevETag, false, nil
 	}
 	rt.mergeMisses.Add(1)
 	if prevBody != nil {
@@ -330,12 +334,12 @@ func (rt *Router) gatherMerged(ctx context.Context, route fleetRoute) (body []by
 	etag = mergedETag(vector)
 	if !consistent {
 		rt.mergeTorn.Add(1)
-		return body, etag, nil
+		return body, etag, true, nil
 	}
 	mc.mu.Lock()
 	mc.shards, mc.vector, mc.etag, mc.body = shards, vector, etag, body
 	mc.mu.Unlock()
-	return body, etag, nil
+	return body, etag, false, nil
 }
 
 // writeCached is the router's counterpart of Server.writeCached.

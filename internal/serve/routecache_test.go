@@ -249,6 +249,89 @@ func TestRouterPlanCache(t *testing.T) {
 	}
 }
 
+// TestRouterPlanDecodeReuse: plan parameter variants at one merged tag
+// share a single decode of the merged forecast payload — only the
+// scheduling and marshaling re-run per parameter set.
+func TestRouterPlanDecodeReuse(t *testing.T) {
+	fx := buildCluster(t, 6, 3, 0, RouterOptions{})
+	pathA := "/fleet/plan?capacity=3&horizon=2000&maxlead=2000"
+	pathB := "/fleet/plan?capacity=1&horizon=2000&maxlead=2000"
+	wantA := singleServerBytes(t, fx, pathA)
+	wantB := singleServerBytes(t, fx, pathB)
+
+	rec, bodyA := routerGet(t, fx.router, pathA)
+	if rec.Code != http.StatusOK || string(bodyA) != string(wantA) {
+		t.Fatalf("plan A = %d, diverges from unsharded plan", rec.Code)
+	}
+	rec, bodyB := routerGet(t, fx.router, pathB)
+	if rec.Code != http.StatusOK || string(bodyB) != string(wantB) {
+		t.Fatalf("plan B = %d, diverges from unsharded plan", rec.Code)
+	}
+	if d, h := fx.router.planDecodeMisses.Load(), fx.router.planDecodeHits.Load(); d != 1 || h != 1 {
+		t.Fatalf("plan decode misses=%d hits=%d, want 1/1 (variant B must reuse A's decode)", d, h)
+	}
+	if m := fx.router.planCacheMisses.Load(); m != 2 {
+		t.Fatalf("planCacheMisses = %d, want 2 (distinct parameter keys)", m)
+	}
+
+	// A retrain moves the merged tag: the decode cache is keyed by it,
+	// so the next plan decodes afresh.
+	if err := fx.sharded.RetrainAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec, bodyA = routerGet(t, fx.router, pathA)
+	if rec.Code != http.StatusOK || string(bodyA) != string(wantA) {
+		t.Fatal("post-retrain plan diverges")
+	}
+	if d := fx.router.planDecodeMisses.Load(); d != 2 {
+		t.Fatalf("post-retrain planDecodeMisses = %d, want 2", d)
+	}
+}
+
+// TestRouterPlanTornNeverCached: a plan built from a torn gather is
+// served correctly but neither its body nor its decoded requests enter
+// any cache — the never-cache rule follows derived artifacts.
+func TestRouterPlanTornNeverCached(t *testing.T) {
+	fx := buildCluster(t, 6, 3, 0, RouterOptions{})
+	const path = "/fleet/plan?capacity=3&horizon=2000&maxlead=2000"
+	want := singleServerBytes(t, fx, path)
+
+	var backends []ShardBackend
+	for _, sh := range fx.sharded.Shards() {
+		srv, err := New(sh.Engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, ShardBackend{Name: sh.Name, Handler: garbleGeneration(srv)})
+	}
+	router, err := NewRouter(fx.sharded.Ring(), backends, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 0; pass < 2; pass++ {
+		rec, body := routerGet(t, router, path)
+		if rec.Code != http.StatusOK || string(body) != string(want) {
+			t.Fatalf("pass %d: torn plan = %d, body diverges from unsharded plan", pass, rec.Code)
+		}
+	}
+	if b := router.planTornBypass.Load(); b != 2 {
+		t.Fatalf("planTornBypass = %d, want 2", b)
+	}
+	if h, m := router.planCacheHits.Load(), router.planCacheMisses.Load(); h != 0 || m != 0 {
+		t.Fatalf("torn plans touched the plan cache: hits=%d misses=%d", h, m)
+	}
+	if d := router.planDecodeHits.Load(); d != 0 {
+		t.Fatalf("torn plans reused a decode: hits=%d", d)
+	}
+	router.planMu.Lock()
+	cachedPlans, cachedReqs := len(router.plans), router.planReqsKey
+	router.planMu.Unlock()
+	if cachedPlans != 0 || cachedReqs != "" {
+		t.Fatalf("torn plan left cache residue: %d plan entries, reqs key %q", cachedPlans, cachedReqs)
+	}
+}
+
 // TestRouterReadHammer races conditional fleet reads against
 // continuous full-cluster retrains (run with -race): every 200 must
 // byte-match the unsharded reference (the store never changes, so the

@@ -166,12 +166,22 @@ type Router struct {
 	planMu  sync.Mutex
 	planTag string
 	plans   map[string][]byte
+	// The decoded scheduling requests of the last consistent forecast
+	// gather, shared read-only across plan parameter variants: the keyed
+	// entries in plans vary by (day, capacity, horizon, maxlead), but
+	// the expensive decode of the merged forecast body varies only by
+	// (merged tag, day) — one decode serves every parameter combination.
+	planReqsKey string
+	planReqs    []sched.Request
+	planReqsErr map[string]string
 
 	// Read-path counters, exported on /metrics: merged-cache
 	// hits/misses/invalidations, gathers left uncached because a shard's
 	// ETag and generation echo disagreed (torn mid-retrain), shard
 	// fetches validated unchanged (HTTP 304 or in-process tag match),
-	// plan-cache hits/misses, and client conditional GETs answered 304.
+	// plan-cache hits/misses, decoded-request reuse across plan
+	// parameter variants, plans built from torn gathers (served,
+	// never cached), and client conditional GETs answered 304.
 	mergeHits          atomic.Uint64
 	mergeMisses        atomic.Uint64
 	mergeInvalidations atomic.Uint64
@@ -179,6 +189,9 @@ type Router struct {
 	shardNotModified   atomic.Uint64
 	planCacheHits      atomic.Uint64
 	planCacheMisses    atomic.Uint64
+	planDecodeHits     atomic.Uint64
+	planDecodeMisses   atomic.Uint64
+	planTornBypass     atomic.Uint64
 	notModified        atomic.Uint64
 }
 
@@ -520,7 +533,7 @@ func (rt *Router) handleOwnerRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleVehicles(w http.ResponseWriter, r *http.Request) {
-	body, etag, fail := rt.gatherMerged(r.Context(), routeVehicles)
+	body, etag, _, fail := rt.gatherMerged(r.Context(), routeVehicles)
 	if fail != nil {
 		fail.write(w)
 		return
@@ -551,7 +564,7 @@ func mergeFleetForecasts(parts map[string]FleetForecastJSON) FleetForecastJSON {
 }
 
 func (rt *Router) handleFleetForecast(w http.ResponseWriter, r *http.Request) {
-	body, etag, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
+	body, etag, _, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
 	if fail != nil {
 		fail.write(w)
 		return
@@ -564,10 +577,14 @@ func (rt *Router) handleFleetForecast(w http.ResponseWriter, r *http.Request) {
 // runs once at the router — a plan is a fleet-global optimization
 // (capacity is shared across shards), so per-shard plans cannot merge.
 // This is the one fleet-wide route that must fully decode the merged
-// payload; the decode runs only on a plan-cache miss, keyed by
-// (merged tag, day, capacity, horizon, maxlead).
+// payload; the decode runs only once per (merged tag, day) — parameter
+// variants share the decoded requests — and the marshaled plan body is
+// keyed by (merged tag, day, capacity, horizon, maxlead). A torn
+// gather (some shard mid-retrain) is scheduled and served, but neither
+// its decode nor its plan body enters a cache: the merged tag of a
+// torn gather cannot vouch for the bytes it was derived from.
 func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
-	body, etag, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
+	body, etag, torn, fail := rt.gatherMerged(r.Context(), routeFleetForecast)
 	if fail != nil {
 		fail.write(w)
 		return
@@ -580,37 +597,63 @@ func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 	now, day := planDay()
 	key := p.cacheKey(day)
 	ptag := planETag(etag, key)
-	rt.planMu.Lock()
-	if rt.planTag != etag {
-		// Some shard's generation moved: every cached plan is stale.
-		rt.planTag, rt.plans = etag, nil
-	}
-	cached := rt.plans[key]
-	rt.planMu.Unlock()
-	if cached != nil {
-		rt.planCacheHits.Add(1)
-		rt.writeCached(w, r, ptag, cached)
-		return
-	}
-	var merged FleetForecastJSON
-	if err := jsonDecode(body, &merged); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: decoding merged forecasts: %v", err))
-		return
-	}
-	reqs := make([]sched.Request, 0, len(merged.Forecasts))
-	for _, f := range merged.Forecasts {
-		// The due date came from a shard's own wire encoding; a parse
-		// failure is impossible short of a corrupted relay, and the
-		// clamp below keeps a zero date schedulable anyway.
-		due, _ := time.Parse("2006-01-02", f.DueDate)
-		if due.Before(now) {
-			due = now
+	reqsKey := etag + "|" + day
+	var reqs []sched.Request
+	var ferrs map[string]string
+	if !torn {
+		rt.planMu.Lock()
+		if rt.planTag != etag {
+			// Some shard's generation moved: every cached plan is stale.
+			rt.planTag, rt.plans = etag, nil
 		}
-		reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+		cached := rt.plans[key]
+		if rt.planReqsKey == reqsKey {
+			reqs, ferrs = rt.planReqs, rt.planReqsErr
+		}
+		rt.planMu.Unlock()
+		if cached != nil {
+			rt.planCacheHits.Add(1)
+			rt.writeCached(w, r, ptag, cached)
+			return
+		}
 	}
-	pbody, err := buildPlanBody(reqs, merged.Errors, p, now)
+	if reqs == nil {
+		var merged FleetForecastJSON
+		if err := jsonDecode(body, &merged); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("serve: decoding merged forecasts: %v", err))
+			return
+		}
+		reqs = make([]sched.Request, 0, len(merged.Forecasts))
+		for _, f := range merged.Forecasts {
+			// The due date came from a shard's own wire encoding; a parse
+			// failure is impossible short of a corrupted relay, and the
+			// clamp below keeps a zero date schedulable anyway.
+			due, _ := time.Parse("2006-01-02", f.DueDate)
+			if due.Before(now) {
+				due = now
+			}
+			reqs = append(reqs, sched.Request{VehicleID: f.VehicleID, Due: due, Uncertainty: 2})
+		}
+		ferrs = merged.Errors
+		rt.planDecodeMisses.Add(1)
+		if !torn {
+			rt.planMu.Lock()
+			rt.planReqsKey, rt.planReqs, rt.planReqsErr = reqsKey, reqs, ferrs
+			rt.planMu.Unlock()
+		}
+	} else {
+		rt.planDecodeHits.Add(1)
+	}
+	// Schedule copies reqs before sorting, so the cached slice stays
+	// shareable across concurrent parameter variants.
+	pbody, err := buildPlanBody(reqs, ferrs, p, now)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if torn {
+		rt.planTornBypass.Add(1)
+		rt.writeCached(w, r, ptag, pbody)
 		return
 	}
 	rt.planCacheMisses.Add(1)
